@@ -1,0 +1,100 @@
+// Figures 2, 3, 5 — WVU request series and its autocorrelation before and
+// after removing trend + periodicity.
+//   Fig 2: requests/second time-series (rendered at 10-minute resolution).
+//   Fig 3: ACF of the raw per-second series (slowly decaying).
+//   Fig 5: ACF after stationarization (lower, but still non-summable).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/stationary.h"
+#include "stats/acf.h"
+#include "support/ascii_plot.h"
+#include "support/table.h"
+#include "timeseries/series.h"
+
+int main(int argc, char** argv) {
+  using namespace fullweb;
+  bench::BenchContext ctx;
+  if (!bench::parse_bench_flags(argc, argv, &ctx)) return 2;
+  bench::print_header("Figures 2, 3, 5 — WVU request series and ACF",
+                      "paper §4.1, Figures 2/3/5", ctx);
+
+  const auto ds = bench::generate_server(synth::ServerProfile::wvu(), ctx);
+  const auto series = ds.requests_per_second();
+
+  // ---- Figure 2: the series itself, aggregated to 10-minute bins for
+  // rendering (the per-second figure is visually identical in shape).
+  {
+    const auto coarse = timeseries::aggregate(series, 600);
+    std::vector<double> x(coarse.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = static_cast<double>(i) * 600.0 / 3600.0;  // hours
+    support::PlotOptions popts;
+    popts.title = "Figure 2: requests per second (10-min averages) — WVU";
+    popts.x_label = "hours since trace start";
+    popts.height = 14;
+    std::fputs(support::render_plot(x, coarse, popts).c_str(), stdout);
+    std::printf("\n");
+    bench::maybe_write_csv(ctx, "fig2_wvu_series", {"hours", "req_per_s"},
+                           {x, coarse});
+  }
+
+  // ---- Figures 3 and 5: ACF raw vs stationary.
+  constexpr std::size_t kMaxLag = 600;
+  const auto acf_raw = stats::acf(series, kMaxLag);
+
+  core::StationaryOptions sopts;
+  const auto st = core::make_stationary(series, sopts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "stationarization failed: %s\n",
+                 st.error().message.c_str());
+    return 1;
+  }
+  const auto acf_st = stats::acf(st.value().series, kMaxLag);
+
+  std::printf("KPSS raw: stat=%s (%s); detected period=%zu s; trend slope=%s/s\n\n",
+              bench::fmt(st.value().kpss_raw.statistic, 4).c_str(),
+              st.value().was_stationary ? "stationary" : "NON-stationary",
+              st.value().period, bench::fmt(st.value().trend_slope, 3).c_str());
+
+  {
+    std::vector<double> lags(kMaxLag);
+    std::vector<double> raw(kMaxLag), stat(kMaxLag);
+    for (std::size_t k = 1; k <= kMaxLag; ++k) {
+      lags[k - 1] = static_cast<double>(k);
+      raw[k - 1] = acf_raw[k];
+      stat[k - 1] = acf_st[k];
+    }
+    support::PlotOptions popts;
+    popts.title = "Figures 3/5: ACF of requests/second — raw (r) vs stationary (s)";
+    popts.x_label = "lag (seconds)";
+    popts.height = 14;
+    std::fputs(support::render_plot({{"raw", lags, raw, 'r'},
+                                     {"stationary", lags, stat, 's'}},
+                                    popts)
+                   .c_str(),
+               stdout);
+    bench::maybe_write_csv(ctx, "fig3_5_wvu_acf",
+                           {"lag_s", "acf_raw", "acf_stationary"},
+                           {lags, raw, stat});
+  }
+
+  support::Table table({"lag", "ACF raw (Fig 3)", "ACF stationary (Fig 5)"});
+  for (std::size_t lag : {1, 2, 5, 10, 30, 60, 120, 300, 600}) {
+    table.add_row({std::to_string(lag), bench::fmt(acf_raw[lag], 3),
+                   bench::fmt(acf_st[lag], 3)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  const double sum_raw = stats::acf_abs_sum(series, kMaxLag);
+  const double sum_st = stats::acf_abs_sum(st.value().series, kMaxLag);
+  std::printf(
+      "\nsum |ACF| over lags 1..%zu: raw=%s  stationary=%s\n"
+      "shape check (paper §4.1): the stationary ACF is lower than the raw ACF\n"
+      "(ignoring trend/periodicity OVERESTIMATES long-range dependence), yet\n"
+      "still decays slowly => long-range dependence remains.\n",
+      kMaxLag, bench::fmt(sum_raw, 4).c_str(), bench::fmt(sum_st, 4).c_str());
+  return sum_st < sum_raw ? 0 : 1;
+}

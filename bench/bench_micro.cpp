@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) — throughput of the computational
+// kernels: FFT, ACF, periodogram, Hurst estimators, FGN synthesis, KPSS,
+// the CLF parser, and the sessionizer.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "lrd/abry_veitch.h"
+#include "lrd/variance_time.h"
+#include "lrd/whittle.h"
+#include "stats/acf.h"
+#include "stats/fft.h"
+#include "stats/kpss.h"
+#include "stats/periodogram.h"
+#include "support/rng.h"
+#include "timeseries/fgn.h"
+#include "weblog/clf.h"
+#include "weblog/sessionizer.h"
+
+namespace {
+
+using namespace fullweb;
+
+std::vector<double> noise(std::size_t n, std::uint64_t seed = 1) {
+  support::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  return xs;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = noise(n);
+  for (auto _ : state) {
+    auto spec = stats::fft_real(xs);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = noise(n);
+  for (auto _ : state) {
+    auto spec = stats::fft_real(xs);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftBluestein)->Arg(10007)->Arg(86400);
+
+void BM_Acf(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = stats::acf(xs, 100);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Acf)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pg = stats::periodogram(xs);
+    benchmark::DoNotOptimize(pg);
+  }
+}
+BENCHMARK(BM_Periodogram)->Arg(1 << 16);
+
+void BM_Kpss(benchmark::State& state) {
+  const auto xs = noise(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = stats::kpss_test(xs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Kpss)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_GenerateFgn(benchmark::State& state) {
+  support::Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto xs = timeseries::generate_fgn(n, 0.8, 1.0, rng);
+    benchmark::DoNotOptimize(xs);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GenerateFgn)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WhittleHurst(benchmark::State& state) {
+  support::Rng rng(4);
+  auto fgn = timeseries::generate_fgn(
+      static_cast<std::size_t>(state.range(0)), 0.8, 1.0, rng);
+  for (auto _ : state) {
+    auto r = lrd::whittle_hurst(fgn.value());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WhittleHurst)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_AbryVeitchHurst(benchmark::State& state) {
+  support::Rng rng(5);
+  auto fgn = timeseries::generate_fgn(
+      static_cast<std::size_t>(state.range(0)), 0.8, 1.0, rng);
+  for (auto _ : state) {
+    auto r = lrd::abry_veitch_hurst(fgn.value());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AbryVeitchHurst)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VarianceTimeHurst(benchmark::State& state) {
+  support::Rng rng(6);
+  auto fgn = timeseries::generate_fgn(
+      static_cast<std::size_t>(state.range(0)), 0.8, 1.0, rng);
+  for (auto _ : state) {
+    auto r = lrd::variance_time_hurst(fgn.value());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VarianceTimeHurst)->Arg(1 << 18);
+
+void BM_ParseClfLine(benchmark::State& state) {
+  const std::string line =
+      "10.12.34.56 - - [12/Jan/2004:13:55:36 +0000] "
+      "\"GET /pages/p123.html HTTP/1.0\" 200 23261";
+  for (auto _ : state) {
+    auto e = weblog::parse_clf_line(line);
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(line.size()));
+}
+BENCHMARK(BM_ParseClfLine);
+
+void BM_Sessionize(benchmark::State& state) {
+  support::Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<weblog::Request> requests(n);
+  for (auto& r : requests) {
+    r.time = rng.uniform(0.0, 7 * 86400.0);
+    r.client = static_cast<std::uint32_t>(rng.below(n / 20 + 1));
+    r.bytes = rng.below(100000);
+  }
+  for (auto _ : state) {
+    auto sessions = weblog::sessionize(requests);
+    benchmark::DoNotOptimize(sessions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sessionize)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

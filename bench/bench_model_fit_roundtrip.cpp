@@ -1,0 +1,100 @@
+// Model-fit round trip: for each of the four servers, generate the bench
+// workload, fit the FULL-Web generative model, replay from the fitted
+// parameters, and score how well the replay reproduces the observed
+// fingerprint. This quantifies the fidelity of the library's end-use
+// (workload cloning for performance studies).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/stationary.h"
+#include "lrd/whittle.h"
+#include "support/table.h"
+#include "synth/fit.h"
+#include "tail/llcd.h"
+
+namespace {
+
+using namespace fullweb;
+
+struct Fingerprint {
+  double requests = 0, sessions = 0, hurst = 0;
+  double len_alpha = 0, req_alpha = 0, byte_alpha = 0;
+};
+
+Fingerprint fingerprint(const weblog::Dataset& ds) {
+  Fingerprint f;
+  f.requests = static_cast<double>(ds.requests().size());
+  f.sessions = static_cast<double>(ds.sessions().size());
+  core::StationaryOptions so;
+  so.only_if_nonstationary = false;
+  if (auto st = core::make_stationary(ds.requests_per_second(), so); st.ok()) {
+    if (auto w = lrd::whittle_hurst(st.value().series); w.ok())
+      f.hurst = w.value().estimate.h;
+  }
+  if (auto t = tail::llcd_fit(ds.session_lengths()); t.ok())
+    f.len_alpha = t.value().alpha;
+  if (auto t = tail::llcd_fit(ds.session_request_counts()); t.ok())
+    f.req_alpha = t.value().alpha;
+  if (auto t = tail::llcd_fit(ds.session_byte_counts()); t.ok())
+    f.byte_alpha = t.value().alpha;
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx;
+  if (!bench::parse_bench_flags(argc, argv, &ctx)) return 2;
+  bench::print_header("FULL-Web model fit round trip",
+                      "library end-use validation (not a paper figure)", ctx);
+
+  support::Table table({"server", "metric", "observed", "fitted replay",
+                        "rel err"});
+  bool ok = true;
+  for (const auto& profile : synth::ServerProfile::all_four()) {
+    const auto observed = bench::generate_server(profile, ctx);
+    auto fitted = synth::fit_profile(observed);
+    if (!fitted.ok()) {
+      table.add_row({profile.name, "-", "fit failed", "-", "-"});
+      continue;
+    }
+    support::Rng rng(ctx.seed + 31);
+    synth::GeneratorOptions gen;
+    gen.duration = ctx.days * 86400.0;
+    auto replay = synth::generate_dataset(fitted.value().profile, gen, rng);
+    if (!replay.ok()) continue;
+
+    const Fingerprint obs = fingerprint(observed);
+    const Fingerprint rep = fingerprint(replay.value());
+    struct Metric {
+      const char* name;
+      double a, b;
+    };
+    const Metric metrics[] = {
+        {"requests", obs.requests, rep.requests},
+        {"sessions", obs.sessions, rep.sessions},
+        {"Whittle H", obs.hurst, rep.hurst},
+        {"len alpha", obs.len_alpha, rep.len_alpha},
+        {"req alpha", obs.req_alpha, rep.req_alpha},
+        {"byte alpha", obs.byte_alpha, rep.byte_alpha},
+    };
+    for (const auto& m : metrics) {
+      const double rel = m.a != 0.0 ? std::fabs(m.b - m.a) / std::fabs(m.a) : 0.0;
+      char rel_s[16];
+      std::snprintf(rel_s, sizeof rel_s, "%.1f%%", 100.0 * rel);
+      table.add_row({profile.name, m.name, bench::fmt(m.a, 4),
+                     bench::fmt(m.b, 4), rel_s});
+      // Volumes within 30%, H within 0.12 absolute, tails within 40%.
+      if (std::string(m.name) == "Whittle H") ok = ok && std::fabs(m.b - m.a) < 0.12;
+      else if (std::string(m.name) == "requests" || std::string(m.name) == "sessions")
+        ok = ok && rel < 0.30;
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::printf("\nfidelity check (volumes < 30%% error, H within 0.12): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Shared driver logic for the §4.2 (request-level) and §5.1.2
+// (session-level) Poisson-arrival experiment tables.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "poisson/poisson_test.h"
+#include "support/table.h"
+#include "weblog/dataset.h"
+
+namespace fullweb::bench {
+
+struct PoissonBenchOutcome {
+  std::size_t cells_ran = 0;
+  std::size_t cells_poisson = 0;
+  std::vector<std::string> poisson_cells;  ///< "server Load config" labels
+};
+
+/// Run the four test configurations ({1h, 10min} x {uniform, deterministic})
+/// on the Low/Med/High intervals of each dataset; event times come from
+/// `event_times_of` (request times or session-start times).
+template <typename EventTimesOf>
+PoissonBenchOutcome run_poisson_bench(const std::vector<weblog::Dataset>& servers,
+                                      const BenchContext& ctx,
+                                      EventTimesOf&& event_times_of,
+                                      std::size_t min_events) {
+  PoissonBenchOutcome outcome;
+  support::Table table({"server", "interval", "events", "rate cfg", "spread",
+                        "indep?", "expon?", "verdict"});
+
+  for (const auto& ds : servers) {
+    const auto times = event_times_of(ds);
+    for (auto load : {weblog::Load::kLow, weblog::Load::kMed, weblog::Load::kHigh}) {
+      auto interval = ds.pick(load);
+      if (!interval.ok()) continue;
+      std::vector<double> in_window;
+      for (double t : times)
+        if (t >= interval.value().t0 && t < interval.value().t1)
+          in_window.push_back(t);
+
+      if (in_window.size() < min_events) {
+        table.add_row({ds.name(), to_string(load),
+                       std::to_string(in_window.size()), "-", "-", "-", "-",
+                       "NA (too few events)"});
+        continue;
+      }
+
+      struct Config {
+        double seconds;
+        poisson::SpreadMode spread;
+        const char* rate_label;
+        const char* spread_label;
+      };
+      const Config configs[] = {
+          {3600.0, poisson::SpreadMode::kUniform, "1-hour", "uniform"},
+          {3600.0, poisson::SpreadMode::kDeterministic, "1-hour", "determ."},
+          {600.0, poisson::SpreadMode::kUniform, "10-min", "uniform"},
+          {600.0, poisson::SpreadMode::kDeterministic, "10-min", "determ."},
+      };
+      for (const auto& cfg : configs) {
+        poisson::PoissonTestOptions popts;
+        popts.interval_seconds = cfg.seconds;
+        popts.spread = cfg.spread;
+        support::Rng rng(ctx.seed + 17);
+        const auto r = poisson::test_poisson_arrivals(
+            in_window, interval.value().t0, interval.value().t1, popts, rng);
+        if (!r.ok()) {
+          table.add_row({ds.name(), to_string(load),
+                         std::to_string(in_window.size()), cfg.rate_label,
+                         cfg.spread_label, "-", "-",
+                         "NA (" + r.error().category + ")"});
+          continue;
+        }
+        ++outcome.cells_ran;
+        const bool poisson_verdict = r.value().poisson();
+        if (poisson_verdict) {
+          ++outcome.cells_poisson;
+          outcome.poisson_cells.push_back(ds.name() + " " + to_string(load) +
+                                          " " + cfg.rate_label + "/" +
+                                          cfg.spread_label);
+        }
+        table.add_row({ds.name(), to_string(load),
+                       std::to_string(in_window.size()), cfg.rate_label,
+                       cfg.spread_label, r.value().independent ? "yes" : "NO",
+                       r.value().exponential ? "yes" : "NO",
+                       poisson_verdict ? "Poisson" : "NOT Poisson"});
+      }
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  return outcome;
+}
+
+}  // namespace fullweb::bench

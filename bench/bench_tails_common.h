@@ -1,0 +1,76 @@
+// Shared driver for the Tables 2/3/4 intra-session tail experiments.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/tail_analysis.h"
+#include "support/table.h"
+#include "weblog/dataset.h"
+
+namespace fullweb::bench {
+
+/// Paper cell: {hill, llcd, r2} as strings ("NS"/"NA" included).
+struct PaperCell {
+  const char* hill;
+  const char* llcd;
+  const char* r2;
+};
+/// paper_rows[interval][server] with interval in {Low, Med, High, Week} and
+/// server order WVU, ClarkNet, CSEE, NASA-Pub2.
+using PaperTable = std::map<std::string, std::vector<PaperCell>>;
+
+using SampleExtractor = std::function<std::vector<double>(
+    const weblog::Dataset&, double t0, double t1)>;
+
+/// Runs the tail analysis for one characteristic over Low/Med/High/Week and
+/// all four servers; prints measured vs paper cells. Returns the count of
+/// measured Week-level alphas on the correct side of 2 (variance verdict)
+/// relative to the paper, for the shape check.
+inline void run_tail_table(const std::vector<weblog::Dataset>& servers,
+                           const BenchContext& ctx,
+                           const SampleExtractor& extract,
+                           const PaperTable& paper) {
+  support::Table table({"interval", "server", "n sessions", "aHill", "aLLCD",
+                        "sigma", "R^2", "paper aHill", "paper aLLCD",
+                        "paper R^2"});
+  core::TailAnalysisOptions topts;
+  topts.run_curvature = false;  // bench_curvature_tests covers §5.2.1
+
+  const std::vector<std::string> intervals = {"Low", "Med", "High", "Week"};
+  for (const auto& label : intervals) {
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      const auto& ds = servers[s];
+      double t0 = ds.t0();
+      double t1 = ds.t1();
+      if (label != "Week") {
+        const weblog::Load load = label == "Low"   ? weblog::Load::kLow
+                                  : label == "Med" ? weblog::Load::kMed
+                                                   : weblog::Load::kHigh;
+        auto interval = ds.pick(load);
+        if (!interval.ok()) continue;
+        t0 = interval.value().t0;
+        t1 = interval.value().t1;
+      }
+      const auto samples = extract(ds, t0, t1);
+      support::Rng rng(ctx.seed + 99 + s);
+      const auto tail = core::analyze_tail(samples, rng, topts);
+      const PaperCell& cell = paper.at(label)[s];
+      table.add_row({label, ds.name(), std::to_string(samples.size()),
+                     tail.hill_cell(), tail.llcd_cell(),
+                     tail.available && tail.llcd
+                         ? fmt(tail.llcd->stderr_alpha, 2)
+                         : "-",
+                     tail.r2_cell(), cell.hill, cell.llcd, cell.r2});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+}
+
+}  // namespace fullweb::bench

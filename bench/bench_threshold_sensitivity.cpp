@@ -1,0 +1,84 @@
+// Session-threshold sensitivity (paper §2, after the study in [12]).
+//
+// The paper adopts a 30-minute inactivity threshold based on its companion
+// study of how the threshold changes the session count. This driver sweeps
+// the threshold on one synthetic server and reports the session count, mean
+// session length, and the Table 2/3 tail indices — showing (a) the count is
+// sensitive below ~10 minutes and plateaus around 30, and (b) the
+// heavy-tail conclusions are robust to the choice.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/tail_analysis.h"
+#include "stats/descriptive.h"
+#include "support/table.h"
+#include "weblog/sessionizer.h"
+
+int main(int argc, char** argv) {
+  using namespace fullweb;
+  bench::BenchContext ctx;
+  if (!bench::parse_bench_flags(argc, argv, &ctx)) return 2;
+  bench::print_header("Session-threshold sensitivity",
+                      "paper §2 (threshold choice, after ref [12])", ctx);
+
+  // Generate once (CSEE), re-sessionize per threshold.
+  const auto profile = synth::ServerProfile::csee();
+  support::Rng rng(ctx.seed ^ 0xC5EE);
+  synth::GeneratorOptions gen;
+  gen.scale = profile.bench_scale * ctx.scale_multiplier;
+  gen.duration = ctx.days * 86400.0;
+  auto workload = synth::generate_workload(profile, gen, rng);
+  if (!workload) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 workload.error().message.c_str());
+    return 1;
+  }
+
+  support::Table table({"threshold (min)", "sessions", "vs 30min", "mean len (s)",
+                        "len aLLCD", "req aLLCD"});
+  core::TailAnalysisOptions topts;
+  topts.run_curvature = false;
+
+  std::size_t sessions_at_30 = 0;
+  struct Row {
+    double minutes;
+    std::size_t count;
+    std::string mean_len, len_a, req_a;
+  };
+  std::vector<Row> rows;
+  for (double minutes : {1.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0, 120.0}) {
+    weblog::SessionizerOptions sopts;
+    sopts.threshold_seconds = minutes * 60.0;
+    const auto sessions = weblog::sessionize(workload.value().requests, sopts);
+
+    std::vector<double> lengths, counts;
+    for (const auto& s : sessions) {
+      lengths.push_back(s.length());
+      counts.push_back(static_cast<double>(s.requests));
+    }
+    support::Rng trng(ctx.seed + 1);
+    const auto len_tail = core::analyze_tail(lengths, trng, topts);
+    const auto req_tail = core::analyze_tail(counts, trng, topts);
+    if (minutes == 30.0) sessions_at_30 = sessions.size();
+    rows.push_back({minutes, sessions.size(),
+                    bench::fmt(stats::mean(lengths), 4), len_tail.llcd_cell(),
+                    req_tail.llcd_cell()});
+  }
+  for (const auto& r : rows) {
+    char rel[16];
+    std::snprintf(rel, sizeof rel, "%+.1f%%",
+                  100.0 * (static_cast<double>(r.count) /
+                               static_cast<double>(sessions_at_30) -
+                           1.0));
+    table.add_row({bench::fmt(r.minutes, 3), std::to_string(r.count), rel,
+                   r.mean_len, r.len_a, r.req_a});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreading: the session count moves steeply below ~10 minutes (gaps\n"
+      "inside real visits get split) and flattens near the paper's 30-minute\n"
+      "choice; the tail indices barely move above ~20 minutes, so the\n"
+      "paper's heavy-tail conclusions do not hinge on the exact threshold.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Workload cloning: fit a FULL-Web generative model to observed traffic,
+// replay synthetic traffic from the fitted model, and verify the clone
+// reproduces the original's statistical fingerprint.
+//
+// This is the paper's end-use: a workload model accurate enough to drive
+// performance studies without shipping (or even keeping) the raw logs.
+//
+//   ./model_and_replay --server ClarkNet --days 7 --seed 3
+#include <cstdio>
+#include <iostream>
+
+#include "core/stationary.h"
+#include "lrd/whittle.h"
+#include "support/cli.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "synth/fit.h"
+#include "synth/generator.h"
+#include "synth/profile_io.h"
+#include "tail/llcd.h"
+
+namespace {
+
+using namespace fullweb;
+
+struct Fingerprint {
+  double requests = 0;
+  double sessions = 0;
+  double mb = 0;
+  double hurst = 0;
+  double len_alpha = 0;
+  double req_alpha = 0;
+  double bytes_alpha = 0;
+};
+
+Fingerprint fingerprint(const weblog::Dataset& ds) {
+  Fingerprint f;
+  f.requests = static_cast<double>(ds.requests().size());
+  f.sessions = static_cast<double>(ds.sessions().size());
+  f.mb = static_cast<double>(ds.total_bytes()) / 1048576.0;
+  if (auto st = core::make_stationary(ds.requests_per_second()); st.ok()) {
+    if (auto w = lrd::whittle_hurst(st.value().series); w.ok())
+      f.hurst = w.value().estimate.h;
+  }
+  if (auto fit = tail::llcd_fit(ds.session_lengths()); fit.ok())
+    f.len_alpha = fit.value().alpha;
+  if (auto fit = tail::llcd_fit(ds.session_request_counts()); fit.ok())
+    f.req_alpha = fit.value().alpha;
+  if (auto fit = tail::llcd_fit(ds.session_byte_counts()); fit.ok())
+    f.bytes_alpha = fit.value().alpha;
+  return f;
+}
+
+void add_rows(support::Table& table, const char* label, const Fingerprint& f) {
+  table.add_row({label, support::format_sig(f.requests, 6),
+                 support::format_sig(f.sessions, 6),
+                 support::format_sig(f.mb, 5), support::format_sig(f.hurst, 3),
+                 support::format_sig(f.len_alpha, 3),
+                 support::format_sig(f.req_alpha, 3),
+                 support::format_sig(f.bytes_alpha, 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliFlags flags;
+  flags.define("server", "ClarkNet", "profile for the 'observed' traffic");
+  flags.define("days", "7", "days of traffic");
+  flags.define("scale", "0.3", "volume scale");
+  flags.define("seed", "3", "random seed");
+  flags.define("save", "", "write the fitted profile to this path");
+  if (!flags.parse(argc, argv)) return 2;
+
+  synth::ServerProfile truth = synth::ServerProfile::clarknet();
+  const std::string which = flags.get("server");
+  if (which == "WVU") truth = synth::ServerProfile::wvu();
+  else if (which == "CSEE") truth = synth::ServerProfile::csee();
+  else if (which == "NASA-Pub2") truth = synth::ServerProfile::nasa_pub2();
+
+  support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  synth::GeneratorOptions gen;
+  gen.scale = flags.get_double("scale");
+  gen.duration = flags.get_double("days") * 86400.0;
+
+  std::printf("1. generating 'observed' %s traffic...\n", truth.name.c_str());
+  auto observed = synth::generate_dataset(truth, gen, rng);
+  if (!observed) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 observed.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("2. fitting the FULL-Web model to the observed traffic...\n");
+  auto fitted = synth::fit_profile(observed.value());
+  if (!fitted) {
+    std::fprintf(stderr, "fit failed: %s\n", fitted.error().message.c_str());
+    return 1;
+  }
+  const synth::ServerProfile& fp = fitted.value().profile;
+  std::printf("   fitted: sessions/wk=%.0f req/sess=%.1f H=%.3f diurnal=%.2f\n"
+              "           len-alpha=%.2f req-alpha=%.2f byte-alpha=%.2f "
+              "rate-sigma=%.2f\n",
+              fp.week_sessions, fp.requests_mean, fp.hurst, fp.diurnal_amplitude,
+              fp.think.scale_alpha, fp.requests_alpha, fp.bytes.scale_alpha,
+              fp.rate_log_sigma);
+
+  const std::string save_path = flags.get("save");
+  if (!save_path.empty()) {
+    if (auto status = synth::save_profile(save_path, fp); status.ok()) {
+      std::printf("   saved fitted profile to %s (editable key = value "
+                  "format; reload with synth::load_profile)\n",
+                  save_path.c_str());
+    } else {
+      std::fprintf(stderr, "save failed: %s\n", status.error().message.c_str());
+    }
+  }
+
+  std::printf("3. replaying synthetic traffic from the FITTED model...\n\n");
+  synth::GeneratorOptions replay_gen = gen;
+  replay_gen.scale = 1.0;  // the fitted profile already encodes the volume
+  replay_gen.duration = gen.duration;
+  support::Rng replay_rng(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
+  auto replay = synth::generate_dataset(fp, replay_gen, replay_rng);
+  if (!replay) {
+    std::fprintf(stderr, "replay failed: %s\n", replay.error().message.c_str());
+    return 1;
+  }
+
+  support::Table table({"workload", "requests", "sessions", "MB", "Whittle H",
+                        "len alpha", "req alpha", "byte alpha"});
+  add_rows(table, "observed", fingerprint(observed.value()));
+  add_rows(table, "fitted replay", fingerprint(replay.value()));
+  table.print(std::cout);
+  std::printf(
+      "\nThe replay is generated purely from the fitted parameter vector —\n"
+      "volumes, LRD level, diurnal shape, and all three heavy-tail indices\n"
+      "carry over without any access to the original request records.\n");
+  return 0;
+}

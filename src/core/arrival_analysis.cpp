@@ -1,0 +1,29 @@
+#include "core/arrival_analysis.h"
+
+namespace fullweb::core {
+
+using support::Result;
+
+Result<ArrivalAnalysis> analyze_arrivals(std::span<const double> counts,
+                                         const ArrivalAnalysisOptions& options) {
+  ArrivalAnalysis out;
+  out.hurst_raw = lrd::hurst_suite(counts, options.hurst);
+
+  auto st = make_stationary(counts, options.stationary);
+  if (!st) return st.error();
+  out.stationarity = std::move(st).value();
+
+  out.hurst_stationary = lrd::hurst_suite(out.stationarity.series, options.hurst);
+
+  if (options.run_aggregation_sweep) {
+    out.whittle_sweep = lrd::aggregated_hurst_sweep(
+        out.stationarity.series, lrd::HurstMethod::kWhittle,
+        options.aggregation_levels, options.hurst);
+    out.abry_veitch_sweep = lrd::aggregated_hurst_sweep(
+        out.stationarity.series, lrd::HurstMethod::kAbryVeitch,
+        options.aggregation_levels, options.hurst);
+  }
+  return out;
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,47 @@
+// Arrival-process analysis: the request-level (§4) and inter-session
+// (§5.1) halves of the FULL-Web model, for one counting series.
+//
+// Pipeline: Hurst suite on the raw series (Figures 4/9) -> stationarization
+// (§4.1) -> Hurst suite on the stationary series (Figures 6/10) ->
+// aggregated-series sweeps with CIs (Figures 7/8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/stationary.h"
+#include "lrd/estimator_suite.h"
+#include "support/result.h"
+
+namespace fullweb::core {
+
+struct ArrivalAnalysisOptions {
+  /// The paper applies trend + periodicity removal to every server before
+  /// the "stationary" estimates of Figures 6/10, so the pipeline runs
+  /// unconditionally here (a KPSS-passing series can still carry a diurnal
+  /// component strong enough to inflate Hurst estimates).
+  StationaryOptions stationary{.only_if_nonstationary = false};
+  lrd::HurstSuiteOptions hurst;
+  bool run_aggregation_sweep = true;
+  std::vector<std::size_t> aggregation_levels = {1,  2,  5,  10,  20,
+                                                 50, 100, 200, 500, 1000};
+};
+
+struct ArrivalAnalysis {
+  lrd::HurstSuiteResult hurst_raw;         ///< on the raw series
+  StationaryReport stationarity;
+  lrd::HurstSuiteResult hurst_stationary;  ///< after trend/seasonal removal
+  std::vector<lrd::AggregatedHurstPoint> whittle_sweep;      ///< Fig 7
+  std::vector<lrd::AggregatedHurstPoint> abry_veitch_sweep;  ///< Fig 8
+
+  /// The paper's LRD verdict: every stationary-series estimate in (0.5, 1).
+  [[nodiscard]] bool long_range_dependent() const noexcept {
+    return hurst_stationary.all_indicate_lrd();
+  }
+};
+
+[[nodiscard]] support::Result<ArrivalAnalysis> analyze_arrivals(
+    std::span<const double> counts_per_second,
+    const ArrivalAnalysisOptions& options = {});
+
+}  // namespace fullweb::core

@@ -1,0 +1,97 @@
+#include "core/error_analysis.h"
+
+#include <unordered_map>
+
+namespace fullweb::core {
+
+using support::Error;
+using support::Result;
+
+std::size_t StatusBreakdown::total() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t c : by_class) n += c;
+  return n;
+}
+
+Result<ErrorAnalysis> analyze_errors(const weblog::Dataset& dataset,
+                                     const ErrorAnalysisOptions& options) {
+  if (dataset.requests().empty())
+    return Error::insufficient_data("analyze_errors: empty dataset");
+
+  ErrorAnalysis out;
+  for (const auto& r : dataset.requests()) {
+    const std::size_t cls =
+        r.status >= 100 && r.status <= 599 ? r.status / 100 : 0;
+    ++out.statuses.by_class[cls];
+  }
+  const auto n = static_cast<double>(dataset.requests().size());
+  if (out.statuses.by_class[0] == dataset.requests().size())
+    return Error::insufficient_data("analyze_errors: no known statuses");
+
+  out.request_error_rate = static_cast<double>(out.statuses.errors()) / n;
+  out.server_error_rate =
+      static_cast<double>(out.statuses.by_class[5]) / n;
+
+  // Session view: walk requests once, attributing errors to the session
+  // active for that client at that time (sessions are disjoint per client).
+  // Build per-client session start lists.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_client;
+  const auto& sessions = dataset.sessions();
+  for (std::uint32_t i = 0; i < sessions.size(); ++i)
+    by_client[sessions[i].client].push_back(i);
+
+  std::vector<std::uint32_t> errors_in_session(sessions.size(), 0);
+  std::unordered_map<std::uint32_t, std::size_t> cursor;
+  for (const auto& r : dataset.requests()) {
+    if (r.status < 400 || r.status > 599) continue;
+    auto it = by_client.find(r.client);
+    if (it == by_client.end()) continue;
+    auto& cur = cursor[r.client];
+    const auto& list = it->second;
+    while (cur + 1 < list.size() && sessions[list[cur + 1]].start <= r.time)
+      ++cur;
+    ++errors_in_session[list[cur]];
+  }
+
+  out.sessions = sessions.size();
+  std::size_t total_errors_in_bad = 0;
+  for (std::uint32_t e : errors_in_session) {
+    if (e > 0) {
+      ++out.sessions_with_error;
+      total_errors_in_bad += e;
+    }
+  }
+  out.session_reliability =
+      out.sessions == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(out.sessions_with_error) /
+                      static_cast<double>(out.sessions);
+  out.errors_per_bad_session =
+      out.sessions_with_error == 0
+          ? 0.0
+          : static_cast<double>(total_errors_in_bad) /
+                static_cast<double>(out.sessions_with_error);
+
+  // Per-interval error rates.
+  const auto intervals = dataset.partition(options.interval_seconds);
+  if (!intervals.empty()) {
+    std::vector<std::size_t> err(intervals.size(), 0);
+    std::vector<std::size_t> all(intervals.size(), 0);
+    for (const auto& r : dataset.requests()) {
+      auto idx = static_cast<std::size_t>((r.time - dataset.t0()) /
+                                          options.interval_seconds);
+      if (idx >= intervals.size()) idx = intervals.size() - 1;
+      ++all[idx];
+      if (r.status >= 400 && r.status <= 599) ++err[idx];
+    }
+    out.interval_error_rates.resize(intervals.size(), 0.0);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      if (all[i] > 0)
+        out.interval_error_rates[i] =
+            static_cast<double>(err[i]) / static_cast<double>(all[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,59 @@
+// Error and reliability analysis — the "Error analysis" / "Reliability
+// analysis" branches of the paper's Figure 1 pipeline (detailed in the
+// companion studies [11], [12]).
+//
+// Reports the HTTP status-class mix, request-level error rates, and the
+// session-level reliability view the companion papers introduced: the
+// fraction of sessions that experience at least one failed request, and
+// the distribution of errors across sessions (errors cluster — a few
+// sessions absorb most failures).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "support/result.h"
+#include "weblog/dataset.h"
+
+namespace fullweb::core {
+
+/// Counts by HTTP status class (1xx..5xx; index 0 collects unknowns).
+struct StatusBreakdown {
+  std::array<std::size_t, 6> by_class{};  ///< [0]=unknown, [1]=1xx .. [5]=5xx
+
+  [[nodiscard]] std::size_t total() const noexcept;
+  [[nodiscard]] std::size_t errors() const noexcept {
+    return by_class[4] + by_class[5];
+  }
+};
+
+struct ErrorAnalysis {
+  StatusBreakdown statuses;
+  double request_error_rate = 0.0;       ///< (4xx + 5xx) / requests
+  double server_error_rate = 0.0;        ///< 5xx / requests
+
+  std::size_t sessions = 0;
+  std::size_t sessions_with_error = 0;
+  /// Session reliability: probability a session completes with no failed
+  /// request ([12]'s session-level reliability metric).
+  double session_reliability = 1.0;
+  /// Mean errors per erroneous session (clustering diagnostic: >> 1 means
+  /// failures concentrate in few sessions).
+  double errors_per_bad_session = 0.0;
+
+  /// Request error rate per analysis interval (paper's 4-hour windows) —
+  /// shows whether failures track load.
+  std::vector<double> interval_error_rates;
+};
+
+struct ErrorAnalysisOptions {
+  double interval_seconds = 4.0 * 3600.0;
+};
+
+/// Errors when the dataset is empty (cannot happen for a constructed
+/// Dataset) or statuses are entirely unknown.
+[[nodiscard]] support::Result<ErrorAnalysis> analyze_errors(
+    const weblog::Dataset& dataset, const ErrorAnalysisOptions& options = {});
+
+}  // namespace fullweb::core

@@ -1,0 +1,226 @@
+#include "core/fullweb_model.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace fullweb::core {
+
+using support::Error;
+using support::Result;
+
+bool PoissonBattery::poisson_all() const noexcept {
+  bool any = false;
+  for (const Cell* c : {&hourly_uniform, &hourly_deterministic, &tenmin_uniform,
+                        &tenmin_deterministic}) {
+    if (!c->ran) continue;
+    any = true;
+    if (!c->result.poisson()) return false;
+  }
+  return any;
+}
+
+bool PoissonBattery::any_ran() const noexcept {
+  return hourly_uniform.ran || hourly_deterministic.ran || tenmin_uniform.ran ||
+         tenmin_deterministic.ran;
+}
+
+namespace {
+
+/// Events (request or session-start times) within one picked interval.
+std::vector<double> times_in(const std::vector<double>& all, double t0, double t1) {
+  std::vector<double> out;
+  for (double t : all)
+    if (t >= t0 && t < t1) out.push_back(t);
+  return out;
+}
+
+PoissonBattery run_battery(const std::vector<double>& event_times,
+                           const weblog::Interval& interval,
+                           const FullWebOptions& options, support::Rng& rng) {
+  PoissonBattery battery;
+  battery.interval = interval;
+
+  const auto in_window = times_in(event_times, interval.t0, interval.t1);
+  if (in_window.size() < options.poisson_min_events) return battery;  // NA
+  battery.available = true;
+
+  struct Config {
+    PoissonBattery::Cell PoissonBattery::*cell;
+    double interval_seconds;
+    poisson::SpreadMode spread;
+  };
+  const Config configs[] = {
+      {&PoissonBattery::hourly_uniform, 3600.0, poisson::SpreadMode::kUniform},
+      {&PoissonBattery::hourly_deterministic, 3600.0,
+       poisson::SpreadMode::kDeterministic},
+      {&PoissonBattery::tenmin_uniform, 600.0, poisson::SpreadMode::kUniform},
+      {&PoissonBattery::tenmin_deterministic, 600.0,
+       poisson::SpreadMode::kDeterministic},
+  };
+  for (const auto& cfg : configs) {
+    poisson::PoissonTestOptions popts = options.poisson;
+    popts.interval_seconds = cfg.interval_seconds;
+    popts.spread = cfg.spread;
+    auto r = poisson::test_poisson_arrivals(in_window, interval.t0, interval.t1,
+                                            popts, rng);
+    PoissonBattery::Cell& cell = battery.*(cfg.cell);
+    if (r.ok()) {
+      cell.ran = true;
+      cell.result = std::move(r).value();
+    } else {
+      cell.skip_reason = r.error().message;
+    }
+  }
+  return battery;
+}
+
+IntervalTails run_tails(const weblog::Dataset& dataset,
+                        const weblog::Interval& interval,
+                        const FullWebOptions& options, support::Rng& rng) {
+  IntervalTails tails;
+  tails.interval = interval;
+  const auto lengths = dataset.session_lengths(interval.t0, interval.t1);
+  tails.sessions = lengths.size();
+  tails.length = analyze_tail(lengths, rng, options.tails);
+  tails.requests = analyze_tail(
+      dataset.session_request_counts(interval.t0, interval.t1), rng, options.tails);
+  tails.bytes = analyze_tail(dataset.session_byte_counts(interval.t0, interval.t1),
+                             rng, options.tails);
+  return tails;
+}
+
+}  // namespace
+
+Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
+                                       support::Rng& rng,
+                                       const FullWebOptions& options) {
+  FullWebModel model;
+  model.server = dataset.name();
+  model.total_requests = dataset.requests().size();
+  model.total_sessions = dataset.sessions().size();
+  model.mb_transferred =
+      static_cast<double>(dataset.total_bytes()) / (1024.0 * 1024.0);
+
+  // §4.1 / §5.1.1 — arrival processes.
+  auto req = analyze_arrivals(dataset.requests_per_second(), options.arrivals);
+  if (!req) return req.error();
+  model.request_arrivals = std::move(req).value();
+
+  // Session series follow the paper's §5.1.1 flow: process only when KPSS
+  // rejects (NASA-Pub2's sparse session series is stationary as-is, and
+  // seasonal-differencing a near-white sparse series over-differences it).
+  auto session_opts = options.arrivals;
+  session_opts.stationary.only_if_nonstationary = true;
+  auto sess = analyze_arrivals(dataset.sessions_per_second(), session_opts);
+  if (!sess) return sess.error();
+  model.session_arrivals = std::move(sess).value();
+
+  // §4.2 / §5.1.2 — Poisson batteries on the Low/Med/High intervals.
+  const auto request_times = dataset.request_times();
+  const auto session_times = dataset.session_start_times();
+  for (weblog::Load load :
+       {weblog::Load::kLow, weblog::Load::kMed, weblog::Load::kHigh}) {
+    auto interval = dataset.pick(load, options.interval_seconds);
+    if (!interval) continue;
+    if (options.run_poisson) {
+      model.request_poisson[load] =
+          run_battery(request_times, interval.value(), options, rng);
+      model.session_poisson[load] =
+          run_battery(session_times, interval.value(), options, rng);
+    }
+    // §5.2 — per-interval tails.
+    model.interval_tails[load] = run_tails(dataset, interval.value(), options, rng);
+  }
+
+  // Week-level tails.
+  weblog::Interval week;
+  week.t0 = dataset.t0();
+  week.t1 = dataset.t1();
+  week.request_count = model.total_requests;
+  week.session_count = model.total_sessions;
+  model.week_tails = run_tails(dataset, week, options, rng);
+  return model;
+}
+
+namespace {
+
+std::string h_summary(const lrd::HurstSuiteResult& suite) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& e : suite.estimates) {
+    if (!first) os << "  ";
+    first = false;
+    os << to_string(e.method) << "=" << support::format_sig(e.h, 3);
+  }
+  return os.str();
+}
+
+std::string poisson_verdict(const PoissonBattery& battery) {
+  if (!battery.available) return "NA (too few events)";
+  if (!battery.any_ran()) return "NA (intervals too sparse)";
+  return battery.poisson_all() ? "consistent with Poisson" : "NOT Poisson";
+}
+
+void tails_row(support::Table& table, const std::string& label,
+               const IntervalTails& tails) {
+  table.add_row({label, std::to_string(tails.sessions),
+                 tails.length.hill_cell(), tails.length.llcd_cell(),
+                 tails.length.r2_cell(), tails.requests.hill_cell(),
+                 tails.requests.llcd_cell(), tails.requests.r2_cell(),
+                 tails.bytes.hill_cell(), tails.bytes.llcd_cell(),
+                 tails.bytes.r2_cell()});
+}
+
+}  // namespace
+
+std::string render_report(const FullWebModel& model) {
+  std::ostringstream os;
+  os << "FULL-Web model: " << model.server << "\n"
+     << "  requests: " << support::with_commas(static_cast<long long>(model.total_requests))
+     << "   sessions: " << support::with_commas(static_cast<long long>(model.total_sessions))
+     << "   MB transferred: " << support::format_sig(model.mb_transferred, 5) << "\n\n";
+
+  os << "Request arrival process (per second):\n"
+     << "  raw KPSS stat " << support::format_sig(model.request_arrivals.stationarity.kpss_raw.statistic, 4)
+     << (model.request_arrivals.stationarity.was_stationary ? " (stationary)"
+                                                            : " (NON-stationary)")
+     << "; period " << model.request_arrivals.stationarity.period << " s\n"
+     << "  H (raw):        " << h_summary(model.request_arrivals.hurst_raw) << "\n"
+     << "  H (stationary): " << h_summary(model.request_arrivals.hurst_stationary)
+     << "\n  verdict: "
+     << (model.request_arrivals.long_range_dependent() ? "long-range dependent"
+                                                       : "no consistent LRD evidence")
+     << "\n\n";
+
+  os << "Session arrival process (initiated per second):\n"
+     << "  raw KPSS stat " << support::format_sig(model.session_arrivals.stationarity.kpss_raw.statistic, 4)
+     << (model.session_arrivals.stationarity.was_stationary ? " (stationary)"
+                                                            : " (NON-stationary)")
+     << "\n  H (raw):        " << h_summary(model.session_arrivals.hurst_raw) << "\n"
+     << "  H (stationary): " << h_summary(model.session_arrivals.hurst_stationary)
+     << "\n  verdict: "
+     << (model.session_arrivals.long_range_dependent() ? "long-range dependent"
+                                                       : "no consistent LRD evidence")
+     << "\n\n";
+
+  os << "Poisson-arrival tests (piecewise 1h / 10min rates):\n";
+  for (const auto& [load, battery] : model.request_poisson) {
+    os << "  requests, " << to_string(load) << ": " << poisson_verdict(battery) << "\n";
+  }
+  for (const auto& [load, battery] : model.session_poisson) {
+    os << "  sessions, " << to_string(load) << ": " << poisson_verdict(battery) << "\n";
+  }
+  os << "\nIntra-session tail indices (Hill / LLCD / R^2):\n";
+  support::Table table({"interval", "sessions", "len aHill", "len aLLCD", "len R2",
+                        "req aHill", "req aLLCD", "req R2", "byte aHill",
+                        "byte aLLCD", "byte R2"});
+  for (const auto& [load, tails] : model.interval_tails)
+    tails_row(table, to_string(load), tails);
+  tails_row(table, "Week", model.week_tails);
+  os << table.to_string();
+  return os.str();
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,178 @@
+#include "core/interarrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace fullweb::core {
+
+using support::Error;
+using support::Result;
+
+std::string to_string(InterArrivalModel model) {
+  switch (model) {
+    case InterArrivalModel::kExponential: return "exponential";
+    case InterArrivalModel::kPareto: return "Pareto";
+    case InterArrivalModel::kLognormal: return "lognormal";
+    case InterArrivalModel::kWeibull: return "Weibull";
+  }
+  return "?";
+}
+
+bool InterArrivalAnalysis::exponential_adequate() const noexcept {
+  if (fits.empty() || fits.front().model != InterArrivalModel::kExponential)
+    return false;
+  return ad_exponential.has_value() && ad_exponential->exponential_at_5pct();
+}
+
+namespace {
+
+/// Weibull MLE shape via bisection on the profile score
+///   g(c) = sum x^c ln x / sum x^c - 1/c - mean(ln x),
+/// which is strictly increasing in c.
+double weibull_shape_mle(std::span<const double> xs) {
+  double mean_log = 0.0;
+  for (double x : xs) mean_log += std::log(x);
+  mean_log /= static_cast<double>(xs.size());
+
+  auto score = [&](double c) {
+    double s = 0.0, sl = 0.0;
+    for (double x : xs) {
+      const double xc = std::pow(x, c);
+      s += xc;
+      sl += xc * std::log(x);
+    }
+    return sl / s - 1.0 / c - mean_log;
+  };
+
+  double lo = 0.05, hi = 20.0;
+  if (score(lo) > 0.0) return lo;
+  if (score(hi) < 0.0) return hi;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (score(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Result<InterArrivalAnalysis> analyze_interarrivals(
+    std::span<const double> times_or_gaps, bool already_gaps,
+    const InterArrivalOptions& options) {
+  // Build the positive gap sample.
+  std::vector<double> gaps;
+  if (already_gaps) {
+    gaps.assign(times_or_gaps.begin(), times_or_gaps.end());
+  } else {
+    std::vector<double> sorted(times_or_gaps.begin(), times_or_gaps.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+      gaps.push_back(sorted[i] - sorted[i - 1]);
+  }
+  std::vector<double> xs;
+  xs.reserve(gaps.size());
+  for (double g : gaps) {
+    if (g < 0.0)
+      return Error::invalid_argument("analyze_interarrivals: negative gap");
+    if (g == 0.0) {
+      if (options.zero_gap_floor > 0.0) xs.push_back(options.zero_gap_floor);
+    } else {
+      xs.push_back(g);
+    }
+  }
+  if (xs.size() < options.min_samples)
+    return Error::insufficient_data("analyze_interarrivals: too few gaps");
+
+  InterArrivalAnalysis out;
+  out.n = xs.size();
+  out.mean = stats::mean(xs);
+  out.cv = out.mean > 0.0 ? stats::stddev(xs) / out.mean : 0.0;
+
+  const auto n = static_cast<double>(xs.size());
+  double sum = 0.0, sum_log = 0.0;
+  double min_x = xs.front();
+  for (double x : xs) {
+    sum += x;
+    sum_log += std::log(x);
+    min_x = std::min(min_x, x);
+  }
+
+  // --- exponential --------------------------------------------------------
+  {
+    const double lambda = n / sum;
+    ModelFit fit;
+    fit.model = InterArrivalModel::kExponential;
+    fit.param1 = lambda;
+    fit.log_likelihood = n * std::log(lambda) - lambda * sum;
+    fit.aic = 2.0 * 1.0 - 2.0 * fit.log_likelihood;
+    out.fits.push_back(fit);
+  }
+  // --- Pareto (location = sample minimum) ---------------------------------
+  {
+    const double k = min_x;
+    const double denom = sum_log - n * std::log(k);
+    if (denom > 0.0) {
+      const double alpha = n / denom;
+      ModelFit fit;
+      fit.model = InterArrivalModel::kPareto;
+      fit.param1 = alpha;
+      fit.param2 = k;
+      fit.log_likelihood =
+          n * std::log(alpha) + n * alpha * std::log(k) - (alpha + 1.0) * sum_log;
+      fit.aic = 2.0 * 2.0 - 2.0 * fit.log_likelihood;
+      out.fits.push_back(fit);
+    }
+  }
+  // --- lognormal -----------------------------------------------------------
+  {
+    const double mu = sum_log / n;
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = std::log(x) - mu;
+      ss += d * d;
+    }
+    const double sigma = std::sqrt(ss / n);
+    if (sigma > 0.0) {
+      ModelFit fit;
+      fit.model = InterArrivalModel::kLognormal;
+      fit.param1 = mu;
+      fit.param2 = sigma;
+      fit.log_likelihood = -sum_log - n * std::log(sigma) -
+                           0.5 * n * std::log(2.0 * std::numbers::pi) - 0.5 * n;
+      fit.aic = 2.0 * 2.0 - 2.0 * fit.log_likelihood;
+      out.fits.push_back(fit);
+    }
+  }
+  // --- Weibull --------------------------------------------------------------
+  {
+    const double shape = weibull_shape_mle(xs);
+    double sc = 0.0;
+    for (double x : xs) sc += std::pow(x, shape);
+    const double scale = std::pow(sc / n, 1.0 / shape);
+    double ll = n * std::log(shape) - n * shape * std::log(scale) +
+                (shape - 1.0) * sum_log;
+    for (double x : xs) ll -= std::pow(x / scale, shape);
+    ModelFit fit;
+    fit.model = InterArrivalModel::kWeibull;
+    fit.param1 = shape;
+    fit.param2 = scale;
+    fit.log_likelihood = ll;
+    fit.aic = 2.0 * 2.0 - 2.0 * ll;
+    out.fits.push_back(fit);
+  }
+
+  std::sort(out.fits.begin(), out.fits.end(),
+            [](const ModelFit& a, const ModelFit& b) { return a.aic < b.aic; });
+  const double best_aic = out.fits.front().aic;
+  for (auto& f : out.fits) f.delta_aic = f.aic - best_aic;
+
+  if (auto ad = stats::anderson_darling_exponential(xs); ad.ok())
+    out.ad_exponential = ad.value();
+  return out;
+}
+
+}  // namespace fullweb::core

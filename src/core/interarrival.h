@@ -1,0 +1,63 @@
+// Request inter-arrival time analysis (§1's second request-based
+// characteristic).
+//
+// Fits the four classical candidate models — exponential (the Poisson
+// hypothesis), Pareto, lognormal, and Weibull — to an inter-arrival sample
+// by maximum likelihood and ranks them by AIC, alongside the
+// Anderson-Darling exponentiality verdict. Under LRD traffic the
+// exponential consistently loses to the heavier alternatives; this module
+// lets log_audit say so quantitatively for any parsed trace.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/anderson_darling.h"
+#include "support/result.h"
+
+namespace fullweb::core {
+
+enum class InterArrivalModel { kExponential, kPareto, kLognormal, kWeibull };
+
+[[nodiscard]] std::string to_string(InterArrivalModel model);
+
+struct ModelFit {
+  InterArrivalModel model = InterArrivalModel::kExponential;
+  double param1 = 0.0;       ///< lambda | alpha | mu     | shape
+  double param2 = 0.0;       ///< -      | k     | sigma  | scale
+  double log_likelihood = 0.0;
+  double aic = 0.0;          ///< 2k - 2 lnL (k = #parameters)
+  double delta_aic = 0.0;    ///< aic - min(aic); 0 for the winner
+};
+
+struct InterArrivalAnalysis {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double cv = 0.0;  ///< coefficient of variation; 1 for exponential
+  std::vector<ModelFit> fits;            ///< sorted by AIC ascending
+  std::optional<stats::AndersonDarlingResult> ad_exponential;
+
+  [[nodiscard]] const ModelFit* best() const noexcept {
+    return fits.empty() ? nullptr : &fits.front();
+  }
+  /// True when the exponential model both wins the AIC ranking and passes
+  /// the A² test — the arrivals look locally Poisson.
+  [[nodiscard]] bool exponential_adequate() const noexcept;
+};
+
+struct InterArrivalOptions {
+  std::size_t min_samples = 50;
+  /// Gaps of exactly zero (1-second log granularity collisions) are shifted
+  /// to this floor before fitting; <= 0 drops them instead.
+  double zero_gap_floor = 1e-3;
+};
+
+/// Analyze the gaps of a sorted arrival sequence (or pass pre-computed gaps
+/// with `already_gaps = true`).
+[[nodiscard]] support::Result<InterArrivalAnalysis> analyze_interarrivals(
+    std::span<const double> times_or_gaps, bool already_gaps = false,
+    const InterArrivalOptions& options = {});
+
+}  // namespace fullweb::core

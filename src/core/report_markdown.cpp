@@ -1,0 +1,204 @@
+#include "core/report_markdown.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace fullweb::core {
+
+namespace {
+
+using support::format_sig;
+
+void hurst_table(std::ostringstream& os, const lrd::HurstSuiteResult& raw,
+                 const lrd::HurstSuiteResult& stationary) {
+  os << "| estimator | raw | stationary |\n|---|---|---|\n";
+  for (auto method :
+       {lrd::HurstMethod::kVarianceTime, lrd::HurstMethod::kRoverS,
+        lrd::HurstMethod::kPeriodogram, lrd::HurstMethod::kWhittle,
+        lrd::HurstMethod::kAbryVeitch}) {
+    const auto* r = raw.find(method);
+    const auto* s = stationary.find(method);
+    auto cell = [](const lrd::HurstEstimate* e) {
+      if (e == nullptr) return std::string("–");
+      std::string out = format_sig(e->h, 3);
+      if (e->ci95_halfwidth)
+        out += " ± " + format_sig(*e->ci95_halfwidth, 2);
+      return out;
+    };
+    os << "| " << to_string(method) << " | " << cell(r) << " | " << cell(s)
+       << " |\n";
+  }
+  os << "| **mean** | **" << format_sig(raw.mean_h(), 3) << "** | **"
+     << format_sig(stationary.mean_h(), 3) << "** |\n";
+}
+
+void arrival_section(std::ostringstream& os, const char* title,
+                     const ArrivalAnalysis& analysis,
+                     const MarkdownReportOptions& options) {
+  os << "## " << title << "\n\n";
+  const auto& st = analysis.stationarity;
+  os << "* KPSS (raw): statistic " << format_sig(st.kpss_raw.statistic, 4)
+     << " → " << (st.was_stationary ? "stationary" : "**non-stationary**")
+     << " at 5%\n";
+  if (st.trend_removed)
+    os << "* trend removed: slope " << format_sig(st.trend_slope, 3)
+       << "/sample (relative drift " << format_sig(st.relative_drift, 3)
+       << ")\n";
+  if (st.seasonal_removed)
+    os << "* periodicity removed: period " << st.period
+       << " samples (strength " << format_sig(st.seasonal_strength, 3) << ")\n";
+  os << "* verdict: "
+     << (analysis.long_range_dependent()
+             ? "**long-range dependent** (all stationary estimates in (0.5, 1))"
+             : "no consistent LRD evidence")
+     << "\n\n";
+  hurst_table(os, analysis.hurst_raw, analysis.hurst_stationary);
+  os << '\n';
+
+  if (options.include_aggregation_sweeps && !analysis.whittle_sweep.empty()) {
+    os << "### Aggregated-series estimates (asymptotic self-similarity)\n\n"
+       << "| m | Whittle Ĥ^(m) | 95% CI | Abry-Veitch Ĥ^(m) | 95% CI |\n"
+       << "|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < analysis.whittle_sweep.size(); ++i) {
+      const auto& w = analysis.whittle_sweep[i];
+      os << "| " << w.m << " | " << format_sig(w.estimate.h, 3) << " | ["
+         << format_sig(w.estimate.ci_low(), 3) << ", "
+         << format_sig(w.estimate.ci_high(), 3) << "] | ";
+      if (i < analysis.abry_veitch_sweep.size()) {
+        const auto& a = analysis.abry_veitch_sweep[i];
+        os << format_sig(a.estimate.h, 3) << " | ["
+           << format_sig(a.estimate.ci_low(), 3) << ", "
+           << format_sig(a.estimate.ci_high(), 3) << "] |\n";
+      } else {
+        os << "– | – |\n";
+      }
+    }
+    os << '\n';
+  }
+}
+
+void poisson_section(std::ostringstream& os, const char* title,
+                     const std::map<weblog::Load, PoissonBattery>& batteries,
+                     const MarkdownReportOptions& options) {
+  os << "### " << title << "\n\n";
+  if (batteries.empty()) {
+    os << "_not run_\n\n";
+    return;
+  }
+  os << "| interval | events | verdict |\n|---|---|---|\n";
+  for (const auto& [load, battery] : batteries) {
+    std::string verdict;
+    if (!battery.available) verdict = "NA (too few events)";
+    else if (!battery.any_ran()) verdict = "NA (intervals too sparse)";
+    else verdict = battery.poisson_all() ? "consistent with Poisson"
+                                         : "**NOT Poisson**";
+    os << "| " << to_string(load) << " | "
+       << (battery.available ? std::to_string(battery.interval.request_count)
+                             : std::string("–"))
+       << " | " << verdict << " |\n";
+  }
+  os << '\n';
+  if (options.include_poisson_detail) {
+    os << "<details><summary>per-configuration verdicts</summary>\n\n"
+       << "| interval | config | independent | exponential |\n|---|---|---|---|\n";
+    for (const auto& [load, battery] : batteries) {
+      struct Row {
+        const char* label;
+        const PoissonBattery::Cell* cell;
+      };
+      const Row rows[] = {
+          {"1h / uniform", &battery.hourly_uniform},
+          {"1h / deterministic", &battery.hourly_deterministic},
+          {"10min / uniform", &battery.tenmin_uniform},
+          {"10min / deterministic", &battery.tenmin_deterministic},
+      };
+      for (const auto& row : rows) {
+        os << "| " << to_string(load) << " | " << row.label << " | ";
+        if (!row.cell->ran) {
+          os << "– | – |\n";
+        } else {
+          os << (row.cell->result.independent ? "yes" : "**no**") << " | "
+             << (row.cell->result.exponential ? "yes" : "**no**") << " |\n";
+        }
+      }
+    }
+    os << "\n</details>\n\n";
+  }
+}
+
+void tails_row(std::ostringstream& os, const std::string& label,
+               const IntervalTails& tails) {
+  auto cells = [](const TailAnalysis& t) {
+    return t.hill_cell() + " / " + t.llcd_cell() + " / " + t.r2_cell();
+  };
+  os << "| " << label << " | " << tails.sessions << " | " << cells(tails.length)
+     << " | " << cells(tails.requests) << " | " << cells(tails.bytes) << " |\n";
+}
+
+}  // namespace
+
+std::string render_markdown(const FullWebModel& model,
+                            const MarkdownReportOptions& options) {
+  std::ostringstream os;
+  os << "# FULL-Web workload model — " << model.server << "\n\n";
+  os << "| requests | sessions | MB transferred |\n|---|---|---|\n| "
+     << support::with_commas(static_cast<long long>(model.total_requests))
+     << " | "
+     << support::with_commas(static_cast<long long>(model.total_sessions))
+     << " | " << format_sig(model.mb_transferred, 5) << " |\n\n";
+
+  arrival_section(os, "Request arrival process", model.request_arrivals, options);
+  poisson_section(os, "Poisson tests — requests", model.request_poisson, options);
+
+  arrival_section(os, "Session arrival process", model.session_arrivals, options);
+  poisson_section(os, "Poisson tests — sessions", model.session_poisson, options);
+
+  os << "## Intra-session heavy-tail analysis\n\n"
+     << "Cells are `alpha_Hill / alpha_LLCD / R²`; NS = Hill plot did not "
+        "stabilize, NA = not enough data.\n\n"
+     << "| interval | sessions | length (s) | requests | bytes |\n"
+     << "|---|---|---|---|---|\n";
+  for (const auto& [load, tails] : model.interval_tails)
+    tails_row(os, to_string(load), tails);
+  tails_row(os, "Week", model.week_tails);
+  os << '\n';
+  return os.str();
+}
+
+std::string render_markdown_errors(const ErrorAnalysis& errors) {
+  std::ostringstream os;
+  os << "## Error & reliability analysis\n\n"
+     << "| class | requests |\n|---|---|\n";
+  const char* labels[6] = {"unknown", "1xx", "2xx", "3xx", "4xx", "5xx"};
+  for (int c = 1; c <= 5; ++c)
+    os << "| " << labels[c] << " | " << errors.statuses.by_class[c] << " |\n";
+  os << "\n* request error rate: " << format_sig(100.0 * errors.request_error_rate, 3)
+     << "% (server errors " << format_sig(100.0 * errors.server_error_rate, 3)
+     << "%)\n"
+     << "* session reliability: "
+     << format_sig(100.0 * errors.session_reliability, 4) << "% ("
+     << errors.sessions_with_error << " of " << errors.sessions
+     << " sessions hit an error; " << format_sig(errors.errors_per_bad_session, 3)
+     << " errors per affected session)\n\n";
+  return os.str();
+}
+
+std::string render_markdown_interarrivals(const InterArrivalAnalysis& analysis) {
+  std::ostringstream os;
+  os << "## Request inter-arrival model ranking\n\n"
+     << "n = " << analysis.n << ", mean = " << format_sig(analysis.mean, 4)
+     << " s, cv = " << format_sig(analysis.cv, 3) << "\n\n"
+     << "| model | params | ΔAIC |\n|---|---|---|\n";
+  for (const auto& f : analysis.fits) {
+    os << "| " << to_string(f.model) << " | " << format_sig(f.param1, 4);
+    if (f.model != InterArrivalModel::kExponential)
+      os << ", " << format_sig(f.param2, 4);
+    os << " | " << format_sig(f.delta_aic, 4) << " |\n";
+  }
+  os << "\n* exponential adequate: "
+     << (analysis.exponential_adequate() ? "yes" : "**no**") << "\n\n";
+  return os.str();
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,28 @@
+// Markdown rendering of a fitted FULL-Web model — the shareable artifact of
+// a workload study (drop it in a wiki/PR; the plain-text render_report()
+// remains the terminal-friendly view).
+#pragma once
+
+#include <string>
+
+#include "core/error_analysis.h"
+#include "core/fullweb_model.h"
+#include "core/interarrival.h"
+
+namespace fullweb::core {
+
+struct MarkdownReportOptions {
+  bool include_aggregation_sweeps = true;
+  bool include_poisson_detail = true;  ///< per-configuration verdict matrix
+};
+
+/// Render the model (§4 + §5 structure) as GitHub-flavored Markdown.
+[[nodiscard]] std::string render_markdown(const FullWebModel& model,
+                                          const MarkdownReportOptions& options = {});
+
+/// Optional add-on sections from the companion analyses.
+[[nodiscard]] std::string render_markdown_errors(const ErrorAnalysis& errors);
+[[nodiscard]] std::string render_markdown_interarrivals(
+    const InterArrivalAnalysis& analysis);
+
+}  // namespace fullweb::core

@@ -1,0 +1,57 @@
+#include "core/stationary.h"
+
+#include "timeseries/detrend.h"
+#include "timeseries/seasonal.h"
+
+namespace fullweb::core {
+
+using support::Error;
+using support::Result;
+
+Result<StationaryReport> make_stationary(std::span<const double> xs,
+                                         const StationaryOptions& options) {
+  StationaryReport report;
+
+  auto raw = stats::kpss_test(xs, stats::KpssNull::kLevel, options.kpss_lag);
+  if (!raw) return raw.error();
+  report.kpss_raw = raw.value();
+  report.was_stationary = report.kpss_raw.stationary_at_5pct();
+
+  if (report.was_stationary && options.only_if_nonstationary) {
+    report.series.assign(xs.begin(), xs.end());
+    report.kpss_stationary = report.kpss_raw;
+    return report;
+  }
+
+  // 1. Trend: least-squares estimate, removed (mean level preserved).
+  auto trend = timeseries::detrend_linear(xs, /*keep_mean=*/true);
+  report.trend_removed = true;
+  report.trend_slope = trend.fit.slope;
+  report.relative_drift = trend.relative_drift;
+  std::vector<double> working = std::move(trend.residual);
+
+  // 2. Periodicity: detect via periodogram, remove when the series is long
+  //    enough to resolve it.
+  if (working.size() >= 2 * options.max_period) {
+    auto period = timeseries::detect_period(working, options.min_period,
+                                            options.max_period);
+    if (period.ok()) {
+      report.period = period.value();
+      report.seasonal_strength =
+          timeseries::seasonal_strength(working, report.period);
+      if (options.seasonal_method == SeasonalMethod::kDifference) {
+        working = timeseries::seasonal_difference(working, report.period);
+      } else {
+        working = timeseries::remove_seasonal_means(working, report.period);
+      }
+      report.seasonal_removed = true;
+    }
+  }
+
+  auto post = stats::kpss_test(working, stats::KpssNull::kLevel, options.kpss_lag);
+  if (post.ok()) report.kpss_stationary = post.value();
+  report.series = std::move(working);
+  return report;
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,58 @@
+// The paper's stationarization pipeline (§4.1):
+//   KPSS on the raw series -> least-squares trend removal -> periodogram
+//   periodicity detection -> seasonal differencing -> KPSS re-test.
+//
+// Hurst estimators assume stationarity; skipping this pipeline overestimates
+// long-range dependence (the paper's central methodological point).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/kpss.h"
+#include "support/result.h"
+
+namespace fullweb::core {
+
+enum class SeasonalMethod {
+  kDifference,  ///< Box-Jenkins seasonal differencing (the paper's choice)
+  kMeans,       ///< subtract per-phase means (length-preserving alternative)
+};
+
+struct StationaryOptions {
+  /// Periodicity search range in samples; defaults bracket the 24 h cycle
+  /// for 1-second bins. The series must cover >= 2 cycles of max_period for
+  /// seasonal detection to run at all.
+  std::size_t min_period = 3600;
+  std::size_t max_period = 2 * 86400;
+  SeasonalMethod seasonal_method = SeasonalMethod::kDifference;
+  /// Remove the trend / the seasonal component only when the raw KPSS
+  /// rejects stationarity at 5% (true), or unconditionally (false).
+  bool only_if_nonstationary = true;
+  long kpss_lag = -1;  ///< forwarded to kpss_test; -1 = automatic
+};
+
+struct StationaryReport {
+  stats::KpssResult kpss_raw;
+  bool was_stationary = false;     ///< raw series already passed KPSS
+
+  bool trend_removed = false;
+  double trend_slope = 0.0;        ///< per-sample slope of the removed trend
+  double relative_drift = 0.0;     ///< |trend over window| / mean level
+
+  bool seasonal_removed = false;
+  std::size_t period = 0;          ///< detected period in samples (0 = none)
+  double seasonal_strength = 0.0;  ///< periodogram power fraction at period
+
+  std::optional<stats::KpssResult> kpss_stationary;  ///< after processing
+  std::vector<double> series;      ///< the stationary(ized) series
+};
+
+/// Run the pipeline. The returned series equals the input when the raw
+/// series already passes KPSS and only_if_nonstationary is set.
+[[nodiscard]] support::Result<StationaryReport> make_stationary(
+    std::span<const double> xs, const StationaryOptions& options = {});
+
+}  // namespace fullweb::core

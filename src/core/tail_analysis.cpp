@@ -1,0 +1,51 @@
+#include "core/tail_analysis.h"
+
+#include "support/strings.h"
+
+namespace fullweb::core {
+
+std::string TailAnalysis::hill_cell() const {
+  if (!available || !hill.has_value()) return "NA";
+  if (!hill->stabilized) return "NS";
+  return support::format_sig(hill->alpha, 3);
+}
+
+std::string TailAnalysis::llcd_cell() const {
+  if (!available || !llcd.has_value()) return "NA";
+  return support::format_sig(llcd->alpha, 4);
+}
+
+std::string TailAnalysis::r2_cell() const {
+  if (!available || !llcd.has_value()) return "NA";
+  return support::format_sig(llcd->r_squared, 3);
+}
+
+TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
+                          const TailAnalysisOptions& options) {
+  TailAnalysis out;
+  if (samples.size() < options.min_samples) return out;  // NA
+
+  if (auto fit = tail::llcd_fit(samples, options.llcd); fit.ok()) {
+    out.llcd = fit.value();
+    out.available = true;
+  }
+  if (auto est = tail::hill_estimate(samples, options.hill); est.ok()) {
+    out.hill = est.value();
+    out.available = true;
+  }
+  if (!out.available) return out;
+
+  if (options.run_curvature) {
+    tail::CurvatureOptions copts;
+    copts.replicates = options.curvature_replicates;
+    copts.model = tail::TailModel::kPareto;
+    if (auto c = tail::curvature_test(samples, rng, copts); c.ok())
+      out.curvature_pareto = c.value();
+    copts.model = tail::TailModel::kLognormal;
+    if (auto c = tail::curvature_test(samples, rng, copts); c.ok())
+      out.curvature_lognormal = c.value();
+  }
+  return out;
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,51 @@
+// Intra-session tail analysis (§5.2): LLCD fit + Hill estimate + curvature
+// tests for one sample vector, with the paper's NS/NA verdict encoding.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "support/result.h"
+#include "support/rng.h"
+#include "tail/curvature.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
+
+namespace fullweb::core {
+
+struct TailAnalysisOptions {
+  tail::LlcdOptions llcd;
+  tail::HillOptions hill;
+  bool run_curvature = true;
+  std::size_t curvature_replicates = 199;
+  std::size_t min_samples = 60;  ///< below this, everything is NA
+};
+
+/// One cell group of Tables 2/3/4.
+struct TailAnalysis {
+  /// NA: not enough data to estimate at all (the paper's NASA-Pub2 Low).
+  bool available = false;
+
+  std::optional<tail::LlcdFit> llcd;       ///< alpha_LLCD, sigma, R^2
+  std::optional<tail::HillEstimate> hill;  ///< alpha_Hill; NS if !stabilized
+  std::optional<tail::CurvatureResult> curvature_pareto;
+  std::optional<tail::CurvatureResult> curvature_lognormal;
+
+  /// Table-cell strings: "1.67", "NS", or "NA".
+  [[nodiscard]] std::string hill_cell() const;
+  [[nodiscard]] std::string llcd_cell() const;
+  [[nodiscard]] std::string r2_cell() const;
+
+  /// Heavy-tail verdict under the Pareto model (alpha < 2: infinite
+  /// variance), based on the LLCD estimate when available.
+  [[nodiscard]] bool heavy_tailed() const noexcept {
+    return llcd.has_value() && llcd->alpha < 2.0;
+  }
+};
+
+[[nodiscard]] TailAnalysis analyze_tail(std::span<const double> samples,
+                                        support::Rng& rng,
+                                        const TailAnalysisOptions& options = {});
+
+}  // namespace fullweb::core

@@ -1,0 +1,124 @@
+#include "lrd/dfa.h"
+
+#include <cmath>
+#include <set>
+
+#include "stats/regression.h"
+
+namespace fullweb::lrd {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// Sum of squared residuals of an OLS line over profile[start .. start+n).
+/// Closed-form accumulation (no per-box allocation).
+double box_ssr_linear(std::span<const double> profile, std::size_t start,
+                      std::size_t n) {
+  // Regress y on t = 0..n-1.
+  const double nn = static_cast<double>(n);
+  double sy = 0, sty = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sy += profile[start + i];
+    sty += static_cast<double>(i) * profile[start + i];
+  }
+  const double st = nn * (nn - 1.0) / 2.0;
+  const double stt = nn * (nn - 1.0) * (2.0 * nn - 1.0) / 6.0;
+  const double denom = nn * stt - st * st;
+  if (denom <= 0.0) return 0.0;
+  const double slope = (nn * sty - st * sy) / denom;
+  const double intercept = (sy - slope * st) / nn;
+
+  double ssr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r =
+        profile[start + i] - (intercept + slope * static_cast<double>(i));
+    ssr += r * r;
+  }
+  return ssr;
+}
+
+/// Quadratic-detrended residual sum of squares over one box.
+double box_ssr_quadratic(std::span<const double> profile, std::size_t start,
+                         std::size_t n) {
+  std::vector<double> t(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<double>(i);
+    y[i] = profile[start + i];
+  }
+  const auto fit = stats::quadratic_fit(t, y);
+  double ssr = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = y[i] - (fit.c0 + fit.c1 * t[i] + fit.c2 * t[i] * t[i]);
+    ssr += r * r;
+  }
+  return ssr;
+}
+
+}  // namespace
+
+Result<DfaPlot> dfa_plot(std::span<const double> xs, const DfaOptions& options) {
+  const std::size_t n = xs.size();
+  if (n < options.min_box * options.min_boxes * 2)
+    return Error::insufficient_data("dfa: series too short");
+
+  // Integrated, mean-centered profile.
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  std::vector<double> profile(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += xs[i] - mean;
+    profile[i] = acc;
+  }
+
+  // Log-spaced box sizes.
+  const double lo = static_cast<double>(options.min_box);
+  const double hi = static_cast<double>(n / options.min_boxes);
+  std::set<std::size_t> sizes;
+  for (std::size_t i = 0; i < options.levels; ++i) {
+    const double frac =
+        options.levels > 1
+            ? static_cast<double>(i) / static_cast<double>(options.levels - 1)
+            : 0.0;
+    sizes.insert(
+        static_cast<std::size_t>(std::lround(lo * std::pow(hi / lo, frac))));
+  }
+
+  DfaPlot plot;
+  for (std::size_t box : sizes) {
+    if (box < 4) continue;
+    const std::size_t boxes = n / box;
+    if (boxes < options.min_boxes) continue;
+    double total_ssr = 0.0;
+    for (std::size_t b = 0; b < boxes; ++b) {
+      total_ssr += options.order >= 2 ? box_ssr_quadratic(profile, b * box, box)
+                                      : box_ssr_linear(profile, b * box, box);
+    }
+    const double f =
+        std::sqrt(total_ssr / static_cast<double>(boxes * box));
+    if (!(f > 0.0)) continue;
+    plot.log10_n.push_back(std::log10(static_cast<double>(box)));
+    plot.log10_f.push_back(std::log10(f));
+  }
+  if (plot.log10_n.size() < 3)
+    return Error::numeric("dfa: fewer than 3 usable box sizes");
+  return plot;
+}
+
+Result<HurstEstimate> dfa_hurst(std::span<const double> xs,
+                                const DfaOptions& options) {
+  auto plot = dfa_plot(xs, options);
+  if (!plot) return plot.error();
+  const auto fit = stats::ols(plot.value().log10_n, plot.value().log10_f);
+  HurstEstimate est;
+  est.method = HurstMethod::kDfa;
+  est.h = fit.slope;
+  est.ci95_halfwidth = 1.96 * fit.stderr_slope;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace fullweb::lrd

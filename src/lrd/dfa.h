@@ -1,0 +1,44 @@
+// Detrended fluctuation analysis (DFA) Hurst estimator — an extension
+// beyond the paper's five methods.
+//
+// DFA integrates the series, splits the profile into boxes of size n, fits
+// and removes a least-squares polynomial of degree `order` inside each box,
+// and measures the RMS residual F(n); for LRD series F(n) ~ n^H. DFA(k) is
+// blind to polynomial trends of degree k-1 in the original series (degree k
+// in the profile), so the default DFA(2) is insensitive to the linear
+// trends the paper must remove by hand for the classical estimators — a
+// useful cross-check on the §4.1 methodology
+// (see bench_ablation_stationarity).
+// Reference: Peng et al., Phys. Rev. E 49 (1994).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lrd/hurst.h"
+#include "support/result.h"
+
+namespace fullweb::lrd {
+
+struct DfaOptions {
+  std::size_t min_box = 8;      ///< smallest box size
+  std::size_t min_boxes = 4;    ///< largest box keeps >= this many boxes
+  std::size_t levels = 24;      ///< log-spaced box sizes
+  int order = 2;                ///< per-box detrending polynomial degree
+                                ///< (1 or 2; 2 kills linear series trends)
+};
+
+struct DfaPlot {
+  std::vector<double> log10_n;  ///< box sizes
+  std::vector<double> log10_f;  ///< fluctuation function F(n)
+};
+
+/// The DFA(1) fluctuation plot. Errors on short/degenerate input.
+[[nodiscard]] support::Result<DfaPlot> dfa_plot(std::span<const double> xs,
+                                                const DfaOptions& options = {});
+
+/// H estimate = slope of log F(n) vs log n.
+[[nodiscard]] support::Result<HurstEstimate> dfa_hurst(
+    std::span<const double> xs, const DfaOptions& options = {});
+
+}  // namespace fullweb::lrd

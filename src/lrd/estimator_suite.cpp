@@ -1,0 +1,78 @@
+#include "lrd/estimator_suite.h"
+
+#include "timeseries/series.h"
+
+namespace fullweb::lrd {
+
+double HurstSuiteResult::mean_h() const noexcept {
+  if (estimates.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : estimates) sum += e.h;
+  return sum / static_cast<double>(estimates.size());
+}
+
+bool HurstSuiteResult::all_indicate_lrd() const noexcept {
+  if (estimates.empty()) return false;
+  for (const auto& e : estimates)
+    if (!e.indicates_lrd()) return false;
+  return true;
+}
+
+HurstSuiteResult hurst_suite(std::span<const double> xs,
+                             const HurstSuiteOptions& options) {
+  HurstSuiteResult out;
+  if (auto r = variance_time_hurst(xs, options.variance_time); r.ok())
+    out.estimates.push_back(r.value());
+  if (auto r = rs_hurst(xs, options.rs); r.ok()) out.estimates.push_back(r.value());
+  if (auto r = periodogram_hurst(xs, options.periodogram); r.ok())
+    out.estimates.push_back(r.value());
+  if (options.run_whittle) {
+    if (auto r = whittle_hurst(xs, options.whittle); r.ok())
+      out.estimates.push_back(r.value().estimate);
+  }
+  if (auto r = abry_veitch_hurst(xs, options.abry_veitch); r.ok())
+    out.estimates.push_back(r.value().estimate);
+  return out;
+}
+
+std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
+    std::span<const double> xs, HurstMethod method,
+    std::span<const std::size_t> levels, const HurstSuiteOptions& options) {
+  std::vector<AggregatedHurstPoint> out;
+  for (std::size_t m : levels) {
+    if (m == 0) continue;
+    const auto agg = timeseries::aggregate(xs, m);
+    support::Result<HurstEstimate> est =
+        support::Error::invalid_argument("unsupported aggregation method");
+    switch (method) {
+      case HurstMethod::kWhittle: {
+        auto r = whittle_hurst(agg, options.whittle);
+        est = r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
+                     : support::Result<HurstEstimate>(r.error());
+        break;
+      }
+      case HurstMethod::kAbryVeitch: {
+        auto r = abry_veitch_hurst(agg, options.abry_veitch);
+        est = r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
+                     : support::Result<HurstEstimate>(r.error());
+        break;
+      }
+      case HurstMethod::kVarianceTime:
+        est = variance_time_hurst(agg, options.variance_time);
+        break;
+      case HurstMethod::kRoverS:
+        est = rs_hurst(agg, options.rs);
+        break;
+      case HurstMethod::kPeriodogram:
+        est = periodogram_hurst(agg, options.periodogram);
+        break;
+      case HurstMethod::kDfa:
+        est = dfa_hurst(agg);
+        break;
+    }
+    if (est.ok()) out.push_back({m, est.value()});
+  }
+  return out;
+}
+
+}  // namespace fullweb::lrd

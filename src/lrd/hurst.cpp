@@ -1,0 +1,17 @@
+#include "lrd/hurst.h"
+
+namespace fullweb::lrd {
+
+std::string to_string(HurstMethod method) {
+  switch (method) {
+    case HurstMethod::kVarianceTime: return "Variance";
+    case HurstMethod::kRoverS: return "R/S";
+    case HurstMethod::kPeriodogram: return "Periodogram";
+    case HurstMethod::kWhittle: return "Whittle";
+    case HurstMethod::kAbryVeitch: return "Abry-Veitch";
+    case HurstMethod::kDfa: return "DFA";
+  }
+  return "?";
+}
+
+}  // namespace fullweb::lrd

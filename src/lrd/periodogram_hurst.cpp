@@ -1,0 +1,54 @@
+#include "lrd/periodogram_hurst.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/fft.h"
+#include "stats/periodogram.h"
+#include "stats/regression.h"
+
+namespace fullweb::lrd {
+
+using support::Error;
+using support::Result;
+
+Result<HurstEstimate> periodogram_hurst(std::span<const double> xs,
+                                        const PeriodogramHurstOptions& options) {
+  // Power-of-two truncation keeps the FFT on the radix-2 fast path (see the
+  // same trade-off note in whittle_hurst).
+  std::span<const double> input = xs;
+  if (!stats::is_pow2(input.size()) && input.size() > 1) {
+    std::size_t p = 1;
+    while (p * 2 <= input.size()) p *= 2;
+    input = input.subspan(0, p);
+  }
+  const auto pg = stats::periodogram(input);
+  const auto use = static_cast<std::size_t>(
+      std::floor(options.low_frequency_fraction *
+                 static_cast<double>(pg.frequency.size())));
+  if (use < options.min_ordinates)
+    return Error::insufficient_data(
+        "periodogram_hurst: too few low-frequency ordinates");
+
+  std::vector<double> log_f;
+  std::vector<double> log_i;
+  log_f.reserve(use);
+  log_i.reserve(use);
+  for (std::size_t j = 0; j < use; ++j) {
+    if (!(pg.power[j] > 0.0)) continue;  // exact zeros from degenerate input
+    log_f.push_back(std::log10(pg.frequency[j]));
+    log_i.push_back(std::log10(pg.power[j]));
+  }
+  if (log_f.size() < options.min_ordinates)
+    return Error::numeric("periodogram_hurst: degenerate spectrum");
+
+  const auto fit = stats::ols(log_f, log_i);
+  HurstEstimate est;
+  est.method = HurstMethod::kPeriodogram;
+  est.h = (1.0 - fit.slope) / 2.0;
+  est.ci95_halfwidth = 1.96 * fit.stderr_slope / 2.0;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace fullweb::lrd

@@ -1,0 +1,24 @@
+// Periodogram (GPH-style) Hurst estimator.
+//
+// An LRD process has spectral density f(λ) ~ c |λ|^{1-2H} as λ -> 0, so the
+// slope of log I(λ) on log λ over the lowest frequencies estimates 1 - 2H:
+// H = (1 - slope) / 2. Per Taqqu & Teverovsky only the lowest ~10% of
+// frequencies are used, where the asymptotic form holds.
+#pragma once
+
+#include <span>
+
+#include "lrd/hurst.h"
+#include "support/result.h"
+
+namespace fullweb::lrd {
+
+struct PeriodogramHurstOptions {
+  double low_frequency_fraction = 0.10;  ///< fraction of ordinates used
+  std::size_t min_ordinates = 10;        ///< fail below this many points
+};
+
+[[nodiscard]] support::Result<HurstEstimate> periodogram_hurst(
+    std::span<const double> xs, const PeriodogramHurstOptions& options = {});
+
+}  // namespace fullweb::lrd

@@ -1,0 +1,96 @@
+#include "lrd/rs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/regression.h"
+
+namespace fullweb::lrd {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// R/S statistic of one block; returns 0 when the block is constant
+/// (S == 0), which callers skip.
+double rs_statistic(std::span<const double> block) {
+  const std::size_t n = block.size();
+  double mean = 0.0;
+  for (double x : block) mean += x;
+  mean /= static_cast<double>(n);
+
+  double w = 0.0;
+  double w_min = 0.0;
+  double w_max = 0.0;
+  double ss = 0.0;
+  for (double x : block) {
+    const double d = x - mean;
+    w += d;
+    w_min = std::min(w_min, w);
+    w_max = std::max(w_max, w);
+    ss += d * d;
+  }
+  const double s = std::sqrt(ss / static_cast<double>(n));
+  if (!(s > 0.0)) return 0.0;
+  return (w_max - w_min) / s;
+}
+
+}  // namespace
+
+Result<RsPlot> rs_plot(std::span<const double> xs, const RsOptions& options) {
+  const std::size_t n = xs.size();
+  if (n < options.min_block_size * options.min_blocks)
+    return Error::insufficient_data("rs_hurst: series too short");
+
+  // Log-spaced block sizes between min_block_size and n / min_blocks.
+  const auto lo = static_cast<double>(options.min_block_size);
+  const double hi = static_cast<double>(n / options.min_blocks);
+  std::set<std::size_t> sizes;
+  for (std::size_t i = 0; i < options.levels; ++i) {
+    const double frac = options.levels > 1
+                            ? static_cast<double>(i) /
+                                  static_cast<double>(options.levels - 1)
+                            : 0.0;
+    sizes.insert(static_cast<std::size_t>(
+        std::lround(lo * std::pow(hi / lo, frac))));
+  }
+
+  RsPlot plot;
+  for (std::size_t size : sizes) {
+    if (size < 2) continue;
+    const std::size_t blocks = n / size;
+    if (blocks == 0) continue;
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const double rs = rs_statistic(xs.subspan(b * size, size));
+      if (rs > 0.0) {
+        sum += rs;
+        ++used;
+      }
+    }
+    if (used == 0) continue;
+    plot.log10_n.push_back(std::log10(static_cast<double>(size)));
+    plot.log10_rs.push_back(std::log10(sum / static_cast<double>(used)));
+  }
+  if (plot.log10_n.size() < 3)
+    return Error::numeric("rs_hurst: fewer than 3 usable block sizes");
+  return plot;
+}
+
+Result<HurstEstimate> rs_hurst(std::span<const double> xs, const RsOptions& options) {
+  auto plot = rs_plot(xs, options);
+  if (!plot) return plot.error();
+
+  const auto fit = stats::ols(plot.value().log10_n, plot.value().log10_rs);
+  HurstEstimate est;
+  est.method = HurstMethod::kRoverS;
+  est.h = fit.slope;
+  est.ci95_halfwidth = 1.96 * fit.stderr_slope;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace fullweb::lrd

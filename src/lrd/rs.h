@@ -1,0 +1,36 @@
+// Rescaled-range (R/S) Hurst estimator.
+//
+// For each block size n, the series is cut into non-overlapping blocks; in
+// each block the adjusted range R (max minus min of the centered partial
+// sums) is divided by the block standard deviation S. E[R/S](n) ~ c n^H, so
+// the slope of log(R/S) vs log n estimates H. This is Hurst's original
+// statistic and the paper's second time-domain estimator.
+// Reference: Mandelbrot & Wallis; Taqqu & Teverovsky (1998).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lrd/hurst.h"
+#include "support/result.h"
+
+namespace fullweb::lrd {
+
+struct RsOptions {
+  std::size_t levels = 24;          ///< number of log-spaced block sizes
+  std::size_t min_block_size = 16;  ///< smallest n (R/S is biased below this)
+  std::size_t min_blocks = 4;       ///< largest n keeps >= this many blocks
+};
+
+[[nodiscard]] support::Result<HurstEstimate> rs_hurst(std::span<const double> xs,
+                                                      const RsOptions& options = {});
+
+/// The pox-plot points (log10 n, log10 mean R/S).
+struct RsPlot {
+  std::vector<double> log10_n;
+  std::vector<double> log10_rs;
+};
+[[nodiscard]] support::Result<RsPlot> rs_plot(std::span<const double> xs,
+                                              const RsOptions& options = {});
+
+}  // namespace fullweb::lrd

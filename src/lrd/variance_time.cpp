@@ -1,0 +1,48 @@
+#include "lrd/variance_time.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+#include "timeseries/series.h"
+
+namespace fullweb::lrd {
+
+using support::Error;
+using support::Result;
+
+Result<VarianceTimePlot> variance_time_plot(std::span<const double> xs,
+                                            const VarianceTimeOptions& options) {
+  if (xs.size() < 2 * options.min_blocks)
+    return Error::insufficient_data("variance_time: series too short");
+
+  const auto levels =
+      timeseries::log_spaced_levels(xs.size(), options.levels, options.min_blocks);
+  VarianceTimePlot plot;
+  for (std::size_t m : levels) {
+    const auto agg = timeseries::aggregate(xs, m);
+    const double v = stats::variance_population(agg);
+    if (!(v > 0.0)) continue;  // constant at this level; skip the point
+    plot.log10_m.push_back(std::log10(static_cast<double>(m)));
+    plot.log10_var.push_back(std::log10(v));
+  }
+  if (plot.log10_m.size() < 3)
+    return Error::numeric("variance_time: fewer than 3 usable aggregation levels");
+  return plot;
+}
+
+Result<HurstEstimate> variance_time_hurst(std::span<const double> xs,
+                                          const VarianceTimeOptions& options) {
+  auto plot = variance_time_plot(xs, options);
+  if (!plot) return plot.error();
+
+  const auto fit = stats::ols(plot.value().log10_m, plot.value().log10_var);
+  HurstEstimate est;
+  est.method = HurstMethod::kVarianceTime;
+  est.h = 1.0 + fit.slope / 2.0;
+  est.ci95_halfwidth = 1.96 * fit.stderr_slope / 2.0;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace fullweb::lrd

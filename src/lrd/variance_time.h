@@ -1,0 +1,37 @@
+// Variance-time Hurst estimator.
+//
+// For a self-similar process, Var(X^(m)) ~ sigma^2 m^{2H-2}; the estimator
+// aggregates the series at log-spaced levels m, regresses
+// log Var(X^(m)) on log m, and reads H = 1 + slope/2 off the fitted slope
+// (slope = 2H - 2, i.e. -beta in the paper's notation).
+// Reference: Taqqu & Teverovsky (1998), §3.1 of the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lrd/hurst.h"
+#include "support/result.h"
+
+namespace fullweb::lrd {
+
+struct VarianceTimeOptions {
+  std::size_t levels = 24;      ///< number of log-spaced aggregation levels
+  std::size_t min_blocks = 32;  ///< keep >= this many blocks at the top level
+};
+
+/// Estimate H. Errors when the series is too short (< 2*min_blocks samples)
+/// or degenerate (zero variance at the base level).
+[[nodiscard]] support::Result<HurstEstimate> variance_time_hurst(
+    std::span<const double> xs, const VarianceTimeOptions& options = {});
+
+/// The raw variance-time plot points (log10 m, log10 Var(X^(m))) — used by
+/// diagnostics and the figure benches.
+struct VarianceTimePlot {
+  std::vector<double> log10_m;
+  std::vector<double> log10_var;
+};
+[[nodiscard]] support::Result<VarianceTimePlot> variance_time_plot(
+    std::span<const double> xs, const VarianceTimeOptions& options = {});
+
+}  // namespace fullweb::lrd

@@ -1,0 +1,207 @@
+#include "lrd/whittle.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "stats/fft.h"
+#include "stats/periodogram.h"
+
+namespace fullweb::lrd {
+
+using support::Error;
+using support::Result;
+
+double fgn_spectral_density(double lambda, double hurst) noexcept {
+  // f*(l; H) = sin(pi H) Gamma(2H+1) (1 - cos l) [ |l|^{-2H-1} + B(l, H) ]
+  // with B approximated by Paxson's 3-term sum plus tail correction.
+  const double d = -(2.0 * hurst + 1.0);
+  const double dprime = -2.0 * hurst;
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  double b = 0.0;
+  for (int j = 1; j <= 3; ++j) {
+    const double a_j = two_pi * j + lambda;
+    const double b_j = two_pi * j - lambda;
+    b += std::pow(a_j, d) + std::pow(b_j, d);
+  }
+  const double a3 = two_pi * 3.0 + lambda;
+  const double b3 = two_pi * 3.0 - lambda;
+  const double a4 = two_pi * 4.0 + lambda;
+  const double b4 = two_pi * 4.0 - lambda;
+  b += (std::pow(a3, dprime) + std::pow(b3, dprime) + std::pow(a4, dprime) +
+        std::pow(b4, dprime)) /
+       (8.0 * hurst * std::numbers::pi);
+
+  // Normalization: divide by pi so that the density of UNIT-variance fGn
+  // integrates to gamma(0) = 1 over (-pi, pi], matching our periodogram
+  // convention E[I(lambda)] = f(lambda) — this makes the profiled Whittle
+  // scale sigma^2 equal the marginal variance. (The constant is irrelevant
+  // for H itself.)
+  const double scale = std::sin(std::numbers::pi * hurst) *
+                       std::tgamma(2.0 * hurst + 1.0) / std::numbers::pi;
+  // Numerical care: (1 - cos l) cancels catastrophically below l ~ 1e-8 and
+  // l^{-2H-1} overflows for tiny l, so evaluate via 2 sin^2(l/2) and fold
+  // the singular product into sinc^2(l/2) * l^{1-2H}, which stays finite
+  // all the way down to denormal frequencies.
+  const double half = 0.5 * lambda;
+  const double sin_half = std::sin(half);
+  const double sinc_half = half > 0.0 ? sin_half / half : 1.0;
+  const double singular = 0.5 * sinc_half * sinc_half *
+                          std::pow(std::fabs(lambda), 1.0 - 2.0 * hurst);
+  return scale * (singular + 2.0 * sin_half * sin_half * b);
+}
+
+namespace {
+
+/// Per-frequency invariants of the fGn density, precomputed once so each
+/// objective evaluation is pure exp()/multiply work. With
+///   f*(l; H) = s(H) (1 - cos l) [ e^{d log l} + sum_i e^{d log a_i}
+///              + e^{d log b_i} + corr(H) ],
+/// only the exponents depend on H.
+struct FrequencyTerms {
+  double power = 0.0;       ///< periodogram ordinate I(lambda)
+  double singular_base = 0.0;  ///< 0.5 sinc^2(l/2); pairs with l^{1-2H}
+  double two_sin2 = 0.0;    ///< 2 sin^2(l/2) = 1 - cos l, stable form
+  double log_lambda = 0.0;
+  double log_a[3];          ///< log(2 pi j + lambda), j = 1..3
+  double log_b[3];          ///< log(2 pi j - lambda)
+  double log_a4 = 0.0;      ///< for the Euler-Maclaurin correction
+  double log_b4 = 0.0;
+};
+
+std::vector<FrequencyTerms> precompute_terms(const stats::Periodogram& pg,
+                                             std::size_t max_frequencies) {
+  const std::size_t m = pg.frequency.size();
+  const std::size_t stride =
+      max_frequencies == 0 ? 1 : std::max<std::size_t>(1, m / max_frequencies);
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  std::vector<FrequencyTerms> terms;
+  terms.reserve(m / stride + 1);
+  for (std::size_t j = stride - 1; j < m; j += stride) {
+    FrequencyTerms t;
+    const double lambda = pg.frequency[j];
+    t.power = pg.power[j];
+    const double half = 0.5 * lambda;
+    const double sin_half = std::sin(half);
+    const double sinc_half = sin_half / half;
+    t.singular_base = 0.5 * sinc_half * sinc_half;
+    t.two_sin2 = 2.0 * sin_half * sin_half;
+    t.log_lambda = std::log(lambda);
+    for (int i = 0; i < 3; ++i) {
+      t.log_a[i] = std::log(two_pi * (i + 1) + lambda);
+      t.log_b[i] = std::log(two_pi * (i + 1) - lambda);
+    }
+    t.log_a4 = std::log(two_pi * 4.0 + lambda);
+    t.log_b4 = std::log(two_pi * 4.0 - lambda);
+    terms.push_back(t);
+  }
+  return terms;
+}
+
+/// Profiled Whittle objective Q(H); also yields the profiled scale.
+double whittle_objective(const std::vector<FrequencyTerms>& terms, double hurst,
+                         double* sigma2_out) {
+  const double d = -(2.0 * hurst + 1.0);
+  const double dprime = -2.0 * hurst;
+  const double corr_scale = 1.0 / (8.0 * hurst * std::numbers::pi);
+  const double scale = std::sin(std::numbers::pi * hurst) *
+                       std::tgamma(2.0 * hurst + 1.0) / std::numbers::pi;
+
+  double sum_ratio = 0.0;
+  double sum_logf = 0.0;
+  for (const auto& t : terms) {
+    double b = 0.0;
+    for (int i = 0; i < 3; ++i)
+      b += std::exp(d * t.log_a[i]) + std::exp(d * t.log_b[i]);
+    b += corr_scale *
+         (std::exp(dprime * t.log_a[2]) + std::exp(dprime * t.log_b[2]) +
+          std::exp(dprime * t.log_a4) + std::exp(dprime * t.log_b4));
+    const double f =
+        scale * (t.singular_base * std::exp((d + 2.0) * t.log_lambda) +
+                 t.two_sin2 * b);
+    sum_ratio += t.power / f;
+    sum_logf += std::log(f);
+  }
+  const auto mm = static_cast<double>(terms.size());
+  const double sigma2 = sum_ratio / mm;
+  if (sigma2_out != nullptr) *sigma2_out = sigma2;
+  return std::log(sigma2) + sum_logf / mm;
+}
+
+}  // namespace
+
+Result<WhittleResult> whittle_hurst(std::span<const double> xs,
+                                    const WhittleOptions& options) {
+  if (xs.size() < options.min_samples)
+    return Error::insufficient_data("whittle_hurst: series too short");
+
+  // Truncate to the largest power-of-two length: keeps the periodogram on
+  // the radix-2 FFT fast path (Bluestein on week-length series costs ~5x)
+  // at the price of discarding at most half — in practice < 15% — of the
+  // newest samples.
+  std::span<const double> input = xs;
+  if (!stats::is_pow2(input.size())) {
+    std::size_t p = 1;
+    while (p * 2 <= input.size()) p *= 2;
+    input = input.subspan(0, p);
+  }
+  const auto pg = stats::periodogram(input);
+  if (pg.frequency.size() < 16)
+    return Error::insufficient_data("whittle_hurst: too few frequencies");
+  for (double p : pg.power) {
+    if (!(p >= 0.0)) return Error::numeric("whittle_hurst: invalid periodogram");
+  }
+  const auto terms = precompute_terms(pg, options.max_frequencies);
+  const std::size_t m = terms.size();
+
+  // Golden-section minimization of Q(H) on [h_min, h_max]. Q is smooth and,
+  // for fGn-like spectra, unimodal in practice over (0, 1).
+  constexpr double kGolden = 0.6180339887498949;
+  double a = options.h_min;
+  double b = options.h_max;
+  double x1 = b - kGolden * (b - a);
+  double x2 = a + kGolden * (b - a);
+  double f1 = whittle_objective(terms, x1, nullptr);
+  double f2 = whittle_objective(terms, x2, nullptr);
+  while (b - a > options.tolerance) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = whittle_objective(terms, x1, nullptr);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = whittle_objective(terms, x2, nullptr);
+    }
+  }
+  const double h_hat = 0.5 * (a + b);
+
+  WhittleResult result;
+  result.objective = whittle_objective(terms, h_hat, &result.sigma2);
+
+  // Observed information of the concentrated likelihood: -l(H) = (m/2) Q(H)
+  // + const, so Var(H) ~= 2 / (m Q''(H)). Central second difference.
+  const double eps = 1e-3;
+  const double h_lo = std::max(options.h_min, h_hat - eps);
+  const double h_hi = std::min(options.h_max, h_hat + eps);
+  const double q_lo = whittle_objective(terms, h_lo, nullptr);
+  const double q_hi = whittle_objective(terms, h_hi, nullptr);
+  const double half = 0.5 * (h_hi - h_lo);
+  const double q2 = (q_lo - 2.0 * result.objective + q_hi) / (half * half);
+
+  result.estimate.method = HurstMethod::kWhittle;
+  result.estimate.h = h_hat;
+  if (q2 > 0.0) {
+    const double var = 2.0 / (static_cast<double>(m) * q2);
+    result.estimate.ci95_halfwidth = 1.96 * std::sqrt(var);
+  }
+  return result;
+}
+
+}  // namespace fullweb::lrd

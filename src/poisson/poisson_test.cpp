@@ -1,0 +1,130 @@
+#include "poisson/poisson_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/acf.h"
+#include "stats/anderson_darling.h"
+
+namespace fullweb::poisson {
+
+using support::Error;
+using support::Result;
+
+std::vector<double> spread_subsecond(std::span<const double> times, SpreadMode mode,
+                                     double granularity, support::Rng& rng) {
+  std::vector<double> out(times.begin(), times.end());
+  std::sort(out.begin(), out.end());
+  if (mode == SpreadMode::kNone || out.empty()) return out;
+
+  // Walk runs of equal (granularity-quantized) timestamps.
+  std::size_t run_start = 0;
+  auto bucket = [granularity](double t) { return std::floor(t / granularity); };
+  for (std::size_t i = 1; i <= out.size(); ++i) {
+    if (i < out.size() && bucket(out[i]) == bucket(out[run_start])) continue;
+    const std::size_t run_len = i - run_start;
+    const double base = bucket(out[run_start]) * granularity;
+    if (mode == SpreadMode::kUniform) {
+      for (std::size_t j = run_start; j < i; ++j)
+        out[j] = base + granularity * rng.uniform();
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(run_start),
+                out.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {  // deterministic: evenly spread over the granule
+      for (std::size_t j = run_start; j < i; ++j) {
+        const auto pos = static_cast<double>(j - run_start);
+        out[j] = base + granularity * (pos + 0.5) / static_cast<double>(run_len);
+      }
+    }
+    run_start = i;
+  }
+  return out;
+}
+
+Result<PoissonTestResult> test_poisson_arrivals(std::span<const double> event_times,
+                                                double t0, double t1,
+                                                const PoissonTestOptions& options,
+                                                support::Rng& rng) {
+  if (!(t1 > t0))
+    return Error::invalid_argument("test_poisson_arrivals: empty window");
+  if (!(options.interval_seconds > 0.0))
+    return Error::invalid_argument("test_poisson_arrivals: bad interval length");
+
+  // Select, spread, and sort the arrivals inside the window.
+  std::vector<double> in_window;
+  in_window.reserve(event_times.size());
+  for (double t : event_times)
+    if (t >= t0 && t < t1) in_window.push_back(t);
+  const std::vector<double> arrivals =
+      spread_subsecond(in_window, options.spread, options.timestamp_granularity, rng);
+
+  PoissonTestResult result;
+  const auto n_intervals = static_cast<std::size_t>(
+      std::ceil((t1 - t0) / options.interval_seconds));
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    const double lo = t0 + static_cast<double>(i) * options.interval_seconds;
+    const double hi = std::min(t1, lo + options.interval_seconds);
+
+    IntervalDiagnostics diag;
+    diag.start = lo;
+
+    // Collect inter-arrival times strictly inside [lo, hi).
+    std::vector<double> gaps;
+    std::size_t first = cursor;
+    while (first < arrivals.size() && arrivals[first] < lo) ++first;
+    std::size_t last = first;
+    while (last < arrivals.size() && arrivals[last] < hi) ++last;
+    cursor = last;
+    diag.events = last - first;
+    if (diag.events >= 2) {
+      gaps.reserve(diag.events - 1);
+      for (std::size_t j = first + 1; j < last; ++j)
+        gaps.push_back(arrivals[j] - arrivals[j - 1]);
+    }
+
+    if (diag.events >= options.min_events_per_interval && gaps.size() >= 5) {
+      diag.usable = true;
+      diag.rho1 = stats::autocorrelation_at(gaps, 1);
+      diag.rho_threshold = 1.96 / std::sqrt(static_cast<double>(gaps.size()));
+      diag.rho_pass = std::fabs(diag.rho1) < diag.rho_threshold;
+      if (auto ad = stats::anderson_darling_exponential(gaps); ad.ok()) {
+        diag.ad_modified = ad.value().modified;
+        diag.ad_pass = ad.value().exponential_at_5pct();
+      } else {
+        diag.usable = false;  // degenerate gaps (all zero) — skip interval
+      }
+    }
+    result.intervals.push_back(diag);
+  }
+
+  std::size_t usable = 0;
+  std::size_t rho_passed = 0;
+  std::size_t rho_positive = 0;
+  std::size_t ad_passed = 0;
+  for (const auto& d : result.intervals) {
+    if (!d.usable) continue;
+    ++usable;
+    if (d.rho_pass) ++rho_passed;
+    if (d.rho1 > 0.0) ++rho_positive;
+    if (d.ad_pass) ++ad_passed;
+  }
+  result.usable_intervals = usable;
+  if (usable < 2)
+    return Error::insufficient_data(
+        "test_poisson_arrivals: fewer than 2 sub-intervals with enough events");
+
+  result.independence_meta =
+      stats::binomial_count_test(usable, rho_passed, 0.95, options.independence_level);
+  result.sign_meta = stats::sign_test(usable, rho_positive, options.sign_level);
+  result.exponential_meta =
+      stats::binomial_count_test(usable, ad_passed, 0.95, options.exponential_level);
+
+  result.independent = !result.independence_meta.rejected &&
+                       !result.sign_meta.significant_positive &&
+                       !result.sign_meta.significant_negative;
+  result.exponential = !result.exponential_meta.rejected;
+  return result;
+}
+
+}  // namespace fullweb::poisson

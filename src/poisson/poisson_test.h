@@ -1,0 +1,81 @@
+// Poisson-arrival test battery (Paxson & Floyd 1995, as applied in §4.2).
+//
+// A homogeneous Poisson process has (a) independent and (b) exponentially
+// distributed inter-arrival times. Because Web-server rates drift, the paper
+// tests a *piecewise* Poisson model: a 4-hour window is cut into fixed-rate
+// sub-intervals (1 hour or 10 minutes); each sub-interval is tested for
+// lag-1-independent and exponential inter-arrivals; the per-interval
+// verdicts are aggregated with binomial meta-tests.
+//
+// Log timestamps have 1-second granularity, so events sharing a timestamp
+// are first spread across their second — uniformly at random or evenly
+// (deterministically); the paper shows the conclusion is insensitive to
+// this choice and we expose both (plus "none" for already-continuous data).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/binomial.h"
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace fullweb::poisson {
+
+enum class SpreadMode {
+  kNone,           ///< timestamps are already continuous
+  kUniform,        ///< i.i.d. uniform offsets within the second, then sorted
+  kDeterministic,  ///< events evenly spaced across their second
+};
+
+struct PoissonTestOptions {
+  double interval_seconds = 3600.0;       ///< sub-interval length (1h / 10min)
+  std::size_t min_events_per_interval = 30;
+  SpreadMode spread = SpreadMode::kUniform;
+  double timestamp_granularity = 1.0;     ///< log timestamp resolution (s)
+  double independence_level = 0.05;       ///< meta-test levels, per the paper
+  double sign_level = 0.025;
+  double exponential_level = 0.05;
+};
+
+/// Per-sub-interval diagnostics.
+struct IntervalDiagnostics {
+  double start = 0.0;
+  std::size_t events = 0;
+  double rho1 = 0.0;           ///< lag-1 autocorrelation of inter-arrivals
+  double rho_threshold = 0.0;  ///< 1.96 / sqrt(n)
+  bool rho_pass = false;       ///< |rho1| < threshold
+  double ad_modified = 0.0;    ///< A^2 (1 + 0.6/n)
+  bool ad_pass = false;        ///< < 1.341
+  bool usable = false;         ///< had >= min_events_per_interval events
+};
+
+struct PoissonTestResult {
+  std::vector<IntervalDiagnostics> intervals;
+  std::size_t usable_intervals = 0;
+
+  stats::BinomialCountTest independence_meta;   ///< S ~ B(m, 0.95)
+  stats::SignTest sign_meta;                    ///< counts of rho signs
+  stats::BinomialCountTest exponential_meta;    ///< Z ~ B(m, 0.95)
+
+  bool independent = false;    ///< meta-verdict: not rejected
+  bool exponential = false;    ///< meta-verdict: not rejected
+  /// The headline verdict: indistinguishable from piecewise Poisson.
+  [[nodiscard]] bool poisson() const noexcept { return independent && exponential; }
+};
+
+/// Spread same-second events across their second (helper, exposed for tests).
+/// Input need not be sorted; output is sorted ascending.
+[[nodiscard]] std::vector<double> spread_subsecond(std::span<const double> times,
+                                                   SpreadMode mode,
+                                                   double granularity,
+                                                   support::Rng& rng);
+
+/// Run the battery on arrivals within [t0, t1). Errors when fewer than 2
+/// sub-intervals have enough events (the paper's NASA-Pub2 case at session
+/// level: "not sufficient to conduct the test").
+[[nodiscard]] support::Result<PoissonTestResult> test_poisson_arrivals(
+    std::span<const double> event_times, double t0, double t1,
+    const PoissonTestOptions& options, support::Rng& rng);
+
+}  // namespace fullweb::poisson

@@ -1,0 +1,111 @@
+#include "queueing/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace fullweb::queueing {
+
+using support::Error;
+using support::Result;
+
+Result<std::vector<SessionRequest>> attribute_requests(
+    std::span<const weblog::Request> requests,
+    std::span<const weblog::Session> sessions) {
+  // Per-client chronological session lists (sessions are sorted by start).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_client;
+  for (std::uint32_t i = 0; i < sessions.size(); ++i)
+    by_client[sessions[i].client].push_back(i);
+
+  std::vector<SessionRequest> out;
+  out.reserve(requests.size());
+  std::unordered_map<std::uint32_t, std::size_t> cursor;
+  double prev_time = requests.empty() ? 0.0 : requests.front().time;
+  for (const auto& r : requests) {
+    if (r.time < prev_time)
+      return Error::invalid_argument("attribute_requests: requests not sorted");
+    prev_time = r.time;
+    auto it = by_client.find(r.client);
+    if (it == by_client.end())
+      return Error::invalid_argument(
+          "attribute_requests: request from client with no sessions");
+    const auto& list = it->second;
+    auto& cur = cursor[r.client];
+    while (cur + 1 < list.size() && sessions[list[cur + 1]].start <= r.time)
+      ++cur;
+    const weblog::Session& s = sessions[list[cur]];
+    if (r.time < s.start || r.time > s.end)
+      return Error::invalid_argument(
+          "attribute_requests: request outside its session window");
+    out.push_back({r.time, list[cur]});
+  }
+  return out;
+}
+
+Result<AdmissionOutcome> simulate_admission(
+    std::span<const SessionRequest> requests,
+    std::span<const weblog::Session> sessions, const AdmissionOptions& options,
+    support::Rng& rng) {
+  if (options.capacity_per_second == 0)
+    return Error::invalid_argument("simulate_admission: zero capacity");
+
+  std::vector<bool> aborted(sessions.size(), false);
+  std::vector<bool> admitted(sessions.size(), false);
+
+  AdmissionOutcome out;
+  out.sessions = sessions.size();
+
+  std::size_t second_load = 0;
+  double current_second = -std::numeric_limits<double>::infinity();
+  for (const auto& r : requests) {
+    if (r.session >= sessions.size())
+      return Error::invalid_argument("simulate_admission: bad session index");
+    const double sec = std::floor(r.time);
+    if (sec != current_second) {
+      current_second = sec;
+      second_load = 0;
+    }
+    if (aborted[r.session]) continue;
+
+    const bool overloaded = second_load >= options.capacity_per_second;
+    if (overloaded) {
+      const bool reject =
+          options.policy == AdmissionPolicy::kSessionBased
+              ? !admitted[r.session]  // only new sessions are turned away
+              : rng.uniform() < options.drop_probability;
+      if (reject) {
+        aborted[r.session] = true;
+        ++out.requests_rejected;
+        continue;
+      }
+    }
+    admitted[r.session] = true;
+    ++out.requests_served;
+    ++second_load;
+  }
+
+  // Completion accounting, including the protected longest-decile metric.
+  std::vector<double> lengths;
+  lengths.reserve(sessions.size());
+  for (const auto& s : sessions) lengths.push_back(s.length());
+  std::sort(lengths.begin(), lengths.end());
+  const double long_cut = lengths.empty()
+                              ? 0.0
+                              : stats::quantile_sorted(
+                                    lengths, options.long_session_quantile);
+  for (std::uint32_t i = 0; i < sessions.size(); ++i) {
+    const bool is_long = sessions[i].length() >= long_cut;
+    if (is_long) ++out.long_sessions;
+    if (!aborted[i]) {
+      ++out.completed;
+      if (is_long) ++out.completed_long;
+    }
+  }
+  return out;
+}
+
+}  // namespace fullweb::queueing

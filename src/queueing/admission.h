@@ -1,0 +1,75 @@
+// Session-based admission control simulation (Cherkasova & Phaal, refs
+// [5]/[6] of the paper).
+//
+// A capacity-limited server processes a session-structured request stream
+// under one of two overload policies; the simulator reports per-policy
+// session completion rates, overall and for the longest sessions — the
+// metric session-based AC is designed to protect. §5.2.1 shows session
+// lengths are heavy-tailed, which is precisely why the distinction matters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "support/result.h"
+#include "support/rng.h"
+#include "weblog/sessionizer.h"
+
+namespace fullweb::queueing {
+
+enum class AdmissionPolicy {
+  kRequestDropping,  ///< overloaded seconds drop individual requests
+  kSessionBased,     ///< overloaded seconds defer NEW sessions only
+};
+
+struct AdmissionOptions {
+  std::size_t capacity_per_second = 100;
+  AdmissionPolicy policy = AdmissionPolicy::kSessionBased;
+  /// Under request dropping, probability that an over-capacity request is
+  /// actually dropped (models partial shedding).
+  double drop_probability = 0.5;
+  /// Quantile defining a "long" session for the protected-completion metric.
+  double long_session_quantile = 0.9;
+};
+
+struct AdmissionOutcome {
+  std::size_t sessions = 0;
+  std::size_t completed = 0;
+  std::size_t long_sessions = 0;
+  std::size_t completed_long = 0;
+  std::size_t requests_served = 0;
+  std::size_t requests_rejected = 0;
+
+  [[nodiscard]] double completion_rate() const noexcept {
+    return sessions == 0 ? 0.0
+                         : static_cast<double>(completed) /
+                               static_cast<double>(sessions);
+  }
+  [[nodiscard]] double long_completion_rate() const noexcept {
+    return long_sessions == 0 ? 0.0
+                              : static_cast<double>(completed_long) /
+                                    static_cast<double>(long_sessions);
+  }
+};
+
+/// A request already attributed to a session (index into the session list).
+struct SessionRequest {
+  double time = 0.0;
+  std::uint32_t session = 0;
+};
+
+/// Attribute a time-sorted request stream to ground-truth sessions (one
+/// active session per client at a time, the generator's invariant).
+/// Errors if requests reference clients with no session covering them.
+[[nodiscard]] support::Result<std::vector<SessionRequest>> attribute_requests(
+    std::span<const weblog::Request> requests,
+    std::span<const weblog::Session> sessions);
+
+/// Run the admission simulation. A session aborts the first time one of its
+/// requests is rejected; aborted sessions stop consuming capacity.
+[[nodiscard]] support::Result<AdmissionOutcome> simulate_admission(
+    std::span<const SessionRequest> requests,
+    std::span<const weblog::Session> sessions, const AdmissionOptions& options,
+    support::Rng& rng);
+
+}  // namespace fullweb::queueing

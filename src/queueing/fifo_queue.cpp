@@ -1,0 +1,68 @@
+#include "queueing/fifo_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace fullweb::queueing {
+
+using support::Error;
+using support::Result;
+
+Result<QueueStats> simulate_fifo(std::span<const double> arrival_times,
+                                 const ServiceSampler& service) {
+  QueueStats stats;
+  stats.arrivals = arrival_times.size();
+  if (arrival_times.empty()) return stats;
+
+  stats.waits.reserve(arrival_times.size());
+  double server_free_at = arrival_times.front();
+  double busy_time = 0.0;
+  double wait_area = 0.0;  // integral of (number waiting) dt, via Lindley
+
+  double prev_arrival = arrival_times.front();
+  for (double t : arrival_times) {
+    if (t < prev_arrival)
+      return Error::invalid_argument("simulate_fifo: arrivals not sorted");
+    prev_arrival = t;
+
+    const double start = std::max(t, server_free_at);
+    const double wait = start - t;
+    stats.waits.push_back(wait);
+    wait_area += wait;  // each request contributes its own waiting time
+
+    const double s = service();
+    if (!(s > 0.0))
+      return Error::invalid_argument("simulate_fifo: non-positive service time");
+    busy_time += s;
+    server_free_at = start + s;
+  }
+
+  const double horizon =
+      std::max(server_free_at, arrival_times.back()) - arrival_times.front();
+  stats.utilization = horizon > 0.0 ? std::min(1.0, busy_time / horizon) : 0.0;
+
+  std::vector<double> sorted = stats.waits;
+  std::sort(sorted.begin(), sorted.end());
+  stats.mean_wait = stats::mean(sorted);
+  stats.p50_wait = stats::quantile_sorted(sorted, 0.50);
+  stats.p95_wait = stats::quantile_sorted(sorted, 0.95);
+  stats.p99_wait = stats::quantile_sorted(sorted, 0.99);
+  stats.max_wait = sorted.back();
+  // Little's law: time-averaged queue length = arrival rate * mean wait.
+  stats.mean_queue_length =
+      horizon > 0.0
+          ? wait_area / horizon
+          : 0.0;
+  return stats;
+}
+
+Result<QueueStats> simulate_fifo_deterministic(
+    std::span<const double> arrival_times, double service_time) {
+  if (!(service_time > 0.0))
+    return Error::invalid_argument("simulate_fifo: service_time must be > 0");
+  return simulate_fifo(arrival_times, [service_time] { return service_time; });
+}
+
+}  // namespace fullweb::queueing

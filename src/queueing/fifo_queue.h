@@ -1,0 +1,45 @@
+// Single-server FIFO queue simulation.
+//
+// The paper's §4.2 punchline is that Poisson-based queueing models of Web
+// servers ([23], [25], [30], [8]) are built on a false premise. This
+// substrate lets the examples and benches quantify the consequence: replay
+// any arrival trace (synthetic LRD traffic, a Poisson comparator, or a
+// parsed real log) through a queue and compare delay distributions.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "support/result.h"
+
+namespace fullweb::queueing {
+
+/// Outcome of one FIFO replay.
+struct QueueStats {
+  std::size_t arrivals = 0;
+  double utilization = 0.0;      ///< busy time / horizon
+  double mean_wait = 0.0;        ///< queueing delay, excluding service
+  double p50_wait = 0.0;
+  double p95_wait = 0.0;
+  double p99_wait = 0.0;
+  double max_wait = 0.0;
+  double mean_queue_length = 0.0;  ///< time-averaged number waiting
+  std::vector<double> waits;       ///< per-request (same order as arrivals)
+};
+
+/// Service-time source: called once per request, must return > 0 seconds.
+using ServiceSampler = std::function<double()>;
+
+/// Replay `arrival_times` (ascending) through a single FIFO server.
+/// Errors when arrivals are unsorted or a service sample is non-positive.
+[[nodiscard]] support::Result<QueueStats> simulate_fifo(
+    std::span<const double> arrival_times, const ServiceSampler& service);
+
+/// Convenience: deterministic service time (isolates arrival-process
+/// effects, the configuration used by the capacity-planning example).
+[[nodiscard]] support::Result<QueueStats> simulate_fifo_deterministic(
+    std::span<const double> arrival_times, double service_time);
+
+}  // namespace fullweb::queueing

@@ -1,0 +1,40 @@
+// Anderson-Darling goodness-of-fit test for exponentiality.
+//
+// The Poisson-arrival battery (§4.2) tests whether inter-arrival times in a
+// constant-rate interval are exponential, using the A² statistic with the
+// rate estimated from the sample ("case 2" in Stephens' classification). The
+// paper rejects when the modified statistic A²(1 + 0.6/n) exceeds the 5%
+// critical value 1.341. Reference: M. A. Stephens, "EDF statistics for
+// goodness of fit and some comparisons", JASA 69 (1974).
+#pragma once
+
+#include <span>
+
+#include "support/result.h"
+
+namespace fullweb::stats {
+
+struct AndersonDarlingResult {
+  double a_squared = 0.0;        ///< raw A² statistic
+  double modified = 0.0;         ///< A²(1 + 0.6/n), the tabulated form
+  double lambda_hat = 0.0;       ///< MLE rate used, 1/mean
+  std::size_t n = 0;
+  double critical_5pct = 1.341;  ///< Stephens, exponential null, unknown rate
+
+  /// True if exponentiality is NOT rejected at the 5% level.
+  [[nodiscard]] bool exponential_at_5pct() const noexcept {
+    return modified < critical_5pct;
+  }
+};
+
+/// Critical value of the modified statistic for significance levels
+/// 0.15, 0.10, 0.05, 0.025, 0.01 (throws on other levels).
+[[nodiscard]] double ad_exponential_critical(double level);
+
+/// A² test of H0: xs ~ Exponential(lambda) with lambda = 1/sample mean.
+/// Requires n >= 5 and strictly positive samples (zeros are nudged to the
+/// smallest positive representable spacing by the caller if needed).
+[[nodiscard]] support::Result<AndersonDarlingResult> anderson_darling_exponential(
+    std::span<const double> xs);
+
+}  // namespace fullweb::stats

@@ -1,0 +1,50 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+
+namespace fullweb::stats {
+
+double binomial_pmf(std::size_t n, double p, std::size_t k) noexcept {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  const double log_choose =
+      std::lgamma(nn + 1.0) - std::lgamma(kk + 1.0) - std::lgamma(nn - kk + 1.0);
+  return std::exp(log_choose + kk * std::log(p) + (nn - kk) * std::log1p(-p));
+}
+
+double binomial_cdf(std::size_t n, double p, std::size_t k) noexcept {
+  if (k >= n) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i <= k; ++i) acc += binomial_pmf(n, p, i);
+  return acc < 1.0 ? acc : 1.0;
+}
+
+BinomialCountTest binomial_count_test(std::size_t total, std::size_t passed,
+                                      double per_interval_pass_prob,
+                                      double level) noexcept {
+  BinomialCountTest t;
+  t.total = total;
+  t.passed = passed;
+  if (total == 0) return t;
+  t.point_probability = binomial_pmf(total, per_interval_pass_prob, passed);
+  t.rejected = t.point_probability < level;
+  return t;
+}
+
+SignTest sign_test(std::size_t total, std::size_t positive, double level) noexcept {
+  SignTest t;
+  t.total = total;
+  t.positive = positive;
+  t.negative = total - positive;
+  if (total == 0) return t;
+  t.significant_positive = binomial_pmf(total, 0.5, t.positive) < level &&
+                           t.positive > t.negative;
+  t.significant_negative = binomial_pmf(total, 0.5, t.negative) < level &&
+                           t.negative > t.positive;
+  return t;
+}
+
+}  // namespace fullweb::stats

@@ -1,0 +1,53 @@
+// Binomial probabilities and the paper's binomial meta-tests.
+//
+// The Poisson-arrival methodology (§4.2, after Paxson & Floyd) runs a
+// per-interval test (lag-1 independence or A² exponentiality) on each of the
+// sub-intervals of a 4-hour window, then aggregates the per-interval
+// verdicts with binomial probability arguments:
+//   - S = # intervals passing an individual 95% test; S ~ B(m, 0.95) under
+//     H0, and H0 is rejected when P(S = s_observed) < 0.05.
+//   - sign tests on the lag-1 autocorrelations: under independence each rho
+//     is positive with probability 1/2, so the count of positive (negative)
+//     rhos is B(m, 0.5); significance when the point probability < 0.025.
+//     (The paper's text says B(4, 0.95) for the sign counts — a typo, since
+//     it first states the 1/2-1/2 argument; we implement p = 0.5.)
+#pragma once
+
+#include <cstddef>
+
+namespace fullweb::stats {
+
+/// Exact binomial point probability P[X = k], X ~ B(n, p). Computed in
+/// log-space (lgamma) so large n is safe.
+[[nodiscard]] double binomial_pmf(std::size_t n, double p, std::size_t k) noexcept;
+
+/// P[X <= k].
+[[nodiscard]] double binomial_cdf(std::size_t n, double p, std::size_t k) noexcept;
+
+/// The paper's aggregation rule for per-interval pass counts:
+/// reject the null when P[S = passed] < level with S ~ B(total, 0.95).
+struct BinomialCountTest {
+  std::size_t total = 0;
+  std::size_t passed = 0;
+  double point_probability = 1.0;  ///< P[S = passed]
+  bool rejected = false;           ///< point_probability < level
+};
+[[nodiscard]] BinomialCountTest binomial_count_test(std::size_t total,
+                                                    std::size_t passed,
+                                                    double per_interval_pass_prob = 0.95,
+                                                    double level = 0.05) noexcept;
+
+/// Sign test on lag-1 autocorrelations: significant positive (negative)
+/// correlation when the count of positive (negative) signs has point
+/// probability < level under B(total, 0.5).
+struct SignTest {
+  std::size_t total = 0;
+  std::size_t positive = 0;
+  std::size_t negative = 0;
+  bool significant_positive = false;
+  bool significant_negative = false;
+};
+[[nodiscard]] SignTest sign_test(std::size_t total, std::size_t positive,
+                                 double level = 0.025) noexcept;
+
+}  // namespace fullweb::stats

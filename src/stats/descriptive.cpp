@@ -1,0 +1,108 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace fullweb::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> xs) noexcept {
+  // Two-pass algorithm for numerical stability on long, nearly-constant
+  // series (per-second counts can have millions of samples).
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss;
+}
+}  // namespace
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  return sum_sq_dev(xs) / static_cast<double>(xs.size() - 1);
+}
+
+double variance_population(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return sum_sq_dev(xs) / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double min_value(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) noexcept {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  assert(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+std::vector<double> Ecdf::ccdf() const {
+  std::vector<double> out(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) out[i] = 1.0 - f[i];
+  return out;
+}
+
+Ecdf ecdf(std::span<const double> xs) {
+  Ecdf e;
+  if (xs.empty()) return e;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse ties: record the cumulative count at the *last* occurrence.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    e.x.push_back(sorted[i]);
+    e.f.push_back(static_cast<double>(i + 1) / n);
+  }
+  return e;
+}
+
+}  // namespace fullweb::stats

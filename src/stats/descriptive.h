@@ -1,0 +1,50 @@
+// Descriptive statistics and empirical distribution utilities.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fullweb::stats {
+
+/// Arithmetic mean. Precondition: !xs.empty().
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (divides by n-1). Returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+
+/// Population variance (divides by n). Returns 0 for n < 1.
+[[nodiscard]] double variance_population(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+[[nodiscard]] double min_value(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_value(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile (type 7, the R default). q in [0, 1].
+/// Precondition: !xs.empty(). Input need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Quantile on data the caller has already sorted ascending (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Five-number summary plus mean/sd, used in workload reports.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0, stddev = 0;
+  double min = 0, q25 = 0, median = 0, q75 = 0, max = 0;
+};
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Empirical CDF evaluated at each distinct sample point.
+/// Returns sorted x values and F(x) = (# samples <= x) / n.
+struct Ecdf {
+  std::vector<double> x;   ///< distinct sorted sample values
+  std::vector<double> f;   ///< F(x[i]), strictly increasing, last = 1
+  /// Complementary CDF P[X > x[i]] = 1 - f[i]; the last entry is 0 and is
+  /// typically dropped before log-log plotting.
+  [[nodiscard]] std::vector<double> ccdf() const;
+};
+[[nodiscard]] Ecdf ecdf(std::span<const double> xs);
+
+}  // namespace fullweb::stats

@@ -1,0 +1,289 @@
+#include "stats/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace fullweb::stats {
+
+using support::Error;
+using support::Result;
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+
+  // Acklam's piecewise rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+// ---------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double alpha, double k) : alpha_(alpha), k_(k) {
+  if (!(alpha > 0.0) || !(k > 0.0))
+    throw std::invalid_argument("Pareto: alpha and k must be positive");
+}
+
+double Pareto::pdf(double x) const noexcept {
+  if (x < k_) return 0.0;
+  return alpha_ * std::pow(k_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const noexcept {
+  if (x < k_) return 0.0;
+  return 1.0 - std::pow(k_ / x, alpha_);
+}
+
+double Pareto::ccdf(double x) const noexcept {
+  if (x < k_) return 1.0;
+  return std::pow(k_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0))
+    throw std::invalid_argument("Pareto::quantile: p must be in [0,1)");
+  return k_ / std::pow(1.0 - p, 1.0 / alpha_);
+}
+
+double Pareto::sample(support::Rng& rng) const noexcept {
+  return k_ / std::pow(rng.uniform_pos(), 1.0 / alpha_);
+}
+
+double Pareto::mean() const noexcept {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * k_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const noexcept {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double am1 = alpha_ - 1.0;
+  return k_ * k_ * alpha_ / (am1 * am1 * (alpha_ - 2.0));
+}
+
+Result<Pareto> Pareto::fit_mle(std::span<const double> xs, double k) {
+  if (!(k > 0.0)) return Error::invalid_argument("Pareto::fit_mle: k must be > 0");
+  double sum_log = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x >= k) {
+      sum_log += std::log(x / k);
+      ++n;
+    }
+  }
+  if (n < 2)
+    return Error::insufficient_data("Pareto::fit_mle: fewer than 2 samples >= k");
+  if (sum_log <= 0.0)
+    return Error::numeric("Pareto::fit_mle: all samples equal to k");
+  return Pareto(static_cast<double>(n) / sum_log, k);
+}
+
+// ------------------------------------------------------------- Lognormal
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0))
+    throw std::invalid_argument("Lognormal: sigma must be positive");
+}
+
+double Lognormal::pdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (x * sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double Lognormal::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::ccdf(double x) const noexcept { return 1.0 - cdf(x); }
+
+double Lognormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double Lognormal::sample(support::Rng& rng) const noexcept {
+  return std::exp(mu_ + sigma_ * rng.normal());
+}
+
+double Lognormal::mean() const noexcept {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double Lognormal::variance() const noexcept {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+Result<Lognormal> Lognormal::fit_mle(std::span<const double> xs) {
+  if (xs.size() < 2)
+    return Error::insufficient_data("Lognormal::fit_mle: need n >= 2");
+  double sum = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0)
+      return Error::invalid_argument("Lognormal::fit_mle: non-positive sample");
+    sum += std::log(x);
+  }
+  const double mu = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / static_cast<double>(xs.size()));
+  if (!(sigma > 0.0))
+    return Error::numeric("Lognormal::fit_mle: zero variance in log-space");
+  return Lognormal(mu, sigma);
+}
+
+// ----------------------------------------------------------- Exponential
+
+Exponential::Exponential(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0))
+    throw std::invalid_argument("Exponential: lambda must be positive");
+}
+
+double Exponential::pdf(double x) const noexcept {
+  return x < 0.0 ? 0.0 : lambda_ * std::exp(-lambda_ * x);
+}
+
+double Exponential::cdf(double x) const noexcept {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+
+double Exponential::ccdf(double x) const noexcept {
+  return x < 0.0 ? 1.0 : std::exp(-lambda_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0))
+    throw std::invalid_argument("Exponential::quantile: p must be in [0,1)");
+  return -std::log(1.0 - p) / lambda_;
+}
+
+double Exponential::sample(support::Rng& rng) const noexcept {
+  return -std::log(rng.uniform_pos()) / lambda_;
+}
+
+Result<Exponential> Exponential::fit_mle(std::span<const double> xs) {
+  if (xs.empty())
+    return Error::insufficient_data("Exponential::fit_mle: empty sample");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double m = sum / static_cast<double>(xs.size());
+  if (!(m > 0.0))
+    return Error::numeric("Exponential::fit_mle: non-positive mean");
+  return Exponential(1.0 / m);
+}
+
+// --------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0))
+    throw std::invalid_argument("Weibull: shape and scale must be positive");
+}
+
+double Weibull::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double Weibull::cdf(double x) const noexcept {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::ccdf(double x) const noexcept {
+  return x < 0.0 ? 1.0 : std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  if (!(p >= 0.0 && p < 1.0))
+    throw std::invalid_argument("Weibull::quantile: p must be in [0,1)");
+  return scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+double Weibull::sample(support::Rng& rng) const noexcept {
+  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+}
+
+// ---------------------------------------------------------------- Poisson
+
+namespace {
+
+/// Hörmann's PTRS transformed-rejection Poisson sampler; exact for mean >= 10.
+long long poisson_ptrs(double mean, support::Rng& rng) noexcept {
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  const double log_mean = std::log(mean);
+
+  for (;;) {
+    double u = rng.uniform() - 0.5;
+    double v = rng.uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double kf = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (kf < 0.0) continue;
+    const auto k = static_cast<long long>(kf);
+    if (us >= 0.07 && v <= v_r) return k;
+    if (us < 0.013 && v > us) continue;
+    const double lhs = std::log(v * inv_alpha / (a / (us * us) + b));
+    const double rhs = -mean + kf * log_mean - std::lgamma(kf + 1.0);
+    if (lhs <= rhs) return k;
+  }
+}
+
+}  // namespace
+
+long long poisson_sample(double mean, support::Rng& rng) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 10.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    long long k = 0;
+    double prod = rng.uniform_pos();
+    while (prod > limit) {
+      ++k;
+      prod *= rng.uniform_pos();
+    }
+    return k;
+  }
+  return poisson_ptrs(mean, rng);
+}
+
+}  // namespace fullweb::stats

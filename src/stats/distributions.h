@@ -1,0 +1,126 @@
+// Probability distributions used by the workload model and the statistical
+// tests: Pareto (the heavy-tailed reference model of §3.2), lognormal (the
+// competing model in Downey's curvature test), exponential (Poisson
+// inter-arrivals), Weibull, and Poisson counts.
+//
+// Each continuous distribution offers pdf/cdf/ccdf/quantile/sample plus a
+// maximum-likelihood fit from data. Sampling takes an explicit support::Rng
+// for reproducibility.
+#pragma once
+
+#include <span>
+
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace fullweb::stats {
+
+/// Standard normal CDF Phi(x) (via std::erfc).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err|<1e-9).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Classical Pareto with shape alpha > 0 and location (minimum) k > 0:
+///   F(x) = 1 - (k/x)^alpha  for x >= k                     (paper eq. 4)
+/// Mean is finite iff alpha > 1; variance finite iff alpha > 2.
+class Pareto {
+ public:
+  Pareto(double alpha, double k);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double k() const noexcept { return k_; }
+
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double ccdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(support::Rng& rng) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept;      ///< +inf if alpha <= 1
+  [[nodiscard]] double variance() const noexcept;  ///< +inf if alpha <= 2
+
+  /// MLE of alpha for a fixed location k: alpha = n / sum(log(x_i / k)),
+  /// using only samples >= k. Errors if fewer than 2 usable samples.
+  static support::Result<Pareto> fit_mle(std::span<const double> xs, double k);
+
+ private:
+  double alpha_;
+  double k_;
+};
+
+/// Lognormal: log X ~ N(mu, sigma^2).
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double ccdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(support::Rng& rng) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+  /// MLE: mu = mean(log x), sigma = population sd(log x); requires all
+  /// samples > 0 and n >= 2.
+  static support::Result<Lognormal> fit_mle(std::span<const double> xs);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential with rate lambda: F(x) = 1 - exp(-lambda x).
+class Exponential {
+ public:
+  explicit Exponential(double lambda);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double ccdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(support::Rng& rng) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept { return 1.0 / lambda_; }
+
+  /// MLE: lambda = 1 / sample mean; requires n >= 1 and mean > 0.
+  static support::Result<Exponential> fit_mle(std::span<const double> xs);
+
+ private:
+  double lambda_;
+};
+
+/// Weibull with shape k and scale lambda: F(x) = 1 - exp(-(x/lambda)^k).
+/// Heavy-ish (subexponential) for k < 1; used as an alternative body model in
+/// the synthetic generator.
+class Weibull {
+ public:
+  Weibull(double shape, double scale);
+
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+  [[nodiscard]] double pdf(double x) const noexcept;
+  [[nodiscard]] double cdf(double x) const noexcept;
+  [[nodiscard]] double ccdf(double x) const noexcept;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double sample(support::Rng& rng) const noexcept;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Poisson(mean) sample. Knuth's product method for small means, normal
+/// approximation with continuity correction (clamped at 0) for mean > 30 —
+/// accurate enough for per-second arrival counts and much faster.
+[[nodiscard]] long long poisson_sample(double mean, support::Rng& rng) noexcept;
+
+}  // namespace fullweb::stats

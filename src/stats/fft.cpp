@@ -1,0 +1,107 @@
+#include "stats/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace fullweb::stats {
+
+namespace {
+
+using cd = std::complex<double>;
+
+/// Iterative in-place radix-2 Cooley-Tukey. Precondition: n is a power of 2.
+void fft_pow2(std::vector<cd>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cd wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = a[i + k];
+        const cd v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+void fft_bluestein(std::vector<cd>& a, bool inverse) {
+  const std::size_t n = a.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors w[k] = exp(sign * i * pi * k^2 / n). The k^2 mod 2n trick
+  // keeps the argument small so cos/sin stay accurate for large k.
+  std::vector<cd> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(k) * k) % (2ULL * n));
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    w[k] = cd(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cd> fa(m), fb(m);
+  for (std::size_t k = 0; k < n; ++k) fa[k] = a[k] * w[k];
+  fb[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) fb[k] = fb[m - k] = std::conj(w[k]);
+
+  fft_pow2(fa, false);
+  fft_pow2(fb, false);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  fft_pow2(fa, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  for (std::size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * w[k];
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) noexcept { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<cd>& data) {
+  if (data.size() <= 1) return;
+  if (is_pow2(data.size())) fft_pow2(data, false);
+  else fft_bluestein(data, false);
+}
+
+void ifft(std::vector<cd>& data) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (is_pow2(n)) fft_pow2(data, true);
+  else fft_bluestein(data, true);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<cd> fft_real(std::span<const double> xs) {
+  std::vector<cd> data(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = cd(xs[i], 0.0);
+  fft(data);
+  return data;
+}
+
+}  // namespace fullweb::stats

@@ -1,0 +1,31 @@
+// Fast Fourier transform: iterative radix-2 Cooley-Tukey for power-of-two
+// lengths plus Bluestein's chirp-z algorithm for arbitrary lengths.
+//
+// Used by the periodogram (week-length per-second series, n = 604,800 — not a
+// power of two), FFT-based autocorrelation, and the Davies-Harte fractional
+// Gaussian noise generator.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace fullweb::stats {
+
+/// In-place forward FFT. Any length (radix-2 fast path, Bluestein otherwise).
+void fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/n normalization).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a real sequence; returns the full complex spectrum of the
+/// same length (conjugate-symmetric).
+[[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> xs);
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+/// True if n is a power of two (n >= 1).
+[[nodiscard]] bool is_pow2(std::size_t n) noexcept;
+
+}  // namespace fullweb::stats

@@ -1,0 +1,99 @@
+#include "stats/kpss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/regression.h"
+
+namespace fullweb::stats {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+// Published asymptotic critical values (Kwiatkowski et al. 1992, Table 1)
+// at upper-tail levels 10%, 5%, 2.5%, 1%.
+constexpr double kLevels[] = {0.10, 0.05, 0.025, 0.01};
+constexpr double kCritLevel[] = {0.347, 0.463, 0.574, 0.739};
+constexpr double kCritTrend[] = {0.119, 0.146, 0.176, 0.216};
+
+/// Piecewise-linear interpolation of the p-value from the critical-value
+/// table; clamped to [0.01, 0.10] as in common statistical packages.
+double interpolate_p(double stat, const double* crit) {
+  if (stat <= crit[0]) return 0.10;
+  if (stat >= crit[3]) return 0.01;
+  for (int i = 0; i < 3; ++i) {
+    if (stat < crit[i + 1]) {
+      const double frac = (stat - crit[i]) / (crit[i + 1] - crit[i]);
+      return kLevels[i] + frac * (kLevels[i + 1] - kLevels[i]);
+    }
+  }
+  return 0.01;
+}
+
+}  // namespace
+
+Result<KpssResult> kpss_test(std::span<const double> xs, KpssNull null_hypothesis,
+                             long lag) {
+  const std::size_t n = xs.size();
+  if (n < 10) return Error::insufficient_data("kpss_test: need n >= 10");
+
+  // Residuals under the null: demean (level) or detrend (trend).
+  std::vector<double> e(n);
+  if (null_hypothesis == KpssNull::kLevel) {
+    double m = 0.0;
+    for (double x : xs) m += x;
+    m /= static_cast<double>(n);
+    for (std::size_t t = 0; t < n; ++t) e[t] = xs[t] - m;
+  } else {
+    std::vector<double> tt(n);
+    for (std::size_t t = 0; t < n; ++t) tt[t] = static_cast<double>(t);
+    const LinearFit fit = ols(tt, xs);
+    for (std::size_t t = 0; t < n; ++t) e[t] = xs[t] - fit.predict(tt[t]);
+  }
+
+  // Partial-sum statistic numerator: n^-2 * sum_t S_t^2.
+  double sum_s2 = 0.0;
+  double s_t = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    s_t += e[t];
+    sum_s2 += s_t * s_t;
+  }
+  const double nn = static_cast<double>(n);
+  const double numerator = sum_s2 / (nn * nn);
+
+  // Newey-West long-run variance with Bartlett kernel.
+  std::size_t l;
+  if (lag < 0) {
+    l = static_cast<std::size_t>(std::floor(12.0 * std::pow(nn / 100.0, 0.25)));
+  } else {
+    l = static_cast<std::size_t>(lag);
+  }
+  l = std::min(l, n - 1);
+
+  double s2 = 0.0;
+  for (std::size_t t = 0; t < n; ++t) s2 += e[t] * e[t];
+  s2 /= nn;
+  for (std::size_t s = 1; s <= l; ++s) {
+    const double w = 1.0 - static_cast<double>(s) / static_cast<double>(l + 1);
+    double gamma = 0.0;
+    for (std::size_t t = s; t < n; ++t) gamma += e[t] * e[t - s];
+    s2 += 2.0 * w * gamma / nn;
+  }
+  if (!(s2 > 0.0))
+    return Error::numeric("kpss_test: zero long-run variance (constant series)");
+
+  KpssResult r;
+  r.statistic = numerator / s2;
+  r.lag = l;
+  r.null_hypothesis = null_hypothesis;
+  const double* crit =
+      null_hypothesis == KpssNull::kLevel ? kCritLevel : kCritTrend;
+  r.critical_5pct = crit[1];
+  r.p_value = interpolate_p(r.statistic, crit);
+  return r;
+}
+
+}  // namespace fullweb::stats

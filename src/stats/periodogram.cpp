@@ -1,0 +1,52 @@
+#include "stats/periodogram.h"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "stats/descriptive.h"
+#include "stats/fft.h"
+
+namespace fullweb::stats {
+
+Periodogram periodogram(std::span<const double> xs) {
+  Periodogram pg;
+  const std::size_t n = xs.size();
+  if (n < 2) return pg;
+
+  // Remove the mean so the j = 0 ordinate does not leak into neighbours.
+  const double m = mean(xs);
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = {xs[i] - m, 0.0};
+  fft(buf);
+
+  const std::size_t half = (n - 1) / 2;
+  pg.frequency.reserve(half);
+  pg.power.reserve(half);
+  const double norm = 1.0 / (2.0 * std::numbers::pi * static_cast<double>(n));
+  for (std::size_t j = 1; j <= half; ++j) {
+    pg.frequency.push_back(2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(n));
+    pg.power.push_back(std::norm(buf[j]) * norm);
+  }
+  return pg;
+}
+
+double dominant_period(const Periodogram& pg, double min_period,
+                       double max_period) {
+  assert(min_period > 0 && max_period >= min_period);
+  double best_power = -1.0;
+  double best_period = 0.0;
+  for (std::size_t i = 0; i < pg.frequency.size(); ++i) {
+    const double period = 2.0 * std::numbers::pi / pg.frequency[i];
+    if (period < min_period || period > max_period) continue;
+    if (pg.power[i] > best_power) {
+      best_power = pg.power[i];
+      best_period = period;
+    }
+  }
+  return best_period;
+}
+
+}  // namespace fullweb::stats

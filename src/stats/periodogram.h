@@ -1,0 +1,33 @@
+// Periodogram estimation of the spectral density.
+//
+// Two uses in the paper: (1) locating the dominant periodicity of the
+// request/session series (the 24-hour diurnal cycle) before seasonal
+// removal, and (2) the Periodogram Hurst estimator, which regresses
+// log I(λ) on log λ over the lowest frequencies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fullweb::stats {
+
+/// Periodogram ordinates of a real series:
+///   I(λ_j) = (1 / (2π n)) |Σ_t x_t e^{-i t λ_j}|²,  λ_j = 2π j / n,
+/// for j = 1 .. floor((n-1)/2) (the zero frequency / sample mean is
+/// excluded). `frequency[j-1]` holds λ_j in radians.
+struct Periodogram {
+  std::vector<double> frequency;  ///< angular frequencies λ_j in (0, π]
+  std::vector<double> power;      ///< I(λ_j)
+};
+
+[[nodiscard]] Periodogram periodogram(std::span<const double> xs);
+
+/// Period (in samples) of the largest ordinate whose implied period lies
+/// within [min_period, max_period]; the bounds keep trivial short-lag noise
+/// and the full window length from being selected. Returns 0 when no
+/// ordinate falls in range.
+[[nodiscard]] double dominant_period(const Periodogram& pg, double min_period,
+                                     double max_period);
+
+}  // namespace fullweb::stats

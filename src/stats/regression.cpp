@@ -1,0 +1,158 @@
+#include "stats/regression.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace fullweb::stats {
+
+LinearFit ols(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (fit.n < 2) return fit;
+
+  const auto n = static_cast<double>(fit.n);
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;  // degenerate: all x equal
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  // Residual sum of squares and standard errors.
+  double rss = 0.0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double r = y[i] - fit.predict(x[i]);
+    rss += r * r;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - rss / syy : 1.0;
+  if (fit.n > 2) {
+    const double sigma2 = rss / (n - 2.0);
+    fit.stderr_slope = std::sqrt(sigma2 / sxx);
+    fit.stderr_intercept = std::sqrt(sigma2 * (1.0 / n + mx * mx / sxx));
+  }
+  return fit;
+}
+
+LinearFit wls(std::span<const double> x, std::span<const double> y,
+              std::span<const double> w) {
+  assert(x.size() == y.size() && x.size() == w.size());
+  LinearFit fit;
+  fit.n = x.size();
+  if (fit.n < 2) return fit;
+
+  double sw = 0, swx = 0, swy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    sw += w[i];
+    swx += w[i] * x[i];
+    swy += w[i] * y[i];
+  }
+  if (sw <= 0.0) return fit;
+  const double mx = swx / sw;
+  const double my = swy / sw;
+
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double dx = x[i] - mx;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * (y[i] - my);
+  }
+  if (sxx <= 0.0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  // With w_i = 1/Var(y_i), Var(slope) = 1/sxx and
+  // Var(intercept) = 1/sw + mx^2/sxx (Gauss-Markov for known variances).
+  fit.stderr_slope = std::sqrt(1.0 / sxx);
+  fit.stderr_intercept = std::sqrt(1.0 / sw + mx * mx / sxx);
+
+  double wtss = 0, wrss = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double dy = y[i] - my;
+    const double r = y[i] - fit.predict(x[i]);
+    wtss += w[i] * dy * dy;
+    wrss += w[i] * r * r;
+  }
+  fit.r_squared = wtss > 0.0 ? 1.0 - wrss / wtss : 1.0;
+  return fit;
+}
+
+QuadraticFit quadratic_fit(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  QuadraticFit fit;
+  fit.n = x.size();
+  if (fit.n < 3) return fit;
+
+  // Solve the 3x3 normal equations (X^T X) c = X^T y by Gaussian elimination
+  // with partial pivoting; centering x first improves conditioning.
+  const auto n = static_cast<double>(fit.n);
+  double mx = 0;
+  for (double v : x) mx += v;
+  mx /= n;
+
+  double s[5] = {n, 0, 0, 0, 0};  // sums of (x - mx)^k
+  double t[3] = {0, 0, 0};        // sums of y * (x - mx)^k
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double d = x[i] - mx;
+    const double d2 = d * d;
+    s[1] += d;
+    s[2] += d2;
+    s[3] += d2 * d;
+    s[4] += d2 * d2;
+    t[0] += y[i];
+    t[1] += y[i] * d;
+    t[2] += y[i] * d2;
+  }
+
+  double a[3][4] = {{s[0], s[1], s[2], t[0]},
+                    {s[1], s[2], s[3], t[1]},
+                    {s[2], s[3], s[4], t[2]}};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-300) return fit;  // singular
+    for (int c = 0; c < 4; ++c) std::swap(a[col][c], a[pivot][c]);
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / a[col][col];
+      for (int c = col; c < 4; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+  const double b0 = a[0][3] / a[0][0];
+  const double b1 = a[1][3] / a[1][1];
+  const double b2 = a[2][3] / a[2][2];
+
+  // Un-center: y = b0 + b1 (x - mx) + b2 (x - mx)^2.
+  fit.c2 = b2;
+  fit.c1 = b1 - 2.0 * b2 * mx;
+  fit.c0 = b0 - b1 * mx + b2 * mx * mx;
+
+  double my = t[0] / n;
+  double tss = 0, rss = 0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double pred = fit.c0 + fit.c1 * x[i] + fit.c2 * x[i] * x[i];
+    tss += (y[i] - my) * (y[i] - my);
+    rss += (y[i] - pred) * (y[i] - pred);
+  }
+  fit.r_squared = tss > 0.0 ? 1.0 - rss / tss : 1.0;
+  return fit;
+}
+
+}  // namespace fullweb::stats

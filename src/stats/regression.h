@@ -1,0 +1,48 @@
+// Ordinary and weighted least squares for simple linear models y = a + b x.
+//
+// Used throughout the reproduction: LLCD tail-slope fits (§3.2), the
+// variance-time and R/S Hurst estimators, the low-frequency periodogram
+// estimator, the Abry-Veitch weighted log-scale regression, and least-squares
+// trend removal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fullweb::stats {
+
+/// Fit of y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double stderr_slope = 0.0;      ///< standard error of the slope estimate
+  double stderr_intercept = 0.0;  ///< standard error of the intercept
+  double r_squared = 0.0;         ///< coefficient of determination
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const noexcept {
+    return intercept + slope * x;
+  }
+};
+
+/// Ordinary least squares. Precondition: x.size() == y.size() >= 2 and
+/// x not all equal (otherwise returns a degenerate fit with slope 0, R² 0).
+[[nodiscard]] LinearFit ols(std::span<const double> x, std::span<const double> y);
+
+/// Weighted least squares with per-point weights w_i (inverse variances).
+/// stderr_slope is computed from the weight matrix (Gauss-Markov), which is
+/// what the Abry-Veitch confidence interval requires.
+[[nodiscard]] LinearFit wls(std::span<const double> x, std::span<const double> y,
+                            std::span<const double> w);
+
+/// Quadratic fit y = c0 + c1 x + c2 x^2 (used by the curvature test, which
+/// measures the quadratic coefficient of the log-log CCDF tail).
+struct QuadraticFit {
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+[[nodiscard]] QuadraticFit quadratic_fit(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace fullweb::stats

@@ -1,0 +1,41 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fullweb::stats {
+
+double digamma(double x) {
+  if (!(x > 0.0)) throw std::invalid_argument("digamma: x must be > 0");
+  double result = 0.0;
+  // psi(x) = psi(x+1) - 1/x until the asymptotic region (error < 1e-12
+  // beyond x = 12 with the series below).
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic series: psi(x) ~ ln x - 1/(2x) - sum B_2k / (2k x^{2k}).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0)));
+  return result;
+}
+
+double trigamma(double x) {
+  if (!(x > 0.0)) throw std::invalid_argument("trigamma: x must be > 0");
+  double result = 0.0;
+  // psi'(x) = psi'(x+1) + 1/x^2.
+  while (x < 12.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // psi'(x) ~ 1/x + 1/(2x^2) + sum B_2k / x^{2k+1}.
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0))));
+  return result;
+}
+
+}  // namespace fullweb::stats

@@ -1,0 +1,14 @@
+// Special functions needed by the wavelet (Abry-Veitch) estimator's bias and
+// variance corrections: digamma psi(x) and trigamma psi'(x).
+#pragma once
+
+namespace fullweb::stats {
+
+/// Digamma psi(x) for x > 0: recurrence to x >= 6 then asymptotic series.
+/// Absolute error < 1e-10 over the range used (x >= 0.5).
+[[nodiscard]] double digamma(double x);
+
+/// Trigamma psi'(x) for x > 0 (same recurrence + asymptotic approach).
+[[nodiscard]] double trigamma(double x);
+
+}  // namespace fullweb::stats

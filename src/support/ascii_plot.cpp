@@ -1,0 +1,121 @@
+#include "support/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace fullweb::support {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+};
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  // Transform points into plotting space, applying log axes.
+  struct Pt {
+    double x, y;
+    char glyph;
+  };
+  std::vector<Pt> pts;
+  Range xr, yr;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = s.x[i];
+      double y = s.y[i];
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      if (options.log_x) {
+        if (x <= 0) continue;
+        x = std::log10(x);
+      }
+      if (options.log_y) {
+        if (y <= 0) continue;
+        y = std::log10(y);
+      }
+      pts.push_back({x, y, s.glyph});
+      xr.include(x);
+      yr.include(y);
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (pts.empty() || !xr.valid() || !yr.valid()) {
+    out << "  (no plottable points)\n";
+    return out.str();
+  }
+  if (xr.hi == xr.lo) xr.hi = xr.lo + 1.0;
+  if (yr.hi == yr.lo) yr.hi = yr.lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& p : pts) {
+    int cx = static_cast<int>(std::lround((p.x - xr.lo) / (xr.hi - xr.lo) * (w - 1)));
+    int cy = static_cast<int>(std::lround((p.y - yr.lo) / (yr.hi - yr.lo) * (h - 1)));
+    cx = std::clamp(cx, 0, w - 1);
+    cy = std::clamp(cy, 0, h - 1);
+    grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = p.glyph;
+  }
+
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  const std::string ylo = format_tick(options.log_y ? std::pow(10, yr.lo) : yr.lo);
+  const std::string yhi = format_tick(options.log_y ? std::pow(10, yr.hi) : yr.hi);
+  const std::size_t margin = std::max(ylo.size(), yhi.size());
+
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = yhi;
+    else if (r == h - 1) label = ylo;
+    out << std::string(margin - label.size(), ' ') << label << " |"
+        << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(margin + 1, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  const std::string xlo = format_tick(options.log_x ? std::pow(10, xr.lo) : xr.lo);
+  const std::string xhi = format_tick(options.log_x ? std::pow(10, xr.hi) : xr.hi);
+  out << std::string(margin + 2, ' ') << xlo
+      << std::string(std::max<std::size_t>(1, static_cast<std::size_t>(w) -
+                                                  xlo.size() - xhi.size()),
+                     ' ')
+      << xhi << '\n';
+  if (!options.x_label.empty())
+    out << std::string(margin + 2, ' ') << options.x_label << '\n';
+
+  // Legend for multi-series plots.
+  if (series.size() > 1) {
+    out << "  legend:";
+    for (const auto& s : series)
+      if (!s.name.empty()) out << "  '" << s.glyph << "' = " << s.name;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_plot(const std::vector<double>& x, const std::vector<double>& y,
+                        const PlotOptions& options) {
+  return render_plot(std::vector<PlotSeries>{{"", x, y, '*'}}, options);
+}
+
+}  // namespace fullweb::support

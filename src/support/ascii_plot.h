@@ -1,0 +1,42 @@
+// ASCII scatter/line plots for bench output.
+//
+// The paper's figures (time-series plots, ACFs, LLCD plots, Hill plots,
+// aggregation sweeps) are rendered as character plots so every figure can be
+// "seen" directly in the bench output without a plotting toolchain. Benches
+// additionally dump the underlying (x, y) series as CSV for real plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fullweb::support {
+
+struct PlotOptions {
+  int width = 72;        ///< plot area width in characters
+  int height = 20;       ///< plot area height in characters
+  bool log_x = false;    ///< log10 x axis (points with x <= 0 are dropped)
+  bool log_y = false;    ///< log10 y axis (points with y <= 0 are dropped)
+  std::string title;     ///< printed above the plot if non-empty
+  std::string x_label;   ///< printed below the plot if non-empty
+  std::string y_label;   ///< printed above the axis if non-empty
+};
+
+/// One named series of points; series are overlaid with distinct glyphs.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Render one or more series into a character grid with axis annotations.
+/// Returns the multi-line plot; empty input yields a short placeholder.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options);
+
+/// Convenience: single unnamed series.
+[[nodiscard]] std::string render_plot(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      const PlotOptions& options);
+
+}  // namespace fullweb::support

@@ -1,0 +1,102 @@
+// Result<T>: lightweight expected-style error handling.
+//
+// The library avoids exceptions on anticipated failure paths (malformed log
+// lines, insufficient samples, non-converging estimators) and reserves
+// exceptions for programming errors / violated preconditions. C++20 has no
+// std::expected, so this header provides a minimal, value-semantic stand-in.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fullweb::support {
+
+/// Error payload: a human-readable message plus an optional machine-readable
+/// category tag used by callers that need to branch on failure kinds
+/// (e.g. distinguishing "not enough data" from "parse error").
+struct Error {
+  std::string message;
+  std::string category = "error";
+
+  static Error insufficient_data(std::string msg) {
+    return Error{std::move(msg), "insufficient_data"};
+  }
+  static Error parse(std::string msg) { return Error{std::move(msg), "parse"}; }
+  static Error numeric(std::string msg) {
+    return Error{std::move(msg), "numeric"};
+  }
+  static Error invalid_argument(std::string msg) {
+    return Error{std::move(msg), "invalid_argument"};
+  }
+};
+
+/// Value-or-error container. Inspect with ok(); extract with value() (throws
+/// std::logic_error if called on an error, signalling a caller bug) or
+/// value_or(). Construction from T or Error is implicit so functions can
+/// `return Error{...}` / `return some_value;` directly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Error error) : payload_(std::move(error)) {}       // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(payload_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(std::move(payload_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(payload_);
+  }
+
+  /// Apply `fn` to the contained value, propagating errors unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const -> Result<decltype(fn(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return fn(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Error> payload_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                        // success
+  Status(Error error) : error_(std::move(error)) {}          // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace fullweb::support

@@ -1,0 +1,35 @@
+// Small string utilities used by the log parser and CLI handling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fullweb::support {
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single-character delimiter. Empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view p) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view p) noexcept;
+
+/// Locale-independent numeric parsing; returns nullopt on any trailing junk.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s) noexcept;
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// Format a double with `digits` significant digits (for table output).
+[[nodiscard]] std::string format_sig(double v, int digits = 4);
+
+/// Format an integer with thousands separators: 15785164 -> "15,785,164".
+[[nodiscard]] std::string with_commas(long long v);
+
+/// Lower-case an ASCII string.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace fullweb::support

@@ -1,0 +1,95 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fullweb::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity " + std::to_string(cells.size()) +
+                                " != header arity " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.push_back({kSeparatorTag}); }
+
+namespace {
+
+bool is_separator(const std::vector<std::string>& row) {
+  return row.size() == 1 && row[0] == "\x01--";
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (is_separator(row)) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c], '-');
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (is_separator(row)) print_rule();
+    else print_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!is_separator(row)) emit(row);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace fullweb::support

@@ -1,0 +1,43 @@
+// Fixed-width text tables and CSV emission for experiment drivers.
+//
+// Every bench binary prints the same rows the paper reports; this class keeps
+// that output aligned and consistent, and can mirror it to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fullweb::support {
+
+/// Column-aligned text table. Usage:
+///   Table t({"Data set", "Requests", "Sessions"});
+///   t.add_row({"WVU", "15,785,164", "188,213"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column padding and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01--";
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fullweb::support

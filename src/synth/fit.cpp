@@ -1,0 +1,172 @@
+#include "synth/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stationary.h"
+#include "lrd/whittle.h"
+#include "stats/descriptive.h"
+#include "stats/regression.h"
+#include "tail/llcd.h"
+#include "timeseries/seasonal.h"
+#include "timeseries/series.h"
+
+namespace fullweb::synth {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// Hour-of-day profile of session starts, averaged across days.
+std::vector<double> hour_of_day_profile(const weblog::Dataset& ds) {
+  std::vector<double> sum(24, 0.0);
+  for (const auto& s : ds.sessions()) {
+    const double tod = std::fmod(s.start - ds.t0(), 86400.0);
+    sum[static_cast<std::size_t>(tod / 3600.0) % 24] += 1.0;
+  }
+  const double total_days = (ds.t1() - ds.t0()) / 86400.0;
+  for (auto& v : sum) v /= std::max(1.0, total_days);
+  return sum;
+}
+
+double clamp(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+}  // namespace
+
+Result<FittedProfile> fit_profile(const weblog::Dataset& dataset,
+                                  const FitOptions& options) {
+  const double duration = dataset.t1() - dataset.t0();
+  if (duration < 86400.0)
+    return Error::insufficient_data("fit_profile: need at least one day");
+  if (dataset.sessions().size() < 1000)
+    return Error::insufficient_data("fit_profile: need at least 1000 sessions");
+
+  FittedProfile out;
+  ServerProfile& p = out.profile;
+  p.name = dataset.name() + "-fitted";
+
+  // ---- volumes -----------------------------------------------------------
+  const double week_factor = 7.0 * 86400.0 / duration;
+  p.week_sessions = static_cast<double>(dataset.sessions().size()) * week_factor;
+  p.requests_mean = static_cast<double>(dataset.requests().size()) /
+                    static_cast<double>(dataset.sessions().size());
+
+  // ---- intra-session tails ------------------------------------------------
+  const auto req_counts = dataset.session_request_counts();
+  if (auto fit = tail::llcd_fit(req_counts); fit.ok()) {
+    out.diagnostics.requests_alpha = fit.value().alpha;
+    p.requests_alpha = clamp(fit.value().alpha, 1.05, 4.0);
+  }
+  const auto lengths = dataset.session_lengths();
+  if (auto fit = tail::llcd_fit(lengths); fit.ok()) {
+    out.diagnostics.session_length_alpha = fit.value().alpha;
+    p.think.scale_alpha = clamp(fit.value().alpha, 1.05, 4.0);
+  }
+  const auto bytes = dataset.session_byte_counts();
+  if (auto fit = tail::llcd_fit(bytes); fit.ok()) {
+    out.diagnostics.bytes_alpha = fit.value().alpha;
+    p.bytes.scale_alpha = clamp(fit.value().alpha, 0.55, 4.0);
+    p.bytes.scale_k = p.bytes.scale_alpha > 1.0
+                          ? (p.bytes.scale_alpha - 1.0) / p.bytes.scale_alpha
+                          : 0.05;
+  }
+
+  // ---- byte body: match the mean bytes per request ------------------------
+  out.diagnostics.mean_bytes_per_request =
+      static_cast<double>(dataset.total_bytes()) /
+      static_cast<double>(dataset.requests().size());
+  {
+    const double sigma = p.bytes.body_log_sigma;
+    // E[factor] ~ 1 by construction of scale_k (approximation for the
+    // capped infinite-mean case is within a few percent).
+    p.bytes.body_log_mu =
+        std::log(std::max(1.0, out.diagnostics.mean_bytes_per_request)) -
+        0.5 * sigma * sigma;
+  }
+
+  // ---- think-time level: match the mean session length --------------------
+  std::vector<double> positive_lengths;
+  for (double v : lengths)
+    if (v > 0.0) positive_lengths.push_back(v);
+  if (!positive_lengths.empty() && p.requests_mean > 1.5) {
+    out.diagnostics.mean_session_length = stats::mean(positive_lengths);
+    const double mean_gap =
+        out.diagnostics.mean_session_length / (p.requests_mean - 1.0);
+    // Fix the object-gap share and solve the page-pause lognormal mu:
+    // mean_gap = p_obj * object_mean + (1 - p_obj) * exp(mu + sigma^2 / 2).
+    const double page_part =
+        (mean_gap - p.think.p_object * p.think.object_mean) /
+        (1.0 - p.think.p_object);
+    if (page_part > 1.0) {
+      p.think.page_log_mu = std::log(page_part) -
+                            0.5 * p.think.page_log_sigma * p.think.page_log_sigma;
+    }
+  }
+
+  // ---- arrival-rate shape --------------------------------------------------
+  // Diurnal amplitude from the hour-of-day session profile.
+  {
+    const auto profile = hour_of_day_profile(dataset);
+    const double hi = *std::max_element(profile.begin(), profile.end());
+    const double lo = *std::min_element(profile.begin(), profile.end());
+    if (hi + lo > 0.0)
+      p.diurnal_amplitude = clamp((hi - lo) / (hi + lo), 0.0, 0.95);
+  }
+
+  // Linear trend of hourly session counts, expressed per week.
+  {
+    const auto hourly = timeseries::counts_per_bin(
+        dataset.session_start_times(), dataset.t0(), dataset.t1(), 3600.0);
+    if (hourly.size() >= 24) {
+      std::vector<double> t(hourly.size());
+      for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<double>(i);
+      const auto fit = stats::ols(t, hourly);
+      const double m = stats::mean(hourly);
+      if (m > 0.0) {
+        p.trend_per_week = clamp(
+            fit.slope * (7.0 * 24.0) / m, -0.5, 0.5);
+      }
+    }
+  }
+
+  // Hurst exponent of the request arrival process (stationarized).
+  {
+    core::StationaryOptions sopts;
+    sopts.min_period = options.min_period;
+    sopts.max_period = options.max_period;
+    auto st = core::make_stationary(dataset.requests_per_second(), sopts);
+    if (st.ok()) {
+      if (auto w = lrd::whittle_hurst(st.value().series); w.ok()) {
+        out.diagnostics.request_hurst = w.value().estimate.h;
+        p.hurst = clamp(w.value().estimate.h, 0.51, 0.97);
+      }
+    }
+  }
+
+  // Rate-modulation strength from the over-Poisson variance of hourly
+  // session counts (after removing the hour-of-day means). The FGN
+  // aggregated to hour bins has variance ~ 3600^{2H-2} of the per-second
+  // sigma^2; invert that to recover the per-second log-sigma.
+  {
+    const auto hourly = timeseries::counts_per_bin(
+        dataset.session_start_times(), dataset.t0(), dataset.t1(), 3600.0);
+    if (hourly.size() >= 48) {
+      const auto deseason = timeseries::remove_seasonal_means(hourly, 24);
+      const double m = stats::mean(deseason);
+      const double v = stats::variance(deseason);
+      if (m > 1.0 && v > m) {
+        const double excess = (v - m) / (m * m);  // (e^{sig_h^2} - 1)
+        const double sig_h2 = std::log1p(clamp(excess, 0.0, 10.0));
+        const double h = p.hurst;
+        const double shrink = std::pow(3600.0, 2.0 * h - 2.0);
+        p.rate_log_sigma = clamp(std::sqrt(sig_h2 / shrink), 0.05, 1.5);
+      } else {
+        p.rate_log_sigma = 0.05;  // indistinguishable from Poisson
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fullweb::synth

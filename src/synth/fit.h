@@ -1,0 +1,48 @@
+// Fitting a FULL-Web generative model to observed data — the inverse of
+// generation, and the paper's stated purpose ("a fundamental step necessary
+// for performance modelling and prediction, capacity planning, and
+// admission control").
+//
+// Given a Dataset (parsed real logs or synthetic traffic), estimate the
+// ServerProfile parameters that the generator needs: volumes, arrival-rate
+// shape (trend, diurnal amplitude, Hurst exponent), the requests-per-session
+// tail, the session-length tempo tail, and the byte model. A fitted profile
+// can be fed straight back into generate_workload() to produce statistically
+// faithful replacement traffic — workload cloning without shipping logs.
+#pragma once
+
+#include "support/result.h"
+#include "synth/profile.h"
+#include "weblog/dataset.h"
+
+namespace fullweb::synth {
+
+/// Diagnostics accompanying a fitted profile: measured quantities that are
+/// not profile parameters but that replay validation should reproduce.
+struct FitDiagnostics {
+  double mean_session_length = 0.0;
+  double mean_bytes_per_request = 0.0;
+  double request_hurst = 0.5;      ///< Whittle on stationarized requests/s
+  double session_length_alpha = 0.0;  ///< LLCD on session lengths
+  double requests_alpha = 0.0;        ///< LLCD on requests/session
+  double bytes_alpha = 0.0;           ///< LLCD on bytes/session
+};
+
+struct FittedProfile {
+  ServerProfile profile;
+  FitDiagnostics diagnostics;
+};
+
+struct FitOptions {
+  /// Period search bounds for the diurnal component (seconds).
+  std::size_t min_period = 3600;
+  std::size_t max_period = 2 * 86400;
+};
+
+/// Estimate a ServerProfile from data. Errors when the dataset is too small
+/// to support the estimates (needs at least ~1000 sessions and a day of
+/// traffic).
+[[nodiscard]] support::Result<FittedProfile> fit_profile(
+    const weblog::Dataset& dataset, const FitOptions& options = {});
+
+}  // namespace fullweb::synth

@@ -1,0 +1,220 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <queue>
+
+#include "stats/distributions.h"
+#include "timeseries/fgn.h"
+
+namespace fullweb::synth {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// Per-session tempo multiplier: unit-mean Pareto with the Table 2 tail
+/// index — slow-tempo sessions are the heavy session-length tail.
+double sample_tempo(const ThinkTimeModel& m, support::Rng& rng) {
+  const double k = (m.scale_alpha - 1.0) / m.scale_alpha;  // unit mean
+  return stats::Pareto(m.scale_alpha, k).sample(rng);
+}
+
+/// One inter-request gap. `tempo` is the session's multiplier, or a
+/// negative value to mark a crawler session (fast constant-rate fetching).
+double sample_gap(const ThinkTimeModel& m, double tempo, support::Rng& rng) {
+  double gap;
+  if (tempo < 0.0) {
+    gap = -m.crawler_gap_mean * std::log(rng.uniform_pos());
+  } else {
+    const double base =
+        rng.uniform() < m.p_object
+            ? -m.object_mean * std::log(rng.uniform_pos())
+            : std::exp(m.page_log_mu + m.page_log_sigma * rng.normal());
+    gap = tempo * base;
+  }
+  return std::min(gap, m.gap_cap);
+}
+
+/// Per-session content factor (see ByteModel doc).
+double sample_byte_factor(const ByteModel& m, support::Rng& rng) {
+  const double v = stats::Pareto(m.scale_alpha, m.scale_k).sample(rng);
+  return std::min(v, m.scale_cap);
+}
+
+double sample_bytes(const ByteModel& m, double factor, support::Rng& rng) {
+  const double v =
+      factor * std::exp(m.body_log_mu + m.body_log_sigma * rng.normal());
+  return std::min(v, m.cap);
+}
+
+/// Idle-client pool entry: the client id and the time its last session
+/// ended. A client may be reused once two thresholds of inactivity have
+/// passed, guaranteeing the sessionizer never merges the two sessions.
+struct IdleClient {
+  std::uint32_t id;
+  double last_end;
+  bool operator>(const IdleClient& other) const noexcept {
+    return last_end > other.last_end;
+  }
+};
+
+}  // namespace
+
+Result<GeneratedWorkload> generate_workload(const ServerProfile& profile,
+                                            const GeneratorOptions& options,
+                                            support::Rng& rng) {
+  if (!(options.scale > 0.0))
+    return Error::invalid_argument("generate_workload: scale must be > 0");
+  if (!(options.duration >= 3600.0))
+    return Error::invalid_argument("generate_workload: duration < 1 hour");
+
+  const auto seconds = static_cast<std::size_t>(std::floor(options.duration));
+
+  // ---- 1. per-second session-arrival intensity --------------------------
+  auto fgn_r = timeseries::generate_fgn(seconds, profile.hurst, 1.0, rng);
+  if (!fgn_r) return fgn_r.error();
+  const std::vector<double>& g = fgn_r.value();
+
+  std::vector<double> weight(seconds);
+  const double sigma = profile.rate_log_sigma;
+  const double lognormal_mean_correction = 0.5 * sigma * sigma;
+  double weight_sum = 0.0;
+  for (std::size_t t = 0; t < seconds; ++t) {
+    const double frac = static_cast<double>(t) / static_cast<double>(seconds);
+    const double trend = profile.trend_per_week * (frac - 0.5) *
+                         (options.duration / (7.0 * 86400.0));
+    const double diurnal =
+        profile.diurnal_amplitude *
+        std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 86400.0 +
+                 profile.diurnal_phase);
+    const double deterministic = std::max(0.05, 1.0 + trend + diurnal);
+    const double stochastic = std::exp(sigma * g[t] - lognormal_mean_correction);
+    weight[t] = deterministic * stochastic;
+    weight_sum += weight[t];
+  }
+  const double target_sessions = profile.week_sessions * options.scale *
+                                 (options.duration / (7.0 * 86400.0));
+  const double base_rate = target_sessions / weight_sum;
+
+  // ---- 2. sessions and their requests -----------------------------------
+  GeneratedWorkload out;
+  out.t0 = options.start_time;
+  out.t1 = options.start_time + options.duration;
+  out.requests.reserve(static_cast<std::size_t>(
+      target_sessions * profile.requests_mean * 1.05));
+
+  const double req_k =
+      profile.requests_mean * (profile.requests_alpha - 1.0) / profile.requests_alpha;
+  const stats::Pareto requests_dist(profile.requests_alpha, std::max(req_k, 0.5));
+
+  std::priority_queue<IdleClient, std::vector<IdleClient>, std::greater<>> idle;
+  std::uint32_t next_client = 0;
+  const double reuse_margin = 2.0 * 1800.0;
+
+  for (std::size_t t = 0; t < seconds; ++t) {
+    const long long n = stats::poisson_sample(base_rate * weight[t], rng);
+    for (long long s = 0; s < n; ++s) {
+      const double start =
+          options.start_time + static_cast<double>(t) + rng.uniform();
+
+      // Client assignment: reuse an idle client when allowed and safe.
+      std::uint32_t client;
+      if (!idle.empty() && idle.top().last_end + reuse_margin <= start &&
+          rng.uniform() < options.client_reuse_prob) {
+        client = idle.top().id;
+        idle.pop();
+      } else {
+        client = next_client++;
+      }
+
+      double want_draw = requests_dist.sample(rng);
+      if (profile.requests_cap > 0.0)
+        want_draw = std::min(want_draw, profile.requests_cap);
+      const auto want = static_cast<std::uint64_t>(
+          std::max<long long>(1, std::llround(want_draw)));
+      const double tempo =
+          static_cast<double>(want) > profile.think.crawler_requests
+              ? -1.0  // crawler: fast constant-rate gaps
+              : sample_tempo(profile.think, rng);
+      const double byte_factor = sample_byte_factor(profile.bytes, rng);
+
+      weblog::Session truth{client, 0.0, 0.0, 0, 0};
+      double when = start;
+      for (std::uint64_t i = 0; i < want && when < out.t1; ++i) {
+        const double stamp =
+            options.quantize_to_seconds ? std::floor(when) : when;
+        const auto bytes = static_cast<std::uint64_t>(
+            sample_bytes(profile.bytes, byte_factor, rng));
+        // Status mix approximating a production access log: mostly 200s,
+        // some not-modified revalidations, sporadic errors ([11]/[12]'s
+        // error analysis found single-digit error percentages).
+        const double u = rng.uniform();
+        const std::uint16_t status = u < 0.90   ? 200
+                                     : u < 0.955 ? 304
+                                     : u < 0.99  ? 404
+                                                 : 500;
+        out.requests.push_back(weblog::Request{stamp, client, status, bytes});
+        if (truth.requests == 0) truth.start = stamp;
+        truth.end = stamp;
+        truth.requests += 1;
+        truth.bytes += bytes;
+        when += sample_gap(profile.think, tempo, rng);
+      }
+      if (truth.requests > 0) {
+        out.true_sessions.push_back(truth);
+        idle.push(IdleClient{client, truth.end});
+      }
+    }
+  }
+  out.clients = next_client;
+
+  std::sort(out.requests.begin(), out.requests.end(),
+            [](const weblog::Request& a, const weblog::Request& b) {
+              return a.time < b.time;
+            });
+  std::sort(out.true_sessions.begin(), out.true_sessions.end(),
+            [](const weblog::Session& a, const weblog::Session& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+std::vector<weblog::LogEntry> to_log_entries(const GeneratedWorkload& workload,
+                                             support::Rng& rng) {
+  std::vector<weblog::LogEntry> entries;
+  entries.reserve(workload.requests.size());
+  for (const auto& r : workload.requests) {
+    weblog::LogEntry e;
+    e.timestamp = r.time;
+    // Synthetic dotted-quad from the interned id (10.0.0.0/8 space).
+    char ip[24];
+    std::snprintf(ip, sizeof ip, "10.%u.%u.%u", (r.client >> 16) & 0xFF,
+                  (r.client >> 8) & 0xFF, r.client & 0xFF);
+    e.client = ip;
+    e.method = "GET";
+    char path[48];
+    std::snprintf(path, sizeof path, "/pages/p%llu.html",
+                  static_cast<unsigned long long>(rng.below(40000)));
+    e.path = path;
+    e.protocol = "HTTP/1.0";
+    e.status = r.status;
+    e.bytes = r.bytes;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Result<weblog::Dataset> generate_dataset(const ServerProfile& profile,
+                                         const GeneratorOptions& options,
+                                         support::Rng& rng) {
+  auto workload = generate_workload(profile, options, rng);
+  if (!workload) return workload.error();
+  return weblog::Dataset::from_requests(profile.name,
+                                        std::move(workload.value().requests));
+}
+
+}  // namespace fullweb::synth

@@ -1,0 +1,68 @@
+// Synthetic Web workload generation.
+//
+// Construction (a Cox / M/G/infinity-style model):
+//  1. A per-second session-arrival intensity is built from a linear trend,
+//     a 24-hour sinusoid, and exp-transformed fractional Gaussian noise
+//     (Hurst H from the profile). Session starts are Poisson within each
+//     second given the intensity — so arrivals are Poisson at sub-second
+//     scales but long-range dependent at scales of seconds and above,
+//     exactly the structure reported for real traffic ([15], §4.2).
+//  2. Each session draws a heavy-tailed number of requests and walks
+//     through think-time gaps (object/page/reading-break mixture, capped
+//     below the 30-minute threshold) and per-request transfer sizes
+//     (lognormal body, Pareto tail).
+//  3. The request stream is the superposition over sessions; heavy-tailed
+//     session "ON periods" make it LRD as well ([28]).
+//
+// The generated ground-truth session table is returned alongside the
+// request records so integration tests can verify the sessionizer recovers
+// it exactly.
+#pragma once
+
+#include <vector>
+
+#include "support/result.h"
+#include "support/rng.h"
+#include "synth/profile.h"
+#include "weblog/dataset.h"
+#include "weblog/entry.h"
+#include "weblog/sessionizer.h"
+
+namespace fullweb::synth {
+
+struct GeneratorOptions {
+  double scale = 1.0;            ///< multiply the profile's weekly volume
+  double duration = 7.0 * 86400; ///< observation window (seconds)
+  double start_time = 1073865600.0;  ///< 12-Jan-2004 00:00 UTC (Table 1)
+  /// Probability a session reuses an idle client IP (exercises the
+  /// sessionizer's grouping logic); reused clients are guaranteed at least
+  /// two thresholds of inactivity so ground-truth sessions stay intact.
+  double client_reuse_prob = 0.2;
+  bool quantize_to_seconds = true;   ///< emulate 1-second log granularity
+};
+
+struct GeneratedWorkload {
+  std::vector<weblog::Request> requests;      ///< sorted by time
+  std::vector<weblog::Session> true_sessions; ///< ground truth, sorted by start
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::size_t clients = 0;
+};
+
+/// Generate one server-week. Errors on nonsensical options (zero duration,
+/// scale <= 0).
+[[nodiscard]] support::Result<GeneratedWorkload> generate_workload(
+    const ServerProfile& profile, const GeneratorOptions& options,
+    support::Rng& rng);
+
+/// Render the generated requests as CLF log entries (synthetic IPs, paths,
+/// status codes) — the input format for the end-to-end parse pipeline.
+[[nodiscard]] std::vector<weblog::LogEntry> to_log_entries(
+    const GeneratedWorkload& workload, support::Rng& rng);
+
+/// Convenience: generate and wrap in a Dataset (no text round-trip).
+[[nodiscard]] support::Result<weblog::Dataset> generate_dataset(
+    const ServerProfile& profile, const GeneratorOptions& options,
+    support::Rng& rng);
+
+}  // namespace fullweb::synth

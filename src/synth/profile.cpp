@@ -1,0 +1,107 @@
+#include "synth/profile.h"
+
+namespace fullweb::synth {
+
+// Calibration notes (per profile):
+//  * week_sessions and requests_mean reproduce Table 1 volumes
+//    (requests = week_sessions * requests_mean; MB via the byte model,
+//    whose body_log_mu is solved from the target mean bytes/request).
+//  * requests_alpha comes from Table 3 Week; bytes.tail_alpha from Table 4
+//    Week; think.scale_alpha (the per-session tempo-multiplier tail, which
+//    drives session LENGTH) from Table 2 Week.
+//  * hurst/rate_log_sigma set the arrival-process LRD level: the paper finds
+//    the degree of self-similarity grows with workload intensity (WVU
+//    highest, NASA-Pub2 barely above 0.5). rate_log_sigma also controls how
+//    decisively the piecewise-Poisson tests reject on the busy servers
+//    (§4.2 / §5.1.2).
+//  * Pareto location parameters are solved from the target means:
+//    k = mean * (alpha - 1) / alpha.
+
+ServerProfile ServerProfile::wvu() {
+  ServerProfile p;
+  p.name = "WVU";
+  p.week_sessions = 188213.0;
+  p.requests_mean = 83.9;       // 15.79M requests / 188k sessions
+  p.hurst = 0.88;
+  p.rate_log_sigma = 0.80;
+  p.diurnal_amplitude = 0.55;
+  p.diurnal_phase = 0.0;
+  p.trend_per_week = 0.08;
+  p.requests_alpha = 2.15;      // Table 3
+  // 90% object gaps (embedded resources), pages ~e^3.5 s; tempo tail 1.80.
+  p.think = {0.90, 0.4, 3.0, 1.0, 1.80, 300.0, 0.5, 1700.0};   // Table 2: 1.80
+  // mean bytes/request target: 34,485 MB / 15.79M = ~2,290 B.
+  p.bytes = {6.891, 1.3, 1.45, 0.3103, 3.0e4, 4.0e9};          // Table 4: 1.45
+  p.bench_scale = 0.10;
+  return p;
+}
+
+ServerProfile ServerProfile::clarknet() {
+  ServerProfile p;
+  p.name = "ClarkNet";
+  p.week_sessions = 139745.0;
+  p.requests_mean = 11.84;
+  p.hurst = 0.82;
+  p.rate_log_sigma = 0.70;
+  p.diurnal_amplitude = 0.50;
+  p.diurnal_phase = 0.8;
+  p.trend_per_week = 0.05;
+  p.requests_alpha = 2.59;
+  p.think = {0.55, 0.4, 3.4, 1.0, 1.72, 300.0, 0.5, 1700.0};
+  // mean bytes/request target: ~8,330 B.
+  p.bytes = {8.183, 1.3, 1.84, 0.4565, 3.0e4, 4.0e9};
+  p.bench_scale = 0.50;
+  return p;
+}
+
+ServerProfile ServerProfile::csee() {
+  ServerProfile p;
+  p.name = "CSEE";
+  p.week_sessions = 34343.0;
+  p.requests_mean = 11.55;
+  p.hurst = 0.72;
+  p.rate_log_sigma = 0.50;
+  p.diurnal_amplitude = 0.50;
+  p.diurnal_phase = 0.3;
+  p.trend_per_week = 0.06;
+  p.requests_alpha = 1.93;
+  p.think = {0.55, 0.4, 3.4, 1.0, 2.33, 300.0, 0.5, 1700.0};
+  // mean bytes/request target: ~25,600 B (infinite-mean factor, capped;
+  // E[factor] ~ 0.995 with k = 0.05, cap 3e4).
+  p.bytes = {9.310, 1.3, 0.95, 0.05, 3.0e4, 4.0e9};
+  p.bench_scale = 1.0;
+  return p;
+}
+
+ServerProfile ServerProfile::nasa_pub2() {
+  ServerProfile p;
+  p.name = "NASA-Pub2";
+  p.week_sessions = 3723.0;
+  p.requests_mean = 10.51;
+  p.hurst = 0.58;
+  p.rate_log_sigma = 0.35;
+  // Amplitude tuned so the sparse SESSION series passes KPSS while the
+  // request series (10x the events + sustained robot bursts) rejects —
+  // the paper's NASA-Pub2 asymmetry.
+  p.diurnal_amplitude = 0.32;
+  p.diurnal_phase = 0.5;
+  p.trend_per_week = 0.03;
+  p.requests_alpha = 1.62;
+  // Capped at 60 requests/session: with only 39k requests per week a
+  // single unbounded Pareto(1.62) draw would be a double-digit share of
+  // the whole trace and its burst would swamp every whole-trace statistic
+  // (H estimates read 0.9+). The Table 3 LLCD/Hill fits read the tail over
+  // roughly R in [10, 60], where the index is intact.
+  p.requests_cap = 60.0;
+  p.think = {0.55, 0.4, 3.4, 1.0, 2.29, 60.0, 0.3, 1700.0};
+  // mean bytes/request target: ~7,950 B.
+  p.bytes = {8.136, 1.3, 1.42, 0.2958, 3.0e4, 4.0e9};
+  p.bench_scale = 1.0;
+  return p;
+}
+
+std::vector<ServerProfile> ServerProfile::all_four() {
+  return {wvu(), clarknet(), csee(), nasa_pub2()};
+}
+
+}  // namespace fullweb::synth

@@ -1,0 +1,166 @@
+#include "synth/profile_io.h"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace fullweb::synth {
+
+using support::Error;
+using support::Result;
+using support::Status;
+
+namespace {
+
+/// Field registry: one place defines serialization order, names, and
+/// accessors for both directions.
+struct Field {
+  const char* key;
+  std::function<double(const ServerProfile&)> get;
+  std::function<void(ServerProfile&, double)> set;
+};
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      {"week_sessions", [](const ServerProfile& p) { return p.week_sessions; },
+       [](ServerProfile& p, double v) { p.week_sessions = v; }},
+      {"requests_mean", [](const ServerProfile& p) { return p.requests_mean; },
+       [](ServerProfile& p, double v) { p.requests_mean = v; }},
+      {"hurst", [](const ServerProfile& p) { return p.hurst; },
+       [](ServerProfile& p, double v) { p.hurst = v; }},
+      {"rate_log_sigma",
+       [](const ServerProfile& p) { return p.rate_log_sigma; },
+       [](ServerProfile& p, double v) { p.rate_log_sigma = v; }},
+      {"diurnal_amplitude",
+       [](const ServerProfile& p) { return p.diurnal_amplitude; },
+       [](ServerProfile& p, double v) { p.diurnal_amplitude = v; }},
+      {"diurnal_phase", [](const ServerProfile& p) { return p.diurnal_phase; },
+       [](ServerProfile& p, double v) { p.diurnal_phase = v; }},
+      {"trend_per_week",
+       [](const ServerProfile& p) { return p.trend_per_week; },
+       [](ServerProfile& p, double v) { p.trend_per_week = v; }},
+      {"requests_alpha",
+       [](const ServerProfile& p) { return p.requests_alpha; },
+       [](ServerProfile& p, double v) { p.requests_alpha = v; }},
+      {"requests_cap", [](const ServerProfile& p) { return p.requests_cap; },
+       [](ServerProfile& p, double v) { p.requests_cap = v; }},
+      {"think.p_object", [](const ServerProfile& p) { return p.think.p_object; },
+       [](ServerProfile& p, double v) { p.think.p_object = v; }},
+      {"think.object_mean",
+       [](const ServerProfile& p) { return p.think.object_mean; },
+       [](ServerProfile& p, double v) { p.think.object_mean = v; }},
+      {"think.page_log_mu",
+       [](const ServerProfile& p) { return p.think.page_log_mu; },
+       [](ServerProfile& p, double v) { p.think.page_log_mu = v; }},
+      {"think.page_log_sigma",
+       [](const ServerProfile& p) { return p.think.page_log_sigma; },
+       [](ServerProfile& p, double v) { p.think.page_log_sigma = v; }},
+      {"think.scale_alpha",
+       [](const ServerProfile& p) { return p.think.scale_alpha; },
+       [](ServerProfile& p, double v) { p.think.scale_alpha = v; }},
+      {"think.crawler_requests",
+       [](const ServerProfile& p) { return p.think.crawler_requests; },
+       [](ServerProfile& p, double v) { p.think.crawler_requests = v; }},
+      {"think.crawler_gap_mean",
+       [](const ServerProfile& p) { return p.think.crawler_gap_mean; },
+       [](ServerProfile& p, double v) { p.think.crawler_gap_mean = v; }},
+      {"think.gap_cap", [](const ServerProfile& p) { return p.think.gap_cap; },
+       [](ServerProfile& p, double v) { p.think.gap_cap = v; }},
+      {"bytes.body_log_mu",
+       [](const ServerProfile& p) { return p.bytes.body_log_mu; },
+       [](ServerProfile& p, double v) { p.bytes.body_log_mu = v; }},
+      {"bytes.body_log_sigma",
+       [](const ServerProfile& p) { return p.bytes.body_log_sigma; },
+       [](ServerProfile& p, double v) { p.bytes.body_log_sigma = v; }},
+      {"bytes.scale_alpha",
+       [](const ServerProfile& p) { return p.bytes.scale_alpha; },
+       [](ServerProfile& p, double v) { p.bytes.scale_alpha = v; }},
+      {"bytes.scale_k", [](const ServerProfile& p) { return p.bytes.scale_k; },
+       [](ServerProfile& p, double v) { p.bytes.scale_k = v; }},
+      {"bytes.scale_cap",
+       [](const ServerProfile& p) { return p.bytes.scale_cap; },
+       [](ServerProfile& p, double v) { p.bytes.scale_cap = v; }},
+      {"bytes.cap", [](const ServerProfile& p) { return p.bytes.cap; },
+       [](ServerProfile& p, double v) { p.bytes.cap = v; }},
+      {"bench_scale", [](const ServerProfile& p) { return p.bench_scale; },
+       [](ServerProfile& p, double v) { p.bench_scale = v; }},
+  };
+  return kFields;
+}
+
+}  // namespace
+
+void write_profile(std::ostream& os, const ServerProfile& profile) {
+  os << "# FULL-Web generative workload profile\n";
+  os << "name = " << profile.name << '\n';
+  for (const auto& f : fields()) {
+    os << f.key << " = " << support::format_sig(f.get(profile), 10) << '\n';
+  }
+}
+
+std::string profile_to_text(const ServerProfile& profile) {
+  std::ostringstream os;
+  write_profile(os, profile);
+  return os.str();
+}
+
+Result<ServerProfile> read_profile(std::istream& is) {
+  std::map<std::string, const Field*> by_key;
+  for (const auto& f : fields()) by_key[f.key] = &f;
+
+  ServerProfile profile;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string_view trimmed = support::trim(line);
+    if (trimmed.empty()) continue;
+
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos)
+      return Error::parse("profile line " + std::to_string(line_no) +
+                          ": expected 'key = value'");
+    const std::string key{support::trim(trimmed.substr(0, eq))};
+    const std::string value{support::trim(trimmed.substr(eq + 1))};
+
+    if (key == "name") {
+      profile.name = value;
+      continue;
+    }
+    auto it = by_key.find(key);
+    if (it == by_key.end())
+      return Error::parse("profile line " + std::to_string(line_no) +
+                          ": unknown key '" + key + "'");
+    const auto parsed = support::parse_double(value);
+    if (!parsed)
+      return Error::parse("profile line " + std::to_string(line_no) +
+                          ": bad number '" + value + "'");
+    it->second->set(profile, *parsed);
+  }
+  return profile;
+}
+
+Result<ServerProfile> profile_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_profile(is);
+}
+
+Status save_profile(const std::string& path, const ServerProfile& profile) {
+  std::ofstream os(path);
+  if (!os) return Error::invalid_argument("save_profile: cannot open " + path);
+  write_profile(os, profile);
+  return os.good() ? Status{} : Status{Error::numeric("save_profile: write failed")};
+}
+
+Result<ServerProfile> load_profile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Error::invalid_argument("load_profile: cannot open " + path);
+  return read_profile(is);
+}
+
+}  // namespace fullweb::synth

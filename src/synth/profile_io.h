@@ -1,0 +1,32 @@
+// ServerProfile persistence: a stable, human-editable `key = value` text
+// format so fitted workload models (synth/fit.h) can be stored, diffed,
+// versioned, and replayed later — the artifact a capacity-planning team
+// would actually keep instead of raw logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "support/result.h"
+#include "synth/profile.h"
+
+namespace fullweb::synth {
+
+/// Serialize to the text format (stable key order, one `key = value` per
+/// line, '#' comments allowed on read).
+[[nodiscard]] std::string profile_to_text(const ServerProfile& profile);
+void write_profile(std::ostream& os, const ServerProfile& profile);
+
+/// Parse a profile. Unknown keys are an error (typo safety); missing keys
+/// keep their ServerProfile defaults. Values must parse as numbers except
+/// `name`.
+[[nodiscard]] support::Result<ServerProfile> profile_from_text(
+    const std::string& text);
+[[nodiscard]] support::Result<ServerProfile> read_profile(std::istream& is);
+
+/// Convenience file round trips.
+[[nodiscard]] support::Status save_profile(const std::string& path,
+                                           const ServerProfile& profile);
+[[nodiscard]] support::Result<ServerProfile> load_profile(const std::string& path);
+
+}  // namespace fullweb::synth

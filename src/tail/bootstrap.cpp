@@ -1,0 +1,84 @@
+#include "tail/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace fullweb::tail {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// Shared driver: point estimate + percentile interval over resamples.
+Result<BootstrapCi> bootstrap_ci(
+    std::span<const double> samples, support::Rng& rng,
+    const BootstrapOptions& options,
+    const std::function<Result<double>(std::span<const double>)>& estimator) {
+  if (samples.size() < 20)
+    return Error::insufficient_data("bootstrap_ci: need n >= 20");
+  if (!(options.level > 0.0 && options.level < 1.0))
+    return Error::invalid_argument("bootstrap_ci: level must be in (0,1)");
+  if (options.replicates < 20)
+    return Error::invalid_argument("bootstrap_ci: need >= 20 replicates");
+
+  auto point = estimator(samples);
+  if (!point) return point.error();
+
+  std::vector<double> resample(samples.size());
+  std::vector<double> estimates;
+  estimates.reserve(options.replicates);
+  for (std::size_t b = 0; b < options.replicates; ++b) {
+    for (auto& v : resample) v = samples[rng.below(samples.size())];
+    if (auto est = estimator(resample); est.ok())
+      estimates.push_back(est.value());
+  }
+  const double success = static_cast<double>(estimates.size()) /
+                         static_cast<double>(options.replicates);
+  if (success < options.min_success)
+    return Error::numeric(
+        "bootstrap_ci: estimator failed on most resamples (tail too sparse)");
+
+  std::sort(estimates.begin(), estimates.end());
+  const double tail = 0.5 * (1.0 - options.level);
+  BootstrapCi ci;
+  ci.estimate = point.value();
+  ci.lo = stats::quantile_sorted(estimates, tail);
+  ci.hi = stats::quantile_sorted(estimates, 1.0 - tail);
+  ci.replicates_used = estimates.size();
+  return ci;
+}
+
+}  // namespace
+
+Result<BootstrapCi> bootstrap_llcd_ci(std::span<const double> samples,
+                                      support::Rng& rng,
+                                      const BootstrapOptions& options,
+                                      const LlcdOptions& llcd) {
+  return bootstrap_ci(samples, rng, options,
+                      [&llcd](std::span<const double> xs) -> Result<double> {
+                        auto fit = llcd_fit(xs, llcd);
+                        if (!fit) return fit.error();
+                        return fit.value().alpha;
+                      });
+}
+
+Result<BootstrapCi> bootstrap_hill_ci(std::span<const double> samples,
+                                      support::Rng& rng,
+                                      const BootstrapOptions& options,
+                                      const HillOptions& hill) {
+  return bootstrap_ci(samples, rng, options,
+                      [&hill](std::span<const double> xs) -> Result<double> {
+                        auto est = hill_estimate(xs, hill);
+                        if (!est) return est.error();
+                        if (!est.value().stabilized)
+                          return Error::numeric("hill not stabilized");
+                        return est.value().alpha;
+                      });
+}
+
+}  // namespace fullweb::tail

@@ -1,0 +1,46 @@
+// Bootstrap confidence intervals for tail-index estimates.
+//
+// The paper reports the LLCD regression's least-squares standard error
+// (sigma_alpha), which understates the real uncertainty: LLCD points are
+// ECDF values and strongly dependent, and the Hill estimate has no simple
+// finite-sample SE at all. Nonparametric bootstrap percentile intervals
+// (resample the SAMPLE, re-run the whole estimator) give an honest
+// uncertainty measure for both, and quantify how much wider than
+// sigma_alpha the truth is.
+#pragma once
+
+#include <span>
+
+#include "support/result.h"
+#include "support/rng.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
+
+namespace fullweb::tail {
+
+struct BootstrapCi {
+  double estimate = 0.0;   ///< point estimate on the original sample
+  double lo = 0.0;         ///< percentile interval lower bound
+  double hi = 0.0;         ///< percentile interval upper bound
+  std::size_t replicates_used = 0;  ///< resamples whose estimator succeeded
+};
+
+struct BootstrapOptions {
+  std::size_t replicates = 199;
+  double level = 0.95;     ///< two-sided confidence level
+  /// Minimum fraction of replicates that must produce an estimate; below
+  /// this the interval is unreliable and an error is returned.
+  double min_success = 0.5;
+};
+
+/// Percentile bootstrap CI for alpha_LLCD.
+[[nodiscard]] support::Result<BootstrapCi> bootstrap_llcd_ci(
+    std::span<const double> samples, support::Rng& rng,
+    const BootstrapOptions& options = {}, const LlcdOptions& llcd = {});
+
+/// Percentile bootstrap CI for alpha_Hill (only stabilized replicates count).
+[[nodiscard]] support::Result<BootstrapCi> bootstrap_hill_ci(
+    std::span<const double> samples, support::Rng& rng,
+    const BootstrapOptions& options = {}, const HillOptions& hill = {});
+
+}  // namespace fullweb::tail

@@ -1,0 +1,53 @@
+// Hill estimator of the tail index (paper eq. 5).
+//
+// For ordered statistics X_(1) >= X_(2) >= ... >= X_(n),
+//   H_{k,n} = (1/k) Σ_{i=1..k} [log X_(i) - log X_(k+1)],
+// and alpha_{k,n} = 1 / H_{k,n}. The Hill plot draws alpha_{k,n} against k;
+// when it settles to a roughly constant level the data are consistent with
+// a Pareto-type tail and that level estimates alpha. A plot that never
+// stabilizes is the paper's "NS" verdict — strong evidence *against* the
+// semiparametric Pareto model (Resnick 1997).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/result.h"
+
+namespace fullweb::tail {
+
+struct HillOptions {
+  /// Largest k as a fraction of n (the paper restricts Fig. 12 to the upper
+  /// 14% tail; we default slightly wider).
+  double max_tail_fraction = 0.15;
+  std::size_t min_k = 10;  ///< ignore the noisy smallest-k region entirely
+  /// Stabilization criterion: the coefficient of variation of alpha_{k,n}
+  /// over the deep-tail region k in [k_max/3, k_max] must stay below this;
+  /// drifting plots (non-Pareto data) exceed it and are reported NS.
+  double stability_cv = 0.075;
+};
+
+struct HillPlot {
+  std::vector<std::size_t> k;   ///< number of upper-order statistics used
+  std::vector<double> alpha;    ///< alpha_{k,n}
+};
+
+struct HillEstimate {
+  double alpha = 0.0;           ///< mean of alpha over the stable window
+  std::size_t k_low = 0;        ///< stable window bounds (inclusive)
+  std::size_t k_high = 0;
+  bool stabilized = false;      ///< false => report as "NS"
+};
+
+/// Compute the Hill plot over k = 1 .. floor(max_tail_fraction * n).
+/// Requires at least ~2/max_tail_fraction positive samples.
+[[nodiscard]] support::Result<HillPlot> hill_plot(std::span<const double> xs,
+                                                  const HillOptions& options = {});
+
+/// Scan the plot for the most stable window and report its mean alpha.
+/// `stabilized == false` reproduces the paper's NS entries; an error is the
+/// paper's NA (not enough data to compute the plot at all).
+[[nodiscard]] support::Result<HillEstimate> hill_estimate(
+    std::span<const double> xs, const HillOptions& options = {});
+
+}  // namespace fullweb::tail

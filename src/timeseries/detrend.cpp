@@ -1,0 +1,28 @@
+#include "timeseries/detrend.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace fullweb::timeseries {
+
+TrendFit detrend_linear(std::span<const double> xs, bool keep_mean) {
+  TrendFit out;
+  const std::size_t n = xs.size();
+  out.residual.assign(xs.begin(), xs.end());
+  if (n < 2) return out;
+
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) t[i] = static_cast<double>(i);
+  out.fit = stats::ols(t, xs);
+
+  const double m = stats::mean(xs);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.residual[i] = xs[i] - out.fit.predict(t[i]) + (keep_mean ? m : 0.0);
+  }
+  const double drift = out.fit.slope * static_cast<double>(n - 1);
+  out.relative_drift = m != 0.0 ? std::fabs(drift / m) : std::fabs(drift);
+  return out;
+}
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,28 @@
+// Trend estimation and removal.
+//
+// The paper (§4.1) estimates a linear trend by least squares and removes it
+// before Hurst estimation; all four servers showed "a slight trend".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/regression.h"
+
+namespace fullweb::timeseries {
+
+struct TrendFit {
+  stats::LinearFit fit;          ///< y = intercept + slope * t (t in samples)
+  std::vector<double> residual;  ///< x_t - fitted trend
+  /// Trend magnitude relative to the series mean over the window — a cheap
+  /// effect-size diagnostic reported alongside the KPSS verdict.
+  double relative_drift = 0.0;
+};
+
+/// Least-squares linear detrend. The returned residual preserves the series
+/// mean (the fitted mean level is added back) so downstream rate-sensitive
+/// analyses keep physical units; set `keep_mean = false` for zero-mean output.
+[[nodiscard]] TrendFit detrend_linear(std::span<const double> xs,
+                                      bool keep_mean = true);
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,71 @@
+#include "timeseries/fgn.h"
+
+#include <cmath>
+#include <complex>
+
+#include "stats/fft.h"
+
+namespace fullweb::timeseries {
+
+using support::Error;
+using support::Result;
+
+double fgn_autocovariance(double hurst, std::size_t lag) noexcept {
+  if (lag == 0) return 1.0;
+  const double k = static_cast<double>(lag);
+  const double h2 = 2.0 * hurst;
+  return 0.5 * (std::pow(k + 1.0, h2) - 2.0 * std::pow(k, h2) +
+                std::pow(k - 1.0, h2));
+}
+
+Result<std::vector<double>> generate_fgn(std::size_t n, double hurst, double sigma,
+                                         support::Rng& rng) {
+  if (n == 0) return std::vector<double>{};
+  if (!(hurst > 0.0 && hurst < 1.0))
+    return Error::invalid_argument("generate_fgn: H must be in (0,1)");
+  if (!(sigma >= 0.0))
+    return Error::invalid_argument("generate_fgn: sigma must be >= 0");
+  if (n == 1) {
+    return std::vector<double>{sigma * rng.normal()};
+  }
+
+  // Circulant embedding: first row c = [g(0), g(1), .., g(n-1), g(n),
+  // g(n-1), .., g(1)] of size 2n. Its eigenvalues are the FFT of c and are
+  // non-negative for fGn covariances.
+  const std::size_t m = 2 * n;
+  std::vector<std::complex<double>> eigen(m);
+  for (std::size_t k = 0; k <= n; ++k)
+    eigen[k] = {fgn_autocovariance(hurst, k), 0.0};
+  for (std::size_t k = n + 1; k < m; ++k) eigen[k] = eigen[m - k];
+  stats::fft(eigen);
+
+  // Clip round-off negatives; genuinely negative eigenvalues would mean the
+  // embedding failed (cannot happen for 0 < H < 1, so treat as a bug guard).
+  double min_eig = 0.0;
+  for (auto& e : eigen) {
+    min_eig = std::min(min_eig, e.real());
+    if (e.real() < 0.0) e = {0.0, 0.0};
+  }
+  if (min_eig < -1e-6 * static_cast<double>(m))
+    return Error::numeric("generate_fgn: circulant embedding not PSD");
+
+  // Build the random spectrum W with the Hermitian symmetry that makes the
+  // inverse transform real.
+  std::vector<std::complex<double>> w(m);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  w[0] = {std::sqrt(eigen[0].real() * inv_m) * rng.normal(), 0.0};
+  w[n] = {std::sqrt(eigen[n].real() * inv_m) * rng.normal(), 0.0};
+  for (std::size_t k = 1; k < n; ++k) {
+    const double scale = std::sqrt(0.5 * eigen[k].real() * inv_m);
+    const std::complex<double> z(scale * rng.normal(), scale * rng.normal());
+    w[k] = z;
+    w[m - k] = std::conj(z);
+  }
+
+  stats::fft(w);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = sigma * w[i].real();
+  return out;
+}
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,34 @@
+// Exact fractional Gaussian noise synthesis (Davies-Harte circulant
+// embedding).
+//
+// fGn is the canonical stationary LRD process: the increments of fractional
+// Brownian motion with Hurst exponent H, autocovariance
+//   gamma(k) = (sigma^2 / 2) (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
+// We use it (a) as the ground-truth process for validating every Hurst
+// estimator, and (b) to modulate the synthetic workload generator's arrival
+// intensity so the generated traffic is long-range dependent.
+//
+// Reference: Davies & Harte (1987); see also Paxson, "Fast, approximate
+// synthesis of fractional Gaussian noise" (CCR 1997) for context.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace fullweb::timeseries {
+
+/// Theoretical fGn autocovariance gamma(k) for unit variance.
+[[nodiscard]] double fgn_autocovariance(double hurst, std::size_t lag) noexcept;
+
+/// Generate n samples of zero-mean fGn with the given Hurst exponent and
+/// marginal standard deviation. H must lie in (0, 1); H = 0.5 reduces to
+/// white noise. Errors if the circulant embedding produces a significantly
+/// negative eigenvalue (does not happen for the admissible H range; small
+/// negative values from round-off are clipped).
+[[nodiscard]] support::Result<std::vector<double>> generate_fgn(
+    std::size_t n, double hurst, double sigma, support::Rng& rng);
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,41 @@
+// Periodicity detection and seasonal-component removal.
+//
+// The paper finds a 24-hour period (day/night traffic cycle) in every
+// request-based series via the periodogram, and removes the seasonal
+// component by differencing (Box-Jenkins seasonal differencing) before
+// re-running the KPSS test and the Hurst estimators. A seasonal-means
+// alternative is provided for the stationarity ablation bench: unlike
+// differencing it preserves series length and does not recolor the spectrum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/result.h"
+
+namespace fullweb::timeseries {
+
+/// Find the dominant period (in samples) of `xs` via the periodogram,
+/// searching periods in [min_period, max_period]. Rounds to the nearest
+/// integer number of samples. Errors when the series is too short
+/// (needs at least two full cycles of max_period).
+[[nodiscard]] support::Result<std::size_t> detect_period(
+    std::span<const double> xs, std::size_t min_period, std::size_t max_period);
+
+/// Seasonal differencing: y_t = x_t - x_{t-s}. Output has n - s samples.
+/// Precondition: 1 <= s < xs.size().
+[[nodiscard]] std::vector<double> seasonal_difference(std::span<const double> xs,
+                                                      std::size_t period);
+
+/// Seasonal-means removal: subtract the mean of each phase (t mod s) and add
+/// back the grand mean. Output has the same length as the input.
+[[nodiscard]] std::vector<double> remove_seasonal_means(std::span<const double> xs,
+                                                        std::size_t period);
+
+/// Ratio of periodogram power at the detected period (+/- one bin) to total
+/// power — an effect-size diagnostic for "how periodic is this series".
+[[nodiscard]] double seasonal_strength(std::span<const double> xs,
+                                       std::size_t period);
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,75 @@
+#include "timeseries/wavelet.h"
+
+#include <array>
+#include <cmath>
+
+namespace fullweb::timeseries {
+
+namespace {
+
+struct FilterPair {
+  std::vector<double> h;  ///< low-pass (scaling)
+  std::vector<double> g;  ///< high-pass (wavelet): g_k = (-1)^k h_{L-1-k}
+};
+
+FilterPair make_filters(WaveletKind kind) {
+  FilterPair f;
+  switch (kind) {
+    case WaveletKind::kHaar: {
+      const double s = 1.0 / std::sqrt(2.0);
+      f.h = {s, s};
+      break;
+    }
+    case WaveletKind::kD4: {
+      const double r3 = std::sqrt(3.0);
+      const double norm = 4.0 * std::sqrt(2.0);
+      f.h = {(1.0 + r3) / norm, (3.0 + r3) / norm, (3.0 - r3) / norm,
+             (1.0 - r3) / norm};
+      break;
+    }
+  }
+  const std::size_t len = f.h.size();
+  f.g.resize(len);
+  for (std::size_t k = 0; k < len; ++k) {
+    const double sign = (k % 2 == 0) ? 1.0 : -1.0;
+    f.g[k] = sign * f.h[len - 1 - k];
+  }
+  return f;
+}
+
+}  // namespace
+
+WaveletDecomposition dwt(std::span<const double> xs, WaveletKind kind,
+                         std::size_t min_coeffs) {
+  const FilterPair f = make_filters(kind);
+  const std::size_t flen = f.h.size();
+
+  WaveletDecomposition out;
+  std::vector<double> approx(xs.begin(), xs.end());
+  if (min_coeffs < 2) min_coeffs = 2;
+
+  while (approx.size() / 2 >= min_coeffs && approx.size() >= flen) {
+    if (approx.size() % 2 != 0) approx.pop_back();
+    const std::size_t half = approx.size() / 2;
+    std::vector<double> next(half, 0.0);
+    std::vector<double> detail(half, 0.0);
+    const std::size_t n = approx.size();
+    for (std::size_t k = 0; k < half; ++k) {
+      double a = 0.0;
+      double d = 0.0;
+      for (std::size_t t = 0; t < flen; ++t) {
+        const std::size_t idx = (2 * k + t) % n;  // periodic extension
+        a += f.h[t] * approx[idx];
+        d += f.g[t] * approx[idx];
+      }
+      next[k] = a;
+      detail[k] = d;
+    }
+    out.details.push_back(std::move(detail));
+    approx = std::move(next);
+  }
+  out.final_approximation = std::move(approx);
+  return out;
+}
+
+}  // namespace fullweb::timeseries

@@ -1,0 +1,199 @@
+#include "weblog/clf.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+
+#include "support/strings.h"
+
+namespace fullweb::weblog {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's algorithm).
+long long days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const long long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153U * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;                     // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<long long>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+void civil_from_days(long long z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const long long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long long yy = static_cast<long long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+int month_from_abbrev(std::string_view s) noexcept {
+  for (std::size_t i = 0; i < kMonths.size(); ++i)
+    if (s == kMonths[i]) return static_cast<int>(i) + 1;
+  return 0;
+}
+
+}  // namespace
+
+std::string format_clf_timestamp(double epoch_seconds) {
+  const auto total = static_cast<long long>(std::floor(epoch_seconds));
+  long long days = total / 86400;
+  long long sod = total % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  int y, m, d;
+  civil_from_days(days, y, m, d);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "[%02d/%s/%04d:%02lld:%02lld:%02lld +0000]", d,
+                kMonths[static_cast<std::size_t>(m - 1)], y, sod / 3600,
+                (sod / 60) % 60, sod % 60);
+  return buf;
+}
+
+Result<double> parse_clf_timestamp(std::string_view text) {
+  // "[dd/Mon/yyyy:HH:MM:SS +zzzz]" — brackets optional here.
+  if (!text.empty() && text.front() == '[') text.remove_prefix(1);
+  if (!text.empty() && text.back() == ']') text.remove_suffix(1);
+  // dd/Mon/yyyy:HH:MM:SS +zzzz
+  if (text.size() < 20) return Error::parse("timestamp too short");
+
+  const auto day = support::parse_int(text.substr(0, 2));
+  const int mon = month_from_abbrev(text.substr(3, 3));
+  const auto year = support::parse_int(text.substr(7, 4));
+  const auto hh = support::parse_int(text.substr(12, 2));
+  const auto mm = support::parse_int(text.substr(15, 2));
+  const auto ss = support::parse_int(text.substr(18, 2));
+  if (!day || mon == 0 || !year || !hh || !mm || !ss ||
+      text[2] != '/' || text[6] != '/' || text[11] != ':' || text[14] != ':' ||
+      text[17] != ':')
+    return Error::parse("malformed timestamp: " + std::string(text));
+
+  long long offset_seconds = 0;
+  if (text.size() >= 26 && (text[21] == '+' || text[21] == '-')) {
+    const auto oh = support::parse_int(text.substr(22, 2));
+    const auto om = support::parse_int(text.substr(24, 2));
+    if (!oh || !om) return Error::parse("malformed timezone offset");
+    offset_seconds = (*oh * 3600 + *om * 60) * (text[21] == '+' ? 1 : -1);
+  }
+
+  const long long days = days_from_civil(static_cast<int>(*year), mon,
+                                         static_cast<int>(*day));
+  const long long local = days * 86400 + *hh * 3600 + *mm * 60 + *ss;
+  return static_cast<double>(local - offset_seconds);
+}
+
+Result<LogEntry> parse_clf_line(std::string_view line) {
+  LogEntry e;
+  line = support::trim(line);
+  if (line.empty()) return Error::parse("empty line");
+
+  // host
+  auto sp = line.find(' ');
+  if (sp == std::string_view::npos) return Error::parse("missing fields");
+  e.client = std::string(line.substr(0, sp));
+  line.remove_prefix(sp + 1);
+
+  // ident authuser — skip two space-separated tokens (authuser may contain
+  // no spaces in CLF).
+  for (int skip = 0; skip < 2; ++skip) {
+    sp = line.find(' ');
+    if (sp == std::string_view::npos) return Error::parse("missing fields");
+    line.remove_prefix(sp + 1);
+  }
+
+  // [timestamp]
+  if (line.empty() || line.front() != '[') return Error::parse("missing timestamp");
+  const auto rb = line.find(']');
+  if (rb == std::string_view::npos) return Error::parse("unterminated timestamp");
+  auto ts = parse_clf_timestamp(line.substr(0, rb + 1));
+  if (!ts) return ts.error();
+  e.timestamp = ts.value();
+  line.remove_prefix(rb + 1);
+  line = support::trim(line);
+
+  // "request"
+  if (line.empty() || line.front() != '"') return Error::parse("missing request");
+  const auto rq = line.find('"', 1);
+  if (rq == std::string_view::npos) return Error::parse("unterminated request");
+  const std::string_view request = line.substr(1, rq - 1);
+  line.remove_prefix(rq + 1);
+  line = support::trim(line);
+
+  if (request != "-") {
+    const auto parts = support::split(request, ' ');
+    if (!parts.empty()) e.method = std::string(parts[0]);
+    if (parts.size() >= 2) e.path = std::string(parts[1]);
+    if (parts.size() >= 3) e.protocol = std::string(parts[2]);
+  }
+
+  // status bytes [trailing Combined fields ignored]
+  sp = line.find(' ');
+  const std::string_view status_tok =
+      sp == std::string_view::npos ? line : line.substr(0, sp);
+  const auto status = support::parse_int(status_tok);
+  if (!status) return Error::parse("bad status: " + std::string(status_tok));
+  e.status = static_cast<int>(*status);
+  if (sp == std::string_view::npos) return Error::parse("missing bytes field");
+  line.remove_prefix(sp + 1);
+  line = support::trim(line);
+
+  sp = line.find(' ');
+  const std::string_view bytes_tok =
+      sp == std::string_view::npos ? line : line.substr(0, sp);
+  if (bytes_tok == "-") {
+    e.bytes = 0;
+  } else {
+    const auto bytes = support::parse_int(bytes_tok);
+    if (!bytes || *bytes < 0)
+      return Error::parse("bad bytes: " + std::string(bytes_tok));
+    e.bytes = static_cast<std::uint64_t>(*bytes);
+  }
+  return e;
+}
+
+std::string to_clf_line(const LogEntry& entry) {
+  std::string request;
+  if (entry.method.empty()) {
+    request = "-";
+  } else {
+    request = entry.method + " " + entry.path +
+              (entry.protocol.empty() ? "" : " " + entry.protocol);
+  }
+  return entry.client + " - - " + format_clf_timestamp(entry.timestamp) + " \"" +
+         request + "\" " + std::to_string(entry.status) + " " +
+         std::to_string(entry.bytes);
+}
+
+std::size_t parse_clf_stream(std::istream& is,
+                             const std::function<void(LogEntry&&)>& on_entry) {
+  std::size_t malformed = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (support::trim(line).empty()) continue;
+    auto e = parse_clf_line(line);
+    if (e.ok()) on_entry(std::move(e).value());
+    else ++malformed;
+  }
+  return malformed;
+}
+
+}  // namespace fullweb::weblog

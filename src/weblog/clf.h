@@ -1,0 +1,38 @@
+// Common Log Format (CLF) / Combined Log Format parsing and emission.
+//
+// CLF:      host ident authuser [dd/Mon/yyyy:HH:MM:SS +zzzz] "request" status bytes
+// Combined: CLF + " \"referer\" \"user-agent\""
+// All four servers in the paper logged (a superset of) CLF; the synthetic
+// generator emits CLF so the entire pipeline — text log in, statistics out —
+// is exercised end to end.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "support/result.h"
+#include "weblog/entry.h"
+
+namespace fullweb::weblog {
+
+/// Parse one log line. Tolerates Combined-format trailers (they are
+/// ignored), "-" byte counts, and malformed request lines inside quotes;
+/// returns a parse Error for structurally broken lines.
+[[nodiscard]] support::Result<LogEntry> parse_clf_line(std::string_view line);
+
+/// Render an entry as a CLF line (no trailing newline). ident/authuser are
+/// emitted as "-".
+[[nodiscard]] std::string to_clf_line(const LogEntry& entry);
+
+/// Epoch seconds -> "[dd/Mon/yyyy:HH:MM:SS +0000]" (UTC) and back.
+[[nodiscard]] std::string format_clf_timestamp(double epoch_seconds);
+[[nodiscard]] support::Result<double> parse_clf_timestamp(std::string_view text);
+
+/// Streaming parser: reads every line of `is`, invoking `on_entry` per
+/// parsed record. Returns the number of malformed lines skipped.
+std::size_t parse_clf_stream(std::istream& is,
+                             const std::function<void(LogEntry&&)>& on_entry);
+
+}  // namespace fullweb::weblog

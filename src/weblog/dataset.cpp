@@ -1,0 +1,200 @@
+#include "weblog/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/series.h"
+
+namespace fullweb::weblog {
+
+using support::Error;
+using support::Result;
+
+std::string to_string(Load load) {
+  switch (load) {
+    case Load::kLow: return "Low";
+    case Load::kMed: return "Med";
+    case Load::kHigh: return "High";
+  }
+  return "?";
+}
+
+Result<Dataset> Dataset::from_entries(std::string name,
+                                      std::span<const LogEntry> entries,
+                                      const SessionizerOptions& sessionizer) {
+  if (entries.empty()) return Error::insufficient_data("Dataset: no entries");
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.requests_.reserve(entries.size());
+
+  std::unordered_map<std::string, std::uint32_t> intern;
+  for (const auto& e : entries) {
+    auto [it, inserted] =
+        intern.emplace(e.client, static_cast<std::uint32_t>(intern.size()));
+    ds.requests_.push_back(Request{e.timestamp, it->second,
+                                   static_cast<std::uint16_t>(
+                                       std::clamp(e.status, 0, 65535)),
+                                   e.bytes});
+  }
+  ds.distinct_clients_ = intern.size();
+  ds.finalize(sessionizer);
+  return ds;
+}
+
+Result<Dataset> Dataset::from_requests(std::string name,
+                                       std::vector<Request> requests,
+                                       const SessionizerOptions& sessionizer) {
+  if (requests.empty()) return Error::insufficient_data("Dataset: no requests");
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.requests_ = std::move(requests);
+
+  std::uint32_t max_client = 0;
+  for (const auto& r : ds.requests_) max_client = std::max(max_client, r.client);
+  // Distinct count via a presence bitmap (client ids are dense by contract).
+  std::vector<bool> seen(static_cast<std::size_t>(max_client) + 1, false);
+  std::size_t distinct = 0;
+  for (const auto& r : ds.requests_) {
+    if (!seen[r.client]) {
+      seen[r.client] = true;
+      ++distinct;
+    }
+  }
+  ds.distinct_clients_ = distinct;
+  ds.finalize(sessionizer);
+  return ds;
+}
+
+void Dataset::finalize(const SessionizerOptions& sessionizer) {
+  std::sort(requests_.begin(), requests_.end(),
+            [](const Request& a, const Request& b) { return a.time < b.time; });
+  total_bytes_ = 0;
+  for (const auto& r : requests_) total_bytes_ += r.bytes;
+  t0_ = std::floor(requests_.front().time);
+  t1_ = std::floor(requests_.back().time) + 1.0;
+  sessions_ = sessionize(requests_, sessionizer);
+}
+
+std::vector<double> Dataset::request_times() const {
+  std::vector<double> t;
+  t.reserve(requests_.size());
+  for (const auto& r : requests_) t.push_back(r.time);
+  return t;
+}
+
+std::vector<double> Dataset::session_start_times() const {
+  std::vector<double> t;
+  t.reserve(sessions_.size());
+  for (const auto& s : sessions_) t.push_back(s.start);
+  return t;
+}
+
+std::vector<double> Dataset::requests_per_second(double bin_seconds) const {
+  return requests_per_second(t0_, t1_, bin_seconds);
+}
+
+std::vector<double> Dataset::sessions_per_second(double bin_seconds) const {
+  return sessions_per_second(t0_, t1_, bin_seconds);
+}
+
+std::vector<double> Dataset::requests_per_second(double t0, double t1,
+                                                 double bin_seconds) const {
+  return timeseries::counts_per_bin(request_times(), t0, t1, bin_seconds);
+}
+
+std::vector<double> Dataset::sessions_per_second(double t0, double t1,
+                                                 double bin_seconds) const {
+  return timeseries::counts_per_bin(session_start_times(), t0, t1, bin_seconds);
+}
+
+namespace {
+
+template <typename Extract>
+std::vector<double> session_samples(const std::vector<Session>& sessions, double t0,
+                                    double t1, Extract&& extract) {
+  std::vector<double> out;
+  for (const auto& s : sessions) {
+    if (s.start >= t0 && s.start < t1) out.push_back(extract(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> Dataset::session_lengths() const {
+  return session_lengths(t0_, t1_);
+}
+std::vector<double> Dataset::session_request_counts() const {
+  return session_request_counts(t0_, t1_);
+}
+std::vector<double> Dataset::session_byte_counts() const {
+  return session_byte_counts(t0_, t1_);
+}
+
+std::vector<double> Dataset::session_lengths(double t0, double t1) const {
+  return session_samples(sessions_, t0, t1,
+                         [](const Session& s) { return s.length(); });
+}
+
+std::vector<double> Dataset::session_request_counts(double t0, double t1) const {
+  return session_samples(sessions_, t0, t1, [](const Session& s) {
+    return static_cast<double>(s.requests);
+  });
+}
+
+std::vector<double> Dataset::session_byte_counts(double t0, double t1) const {
+  return session_samples(sessions_, t0, t1, [](const Session& s) {
+    return static_cast<double>(s.bytes);
+  });
+}
+
+std::vector<Interval> Dataset::partition(double interval_seconds) const {
+  std::vector<Interval> out;
+  if (!(interval_seconds > 0.0)) return out;
+  const auto count = static_cast<std::size_t>(
+      std::ceil((t1_ - t0_) / interval_seconds));
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].index = i;
+    out[i].t0 = t0_ + static_cast<double>(i) * interval_seconds;
+    out[i].t1 = std::min(t1_, out[i].t0 + interval_seconds);
+  }
+  for (const auto& r : requests_) {
+    const auto i = std::min(
+        count - 1,
+        static_cast<std::size_t>((r.time - t0_) / interval_seconds));
+    ++out[i].request_count;
+  }
+  for (const auto& s : sessions_) {
+    const auto i = std::min(
+        count - 1,
+        static_cast<std::size_t>((s.start - t0_) / interval_seconds));
+    ++out[i].session_count;
+  }
+  return out;
+}
+
+Result<Interval> Dataset::pick(Load load, double interval_seconds) const {
+  auto parts = partition(interval_seconds);
+  if (parts.size() < 3)
+    return Error::insufficient_data("Dataset::pick: fewer than 3 intervals");
+
+  // Drop the first and last interval if partial (boundary effects), when
+  // enough intervals remain.
+  if (parts.size() >= 5) {
+    const double full = interval_seconds;
+    if (parts.back().t1 - parts.back().t0 < full * 0.999) parts.pop_back();
+  }
+
+  std::sort(parts.begin(), parts.end(), [](const Interval& a, const Interval& b) {
+    return a.request_count < b.request_count;
+  });
+  switch (load) {
+    case Load::kLow: return parts.front();
+    case Load::kMed: return parts[parts.size() / 2];
+    case Load::kHigh: return parts.back();
+  }
+  return Error::invalid_argument("Dataset::pick: bad load class");
+}
+
+}  // namespace fullweb::weblog

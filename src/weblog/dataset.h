@@ -1,0 +1,106 @@
+// Dataset: the in-memory analogue of the paper's per-server database tables.
+//
+// Holds the time-sorted request records and the session table derived from
+// them, provides the per-second counting series, the 42 x 4-hour interval
+// partition of the observation week with Low/Med/High selection (§2), and
+// the intra-session sample vectors consumed by the tail analyses (§5.2).
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/result.h"
+#include "weblog/entry.h"
+#include "weblog/sessionizer.h"
+
+namespace fullweb::weblog {
+
+/// One 4-hour (by default) analysis interval.
+struct Interval {
+  std::size_t index = 0;       ///< position within the observation window
+  double t0 = 0.0;             ///< inclusive start (epoch seconds)
+  double t1 = 0.0;             ///< exclusive end
+  std::size_t request_count = 0;
+  std::size_t session_count = 0;  ///< sessions *starting* in [t0, t1)
+};
+
+/// The paper's workload-intensity classes.
+enum class Load { kLow, kMed, kHigh };
+[[nodiscard]] std::string to_string(Load load);
+
+class Dataset {
+ public:
+  /// Build from parsed log entries: interns client strings, sorts by time,
+  /// and sessionizes with the given threshold. The observation window is
+  /// [floor(min time), ceil(max time)) unless explicitly provided.
+  /// Errors on an empty entry list.
+  static support::Result<Dataset> from_entries(
+      std::string name, std::span<const LogEntry> entries,
+      const SessionizerOptions& sessionizer = {});
+
+  /// Build directly from pre-interned requests (the synthetic path).
+  static support::Result<Dataset> from_requests(
+      std::string name, std::vector<Request> requests,
+      const SessionizerOptions& sessionizer = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Request>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] const std::vector<Session>& sessions() const noexcept {
+    return sessions_;
+  }
+  [[nodiscard]] double t0() const noexcept { return t0_; }
+  [[nodiscard]] double t1() const noexcept { return t1_; }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::size_t distinct_clients() const noexcept {
+    return distinct_clients_;
+  }
+
+  /// Request / session-start timestamps (ascending).
+  [[nodiscard]] std::vector<double> request_times() const;
+  [[nodiscard]] std::vector<double> session_start_times() const;
+
+  /// Per-second (or per-`bin_seconds`) counting series over [t0, t1) or a
+  /// sub-window.
+  [[nodiscard]] std::vector<double> requests_per_second(double bin_seconds = 1.0) const;
+  [[nodiscard]] std::vector<double> sessions_per_second(double bin_seconds = 1.0) const;
+  [[nodiscard]] std::vector<double> requests_per_second(double t0, double t1,
+                                                        double bin_seconds) const;
+  [[nodiscard]] std::vector<double> sessions_per_second(double t0, double t1,
+                                                        double bin_seconds) const;
+
+  /// Intra-session sample vectors (§5.2), over the whole window or only
+  /// sessions starting within [t0, t1).
+  [[nodiscard]] std::vector<double> session_lengths() const;
+  [[nodiscard]] std::vector<double> session_request_counts() const;
+  [[nodiscard]] std::vector<double> session_byte_counts() const;
+  [[nodiscard]] std::vector<double> session_lengths(double t0, double t1) const;
+  [[nodiscard]] std::vector<double> session_request_counts(double t0, double t1) const;
+  [[nodiscard]] std::vector<double> session_byte_counts(double t0, double t1) const;
+
+  /// Partition the window into consecutive intervals (default 4 h → 42 per
+  /// week) with per-interval request/session counts.
+  [[nodiscard]] std::vector<Interval> partition(double interval_seconds = 4.0 * 3600.0) const;
+
+  /// The paper's typical Low (fewest requests), Med (median), High (most)
+  /// interval selection over the partition.
+  [[nodiscard]] support::Result<Interval> pick(Load load,
+                                               double interval_seconds = 4.0 * 3600.0) const;
+
+ private:
+  Dataset() = default;
+  void finalize(const SessionizerOptions& sessionizer);
+
+  std::string name_;
+  std::vector<Request> requests_;   ///< sorted by time
+  std::vector<Session> sessions_;   ///< sorted by start
+  double t0_ = 0.0;
+  double t1_ = 0.0;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t distinct_clients_ = 0;
+};
+
+}  // namespace fullweb::weblog

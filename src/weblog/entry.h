@@ -1,0 +1,23 @@
+// Web-server access-log records.
+//
+// The analyses only consume (timestamp, client, bytes) but the parser keeps
+// the request line and status so error/reliability studies (the companion
+// papers [11], [12]) and filtering (e.g. excluding 4xx) remain possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fullweb::weblog {
+
+struct LogEntry {
+  double timestamp = 0.0;   ///< seconds since the Unix epoch (UTC)
+  std::string client;       ///< IP address or sanitized unique identifier
+  std::string method;       ///< GET/POST/...; empty if the request line was "-"
+  std::string path;
+  std::string protocol;     ///< e.g. "HTTP/1.0"; may be empty (HTTP/0.9)
+  int status = 0;           ///< HTTP status code
+  std::uint64_t bytes = 0;  ///< response bytes; "-" in the log becomes 0
+};
+
+}  // namespace fullweb::weblog

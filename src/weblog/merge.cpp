@@ -1,0 +1,51 @@
+#include "weblog/merge.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "weblog/clf.h"
+
+namespace fullweb::weblog {
+
+using support::Error;
+using support::Result;
+
+std::vector<LogEntry> merge_entries(std::vector<std::vector<LogEntry>> logs) {
+  std::vector<LogEntry> out;
+  std::size_t total = 0;
+  for (const auto& log : logs) total += log.size();
+  out.reserve(total);
+  for (auto& log : logs) {
+    out.insert(out.end(), std::make_move_iterator(log.begin()),
+               std::make_move_iterator(log.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+Result<MergeResult> merge_clf_files(std::span<const std::string> paths) {
+  MergeResult result;
+  std::vector<std::vector<LogEntry>> logs;
+  for (const auto& path : paths) {
+    MergeFileReport report;
+    report.path = path;
+    std::ifstream is(path);
+    if (is) {
+      std::vector<LogEntry> entries;
+      report.malformed = parse_clf_stream(
+          is, [&](LogEntry&& e) { entries.push_back(std::move(e)); });
+      report.parsed = entries.size();
+      logs.push_back(std::move(entries));
+    }
+    result.files.push_back(std::move(report));
+  }
+  result.entries = merge_entries(std::move(logs));
+  if (result.entries.empty())
+    return Error::insufficient_data("merge_clf_files: no parsable entries");
+  return result;
+}
+
+}  // namespace fullweb::weblog

@@ -1,0 +1,40 @@
+// Multi-log merging — the first step of the paper's Figure 1 pipeline.
+//
+// WVU and CSEE ran redundant Web servers; their access and error logs are
+// merged into one chronological stream before sessionization (a client's
+// requests may alternate between replicas, so per-log sessionization would
+// split sessions). The merge is stable on ties so replica ordering is
+// deterministic.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+#include "weblog/entry.h"
+
+namespace fullweb::weblog {
+
+/// Merge several parsed logs into one time-ordered entry stream.
+[[nodiscard]] std::vector<LogEntry> merge_entries(
+    std::vector<std::vector<LogEntry>> logs);
+
+struct MergeFileReport {
+  std::string path;
+  std::size_t parsed = 0;
+  std::size_t malformed = 0;
+};
+
+struct MergeResult {
+  std::vector<LogEntry> entries;         ///< time-ordered union
+  std::vector<MergeFileReport> files;    ///< per-file parse accounting
+};
+
+/// Parse and merge several CLF files. Errors when no file yields any entry
+/// (all unreadable or fully malformed); individual unreadable files are
+/// reported with parsed == 0 rather than failing the whole merge.
+[[nodiscard]] support::Result<MergeResult> merge_clf_files(
+    std::span<const std::string> paths);
+
+}  // namespace fullweb::weblog

@@ -1,0 +1,51 @@
+#include "weblog/sessionizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fullweb::weblog {
+
+std::vector<Session> sessionize(std::span<const Request> requests,
+                                const SessionizerOptions& options) {
+  std::vector<Session> sessions;
+  if (requests.empty()) return sessions;
+
+  // Sort an index array by (client, time) so each client's requests are
+  // contiguous and chronological.
+  std::vector<std::uint32_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (requests[a].client != requests[b].client)
+      return requests[a].client < requests[b].client;
+    return requests[a].time < requests[b].time;
+  });
+
+  Session current;
+  bool open = false;
+  auto close = [&] {
+    if (open) sessions.push_back(current);
+    open = false;
+  };
+
+  for (std::uint32_t idx : order) {
+    const Request& r = requests[idx];
+    const bool same_client = open && current.client == r.client;
+    const bool within_gap =
+        same_client && (r.time - current.end) <= options.threshold_seconds;
+    if (!within_gap) {
+      close();
+      current = Session{r.client, r.time, r.time, 0, 0};
+      open = true;
+    }
+    current.end = r.time;
+    current.requests += 1;
+    current.bytes += r.bytes;
+  }
+  close();
+
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) { return a.start < b.start; });
+  return sessions;
+}
+
+}  // namespace fullweb::weblog

@@ -1,0 +1,124 @@
+#include "core/interarrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "support/rng.h"
+
+namespace fullweb::core {
+namespace {
+
+std::vector<double> sample_from(const auto& dist, std::size_t n,
+                                std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(InterArrival, ExponentialGapsPickExponential) {
+  const auto gaps = sample_from(stats::Exponential(2.0), 5000, 1);
+  const auto r = analyze_interarrivals(gaps, /*already_gaps=*/true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r.value().best(), nullptr);
+  // Exponential should win or sit within 2 AIC of the winner (Weibull with
+  // shape ~ 1 is the same model with one extra parameter).
+  const auto& fits = r.value().fits;
+  const auto exp_it =
+      std::find_if(fits.begin(), fits.end(), [](const ModelFit& f) {
+        return f.model == InterArrivalModel::kExponential;
+      });
+  ASSERT_NE(exp_it, fits.end());
+  EXPECT_LT(exp_it->delta_aic, 2.5);
+  EXPECT_NEAR(exp_it->param1, 2.0, 0.1);
+  EXPECT_TRUE(r.value().ad_exponential.has_value());
+  EXPECT_TRUE(r.value().ad_exponential->exponential_at_5pct());
+  EXPECT_NEAR(r.value().cv, 1.0, 0.05);
+}
+
+TEST(InterArrival, ParetoGapsRejectExponential) {
+  const auto gaps = sample_from(stats::Pareto(1.3, 0.5), 5000, 2);
+  const auto r = analyze_interarrivals(gaps, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().best()->model, InterArrivalModel::kPareto);
+  EXPECT_NEAR(r.value().best()->param1, 1.3, 0.1);
+  EXPECT_FALSE(r.value().exponential_adequate());
+}
+
+TEST(InterArrival, LognormalGapsPickLognormal) {
+  const auto gaps = sample_from(stats::Lognormal(1.0, 1.5), 5000, 3);
+  const auto r = analyze_interarrivals(gaps, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().best()->model, InterArrivalModel::kLognormal);
+  EXPECT_NEAR(r.value().best()->param1, 1.0, 0.1);
+  EXPECT_NEAR(r.value().best()->param2, 1.5, 0.1);
+}
+
+TEST(InterArrival, WeibullGapsPickWeibull) {
+  const auto gaps = sample_from(stats::Weibull(0.6, 2.0), 5000, 4);
+  const auto r = analyze_interarrivals(gaps, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().best()->model, InterArrivalModel::kWeibull);
+  EXPECT_NEAR(r.value().best()->param1, 0.6, 0.05);
+  EXPECT_NEAR(r.value().best()->param2, 2.0, 0.2);
+}
+
+TEST(InterArrival, TimesAreDifferencedWhenNotGaps) {
+  // Arrival instants 0, 1, 3, 6 -> gaps 1, 2, 3 (plus enough samples).
+  std::vector<double> times;
+  double t = 0.0;
+  support::Rng rng(5);
+  const stats::Exponential e(1.0);
+  for (int i = 0; i < 2000; ++i) {
+    t += e.sample(rng);
+    times.push_back(t);
+  }
+  const auto r = analyze_interarrivals(times, /*already_gaps=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n, 1999U);
+  EXPECT_NEAR(r.value().mean, 1.0, 0.1);
+}
+
+TEST(InterArrival, ZeroGapsFlooredOrDropped) {
+  std::vector<double> gaps(200, 0.0);
+  for (int i = 0; i < 500; ++i) gaps.push_back(1.0);
+  InterArrivalOptions floor_opts;
+  floor_opts.zero_gap_floor = 1e-3;
+  const auto floored = analyze_interarrivals(gaps, true, floor_opts);
+  ASSERT_TRUE(floored.ok());
+  EXPECT_EQ(floored.value().n, 700U);
+
+  InterArrivalOptions drop_opts;
+  drop_opts.zero_gap_floor = 0.0;
+  const auto dropped = analyze_interarrivals(gaps, true, drop_opts);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value().n, 500U);
+}
+
+TEST(InterArrival, DeltaAicZeroForWinnerAndSorted) {
+  const auto gaps = sample_from(stats::Exponential(1.0), 1000, 6);
+  const auto r = analyze_interarrivals(gaps, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().fits.front().delta_aic, 0.0);
+  for (std::size_t i = 1; i < r.value().fits.size(); ++i)
+    EXPECT_GE(r.value().fits[i].aic, r.value().fits[i - 1].aic);
+}
+
+TEST(InterArrival, ErrorsOnBadInput) {
+  EXPECT_FALSE(analyze_interarrivals(std::vector<double>{1, 2, 3}, true).ok());
+  EXPECT_FALSE(
+      analyze_interarrivals(std::vector<double>(100, -1.0), true).ok());
+}
+
+TEST(InterArrival, ModelNames) {
+  EXPECT_EQ(to_string(InterArrivalModel::kExponential), "exponential");
+  EXPECT_EQ(to_string(InterArrivalModel::kPareto), "Pareto");
+  EXPECT_EQ(to_string(InterArrivalModel::kLognormal), "lognormal");
+  EXPECT_EQ(to_string(InterArrivalModel::kWeibull), "Weibull");
+}
+
+}  // namespace
+}  // namespace fullweb::core

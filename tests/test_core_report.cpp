@@ -1,0 +1,102 @@
+// Tests for the text and Markdown report renderers.
+#include <gtest/gtest.h>
+
+#include "core/error_analysis.h"
+#include "core/fullweb_model.h"
+#include "core/interarrival.h"
+#include "core/report_markdown.h"
+#include "stats/distributions.h"
+#include "support/rng.h"
+#include "synth/generator.h"
+
+namespace fullweb::core {
+namespace {
+
+FullWebModel small_model() {
+  support::Rng rng(1);
+  synth::GeneratorOptions gen;
+  gen.duration = 86400.0;
+  gen.scale = 0.5;
+  auto ds = synth::generate_dataset(synth::ServerProfile::csee(), gen, rng);
+  EXPECT_TRUE(ds.ok());
+  FullWebOptions opts;
+  opts.tails.run_curvature = false;
+  opts.arrivals.aggregation_levels = {1, 10};
+  auto model = fit_fullweb_model(ds.value(), rng, opts);
+  EXPECT_TRUE(model.ok());
+  return std::move(model).value();
+}
+
+TEST(MarkdownReport, ContainsAllSections) {
+  const auto model = small_model();
+  const std::string md = render_markdown(model);
+  EXPECT_NE(md.find("# FULL-Web workload model — CSEE"), std::string::npos);
+  EXPECT_NE(md.find("## Request arrival process"), std::string::npos);
+  EXPECT_NE(md.find("## Session arrival process"), std::string::npos);
+  EXPECT_NE(md.find("Poisson tests — requests"), std::string::npos);
+  EXPECT_NE(md.find("## Intra-session heavy-tail analysis"), std::string::npos);
+  EXPECT_NE(md.find("| Week |"), std::string::npos);
+  // All five estimators appear in the Hurst table.
+  for (const char* name :
+       {"Variance", "R/S", "Periodogram", "Whittle", "Abry-Veitch"}) {
+    EXPECT_NE(md.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(MarkdownReport, SweepAndDetailTogglable) {
+  const auto model = small_model();
+  MarkdownReportOptions opts;
+  opts.include_aggregation_sweeps = false;
+  opts.include_poisson_detail = false;
+  const std::string md = render_markdown(model, opts);
+  EXPECT_EQ(md.find("Aggregated-series estimates"), std::string::npos);
+  EXPECT_EQ(md.find("<details>"), std::string::npos);
+  const std::string full = render_markdown(model);
+  EXPECT_NE(full.find("Aggregated-series estimates"), std::string::npos);
+  EXPECT_NE(full.find("<details>"), std::string::npos);
+}
+
+TEST(MarkdownReport, CiShownForWhittle) {
+  const auto model = small_model();
+  const std::string md = render_markdown(model);
+  EXPECT_NE(md.find("±"), std::string::npos);
+}
+
+TEST(MarkdownReport, ErrorSectionRenders) {
+  ErrorAnalysis e;
+  e.statuses.by_class[2] = 90;
+  e.statuses.by_class[4] = 10;
+  e.request_error_rate = 0.1;
+  e.sessions = 20;
+  e.sessions_with_error = 5;
+  e.session_reliability = 0.75;
+  e.errors_per_bad_session = 2.0;
+  const std::string md = render_markdown_errors(e);
+  EXPECT_NE(md.find("## Error & reliability analysis"), std::string::npos);
+  EXPECT_NE(md.find("| 4xx | 10 |"), std::string::npos);
+  EXPECT_NE(md.find("75%"), std::string::npos);
+}
+
+TEST(MarkdownReport, InterarrivalSectionRenders) {
+  support::Rng rng(2);
+  const stats::Pareto p(1.4, 0.5);
+  std::vector<double> gaps(2000);
+  for (auto& g : gaps) g = p.sample(rng);
+  const auto ia = analyze_interarrivals(gaps, true);
+  ASSERT_TRUE(ia.ok());
+  const std::string md = render_markdown_interarrivals(ia.value());
+  EXPECT_NE(md.find("## Request inter-arrival model ranking"), std::string::npos);
+  EXPECT_NE(md.find("Pareto"), std::string::npos);
+  EXPECT_NE(md.find("exponential adequate: **no**"), std::string::npos);
+}
+
+TEST(TextReport, MentionsVerdictsAndTables) {
+  const auto model = small_model();
+  const std::string text = render_report(model);
+  EXPECT_NE(text.find("FULL-Web model: CSEE"), std::string::npos);
+  EXPECT_NE(text.find("Poisson"), std::string::npos);
+  EXPECT_NE(text.find("Week"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fullweb::core

@@ -1,0 +1,118 @@
+#include "core/stationary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fullweb::core {
+namespace {
+
+std::vector<double> noise(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  return xs;
+}
+
+/// Noise + trend + daily sinusoid with a short "day" so tests stay fast.
+std::vector<double> workload_like(std::size_t n, std::size_t day, double trend,
+                                  double amplitude, std::uint64_t seed) {
+  auto xs = noise(n, seed);
+  for (std::size_t t = 0; t < n; ++t) {
+    xs[t] += trend * static_cast<double>(t) +
+             amplitude * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                                  static_cast<double>(day));
+  }
+  return xs;
+}
+
+StationaryOptions short_day_options() {
+  StationaryOptions opts;
+  opts.min_period = 50;
+  opts.max_period = 500;
+  return opts;
+}
+
+TEST(MakeStationary, AlreadyStationaryPassesThrough) {
+  const auto xs = noise(4000, 1);
+  const auto r = make_stationary(xs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().was_stationary);
+  EXPECT_FALSE(r.value().trend_removed);
+  EXPECT_EQ(r.value().series.size(), xs.size());
+  EXPECT_EQ(r.value().series, xs);
+}
+
+TEST(MakeStationary, TrendAndSeasonRemovedAndKpssPasses) {
+  const auto xs = workload_like(8000, 200, 0.002, 4.0, 2);
+  const auto r = make_stationary(xs, short_day_options());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().was_stationary);
+  EXPECT_TRUE(r.value().trend_removed);
+  EXPECT_TRUE(r.value().seasonal_removed);
+  EXPECT_NEAR(static_cast<double>(r.value().period), 200.0, 10.0);
+  ASSERT_TRUE(r.value().kpss_stationary.has_value());
+  EXPECT_TRUE(r.value().kpss_stationary->stationary_at_5pct());
+  // Differencing shortens the series by one period.
+  EXPECT_EQ(r.value().series.size(), xs.size() - r.value().period);
+}
+
+TEST(MakeStationary, TrendSlopeEstimated) {
+  const auto xs = workload_like(8000, 200, 0.003, 2.0, 3);
+  const auto r = make_stationary(xs, short_day_options());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().trend_slope, 0.003, 5e-4);
+}
+
+TEST(MakeStationary, SeasonalMeansAlternativePreservesLength) {
+  auto opts = short_day_options();
+  opts.seasonal_method = SeasonalMethod::kMeans;
+  const auto xs = workload_like(8000, 200, 0.002, 4.0, 4);
+  const auto r = make_stationary(xs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().seasonal_removed);
+  EXPECT_EQ(r.value().series.size(), xs.size());
+}
+
+TEST(MakeStationary, UnconditionalModeProcessesStationaryInput) {
+  auto opts = short_day_options();
+  opts.only_if_nonstationary = false;
+  const auto xs = noise(4000, 5);
+  const auto r = make_stationary(xs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().was_stationary);
+  EXPECT_TRUE(r.value().trend_removed);  // processed anyway
+}
+
+TEST(MakeStationary, ShortSeriesSkipsSeasonalDetection) {
+  // Series shorter than 2 * max_period: trend removal only.
+  auto opts = short_day_options();
+  opts.max_period = 5000;
+  const auto xs = workload_like(6000, 200, 0.01, 0.0, 6);
+  const auto r = make_stationary(xs, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().trend_removed);
+  EXPECT_FALSE(r.value().seasonal_removed);
+  EXPECT_EQ(r.value().period, 0U);
+}
+
+TEST(MakeStationary, ErrorsOnDegenerateInput) {
+  EXPECT_FALSE(make_stationary(std::vector<double>(5, 1.0)).ok());
+  EXPECT_FALSE(make_stationary(std::vector<double>(100, 3.0)).ok());
+}
+
+TEST(MakeStationary, SeasonalStrengthReported) {
+  const auto strong = workload_like(8000, 200, 0.0, 8.0, 7);
+  auto opts = short_day_options();
+  opts.only_if_nonstationary = false;
+  const auto r = make_stationary(strong, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().seasonal_strength, 0.3);
+}
+
+}  // namespace
+}  // namespace fullweb::core

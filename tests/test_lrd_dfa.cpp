@@ -1,0 +1,99 @@
+#include "lrd/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lrd/estimator_suite.h"
+#include "support/rng.h"
+#include "timeseries/fgn.h"
+
+namespace fullweb::lrd {
+namespace {
+
+std::vector<double> fgn(std::size_t n, double h, std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto r = timeseries::generate_fgn(n, h, 1.0, rng);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+class DfaRecoversHurst : public ::testing::TestWithParam<double> {};
+
+TEST_P(DfaRecoversHurst, OnFgn) {
+  const double h = GetParam();
+  double sum = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto xs = fgn(1 << 15, h, 900 + rep * 17 +
+                                        static_cast<std::uint64_t>(h * 100));
+    const auto est = dfa_hurst(xs);
+    ASSERT_TRUE(est.ok());
+    sum += est.value().h;
+  }
+  EXPECT_NEAR(sum / 3.0, h, 0.08) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, DfaRecoversHurst,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85));
+
+TEST(Dfa, MethodTagIsDfa) {
+  const auto xs = fgn(1 << 12, 0.7, 1);
+  const auto est = dfa_hurst(xs);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.value().method, HurstMethod::kDfa);
+  EXPECT_EQ(to_string(HurstMethod::kDfa), "DFA");
+}
+
+TEST(Dfa, InsensitiveToLinearTrend) {
+  // DFA(1)'s defining property — and the reason it cross-checks the
+  // paper's detrending methodology.
+  auto xs = fgn(1 << 14, 0.7, 2);
+  const auto clean = dfa_hurst(xs);
+  ASSERT_TRUE(clean.ok());
+  for (std::size_t t = 0; t < xs.size(); ++t)
+    xs[t] += 5e-4 * static_cast<double>(t);  // ~8 sigma drift over window
+  const auto trended = dfa_hurst(xs);
+  ASSERT_TRUE(trended.ok());
+  EXPECT_NEAR(clean.value().h, trended.value().h, 0.03);
+}
+
+TEST(Dfa, MeanShiftInvariant) {
+  auto xs = fgn(1 << 13, 0.8, 3);
+  const auto base = dfa_hurst(xs);
+  for (auto& x : xs) x += 1e6;
+  const auto shifted = dfa_hurst(xs);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR(base.value().h, shifted.value().h, 1e-6);
+}
+
+TEST(Dfa, PlotIsMonotoneIncreasing) {
+  // F(n) grows with box size for any H > 0.
+  const auto xs = fgn(1 << 14, 0.6, 4);
+  const auto plot = dfa_plot(xs);
+  ASSERT_TRUE(plot.ok());
+  ASSERT_GE(plot.value().log10_n.size(), 5U);
+  for (std::size_t i = 1; i < plot.value().log10_f.size(); ++i)
+    EXPECT_GT(plot.value().log10_f[i], plot.value().log10_f[i - 1] - 0.05);
+}
+
+TEST(Dfa, TooShortErrors) {
+  const std::vector<double> xs(30, 1.0);
+  EXPECT_FALSE(dfa_hurst(xs).ok());
+}
+
+TEST(Dfa, ConstantSeriesErrors) {
+  const std::vector<double> xs(4096, 3.0);
+  EXPECT_FALSE(dfa_hurst(xs).ok());
+}
+
+TEST(Dfa, WorksInAggregationSweep) {
+  const auto xs = fgn(1 << 15, 0.75, 5);
+  const std::vector<std::size_t> levels = {1, 4};
+  const auto sweep = aggregated_hurst_sweep(xs, HurstMethod::kDfa, levels);
+  ASSERT_EQ(sweep.size(), 2U);
+  for (const auto& p : sweep) EXPECT_NEAR(p.estimate.h, 0.75, 0.12);
+}
+
+}  // namespace
+}  // namespace fullweb::lrd

@@ -1,0 +1,281 @@
+// Property tests: every Hurst estimator must recover a known H from
+// synthetic fractional Gaussian noise (the ground-truth LRD process), within
+// method-appropriate tolerances; the estimator suite and aggregation sweep
+// must behave sensibly on white noise and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "lrd/estimator_suite.h"
+#include "support/rng.h"
+#include "timeseries/fgn.h"
+
+namespace fullweb::lrd {
+namespace {
+
+std::vector<double> fgn(std::size_t n, double h, std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto r = timeseries::generate_fgn(n, h, 1.0, rng);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+/// Average an estimator over a few independent fGn realizations — single
+/// realizations of LRD processes have heavy estimator variance by nature.
+template <typename Estimate>
+double averaged(double h, std::uint64_t seed_base, Estimate&& estimate) {
+  double sum = 0.0;
+  int used = 0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const auto xs = fgn(1 << 14, h, seed_base + s * 1000);
+    const auto est = estimate(xs);
+    if (est.ok()) {
+      sum += est.value().h;
+      ++used;
+    }
+  }
+  EXPECT_GT(used, 0);
+  return used > 0 ? sum / used : 0.0;
+}
+
+struct MethodTolerance {
+  HurstMethod method;
+  double tolerance;
+};
+
+class RecoversHurst
+    : public ::testing::TestWithParam<std::tuple<double, MethodTolerance>> {};
+
+TEST_P(RecoversHurst, OnFgn) {
+  const auto [h, mt] = GetParam();
+  const std::uint64_t seed = 7000 + static_cast<std::uint64_t>(h * 1000);
+
+  double estimate = 0.0;
+  switch (mt.method) {
+    case HurstMethod::kVarianceTime:
+      estimate = averaged(h, seed, [](const auto& xs) {
+        return variance_time_hurst(xs);
+      });
+      break;
+    case HurstMethod::kRoverS:
+      estimate = averaged(h, seed, [](const auto& xs) { return rs_hurst(xs); });
+      break;
+    case HurstMethod::kPeriodogram:
+      estimate = averaged(h, seed, [](const auto& xs) {
+        return periodogram_hurst(xs);
+      });
+      break;
+    case HurstMethod::kWhittle:
+      estimate = averaged(h, seed, [](const auto& xs) {
+        auto r = whittle_hurst(xs);
+        return r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
+                      : support::Result<HurstEstimate>(r.error());
+      });
+      break;
+    case HurstMethod::kAbryVeitch:
+      estimate = averaged(h, seed, [](const auto& xs) {
+        auto r = abry_veitch_hurst(xs);
+        return r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
+                      : support::Result<HurstEstimate>(r.error());
+      });
+      break;
+  }
+  EXPECT_NEAR(estimate, h, mt.tolerance)
+      << to_string(mt.method) << " at H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsAllH, RecoversHurst,
+    ::testing::Combine(
+        ::testing::Values(0.55, 0.65, 0.75, 0.85),
+        ::testing::Values(MethodTolerance{HurstMethod::kVarianceTime, 0.12},
+                          MethodTolerance{HurstMethod::kRoverS, 0.15},
+                          MethodTolerance{HurstMethod::kPeriodogram, 0.10},
+                          MethodTolerance{HurstMethod::kWhittle, 0.04},
+                          MethodTolerance{HurstMethod::kAbryVeitch, 0.06})));
+
+TEST(Whittle, WhiteNoiseGivesHalf) {
+  const auto xs = fgn(1 << 14, 0.5, 1);
+  const auto r = whittle_hurst(xs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().estimate.h, 0.5, 0.03);
+}
+
+TEST(Whittle, ConfidenceIntervalCoversTruth) {
+  int covered = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const auto xs = fgn(1 << 13, 0.8, 100 + t);
+    const auto r = whittle_hurst(xs);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().estimate.ci95_halfwidth.has_value());
+    if (r.value().estimate.ci_low() <= 0.8 && 0.8 <= r.value().estimate.ci_high())
+      ++covered;
+  }
+  // 95% nominal; allow generous slack for 20 trials.
+  EXPECT_GE(covered, 15);
+}
+
+TEST(Whittle, DecimationBarelyMovesEstimate) {
+  const auto xs = fgn(1 << 15, 0.75, 42);
+  WhittleOptions full;
+  full.max_frequencies = 0;
+  WhittleOptions decimated;
+  decimated.max_frequencies = 2048;
+  const auto rf = whittle_hurst(xs, full);
+  const auto rd = whittle_hurst(xs, decimated);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_NEAR(rf.value().estimate.h, rd.value().estimate.h, 0.03);
+  // Decimation must widen, not shrink, the confidence interval.
+  EXPECT_GE(*rd.value().estimate.ci95_halfwidth,
+            *rf.value().estimate.ci95_halfwidth);
+}
+
+TEST(Whittle, SpectralDensityPositiveAndDecreasing) {
+  for (double h : {0.55, 0.7, 0.9}) {
+    double prev = fgn_spectral_density(0.01, h);
+    EXPECT_GT(prev, 0.0);
+    for (double lambda : {0.05, 0.2, 0.8, 2.0, 3.0}) {
+      const double f = fgn_spectral_density(lambda, h);
+      EXPECT_GT(f, 0.0);
+      EXPECT_LT(f, prev) << "lambda=" << lambda << " H=" << h;
+      prev = f;
+    }
+  }
+}
+
+TEST(Whittle, TooShortSeriesErrors) {
+  const std::vector<double> xs(64, 1.0);
+  EXPECT_FALSE(whittle_hurst(xs).ok());
+}
+
+TEST(AbryVeitch, TrendDoesNotBiasD4Estimate) {
+  // The paper's whole point: trends corrupt Hurst estimates. The D4 wavelet
+  // (2 vanishing moments) is inherently blind to linear trends.
+  auto xs = fgn(1 << 14, 0.7, 9);
+  const auto clean = abry_veitch_hurst(xs);
+  for (std::size_t t = 0; t < xs.size(); ++t)
+    xs[t] += 3e-4 * static_cast<double>(t);  // drift ~ 5 sigma over window
+  const auto trended = abry_veitch_hurst(xs);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(trended.ok());
+  EXPECT_NEAR(clean.value().estimate.h, trended.value().estimate.h, 0.02);
+}
+
+TEST(AbryVeitch, ReportsUsedOctaves) {
+  const auto xs = fgn(1 << 12, 0.6, 10);
+  const auto r = abry_veitch_hurst(xs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().octaves.size(), 3U);
+  EXPECT_EQ(r.value().octaves.size(), r.value().log2_energy.size());
+}
+
+TEST(AbryVeitch, TooShortErrors) {
+  const std::vector<double> xs(32, 1.0);
+  EXPECT_FALSE(abry_veitch_hurst(xs).ok());
+}
+
+TEST(VarianceTime, ConstantSeriesErrors) {
+  const std::vector<double> xs(10000, 2.0);
+  EXPECT_FALSE(variance_time_hurst(xs).ok());
+}
+
+TEST(VarianceTime, PlotIsMonotoneDecliningForNoise) {
+  const auto xs = fgn(1 << 14, 0.5, 11);
+  const auto plot = variance_time_plot(xs);
+  ASSERT_TRUE(plot.ok());
+  EXPECT_GT(plot.value().log10_m.size(), 5U);
+  EXPECT_GT(plot.value().log10_var.front(), plot.value().log10_var.back());
+}
+
+TEST(Rs, TooShortErrors) {
+  const std::vector<double> xs(30, 1.0);
+  EXPECT_FALSE(rs_hurst(xs).ok());
+}
+
+TEST(Suite, RunsAllFiveOnHealthyInput) {
+  const auto xs = fgn(1 << 13, 0.7, 12);
+  const auto suite = hurst_suite(xs);
+  EXPECT_EQ(suite.estimates.size(), 5U);
+  EXPECT_TRUE(suite.all_indicate_lrd());
+  EXPECT_NEAR(suite.mean_h(), 0.7, 0.12);
+  EXPECT_NE(suite.find(HurstMethod::kWhittle), nullptr);
+}
+
+TEST(Suite, WhittleSkippable) {
+  const auto xs = fgn(1 << 12, 0.6, 13);
+  HurstSuiteOptions opts;
+  opts.run_whittle = false;
+  const auto suite = hurst_suite(xs, opts);
+  EXPECT_EQ(suite.find(HurstMethod::kWhittle), nullptr);
+  EXPECT_EQ(suite.estimates.size(), 4U);
+}
+
+TEST(Suite, WhiteNoiseDoesNotIndicateLrd) {
+  const auto xs = fgn(1 << 13, 0.5, 14);
+  const auto suite = hurst_suite(xs);
+  // With H ~= 0.5, at least one estimator should fall at or below 0.5.
+  EXPECT_FALSE(suite.all_indicate_lrd());
+}
+
+TEST(AggregationSweep, HStableAcrossLevelsForFgn) {
+  // Figures 7/8: for true (asymptotic) self-similarity, H^(m) stays flat.
+  const auto xs = fgn(1 << 16, 0.8, 15);
+  const std::vector<std::size_t> levels = {1, 2, 4, 8, 16, 32};
+  const auto sweep =
+      aggregated_hurst_sweep(xs, HurstMethod::kWhittle, levels);
+  ASSERT_GE(sweep.size(), 5U);
+  for (const auto& point : sweep) {
+    EXPECT_NEAR(point.estimate.h, 0.8, 0.08) << "m=" << point.m;
+  }
+}
+
+TEST(AggregationSweep, CiWidensWithAggregation) {
+  const auto xs = fgn(1 << 16, 0.75, 16);
+  const std::vector<std::size_t> levels = {1, 64};
+  const auto sweep = aggregated_hurst_sweep(xs, HurstMethod::kWhittle, levels);
+  ASSERT_EQ(sweep.size(), 2U);
+  ASSERT_TRUE(sweep[0].estimate.ci95_halfwidth.has_value());
+  ASSERT_TRUE(sweep[1].estimate.ci95_halfwidth.has_value());
+  EXPECT_GT(*sweep[1].estimate.ci95_halfwidth, *sweep[0].estimate.ci95_halfwidth);
+}
+
+TEST(AggregationSweep, SkipsLevelsTooDeep) {
+  const auto xs = fgn(1 << 10, 0.7, 17);
+  const std::vector<std::size_t> levels = {1, 1024, 4096};
+  const auto sweep = aggregated_hurst_sweep(xs, HurstMethod::kWhittle, levels);
+  EXPECT_EQ(sweep.size(), 1U);  // only m=1 has enough samples
+}
+
+TEST(HurstEstimate, CiAccessors) {
+  HurstEstimate e;
+  e.h = 0.8;
+  EXPECT_DOUBLE_EQ(e.ci_low(), 0.8);
+  e.ci95_halfwidth = 0.05;
+  EXPECT_DOUBLE_EQ(e.ci_low(), 0.75);
+  EXPECT_DOUBLE_EQ(e.ci_high(), 0.85);
+}
+
+TEST(HurstEstimate, LrdClassification) {
+  HurstEstimate e;
+  e.h = 0.5;
+  EXPECT_FALSE(e.indicates_lrd());
+  e.h = 0.75;
+  EXPECT_TRUE(e.indicates_lrd());
+  e.h = 1.0;
+  EXPECT_FALSE(e.indicates_lrd());
+}
+
+TEST(MethodNames, AllDistinct) {
+  EXPECT_EQ(to_string(HurstMethod::kVarianceTime), "Variance");
+  EXPECT_EQ(to_string(HurstMethod::kRoverS), "R/S");
+  EXPECT_EQ(to_string(HurstMethod::kPeriodogram), "Periodogram");
+  EXPECT_EQ(to_string(HurstMethod::kWhittle), "Whittle");
+  EXPECT_EQ(to_string(HurstMethod::kAbryVeitch), "Abry-Veitch");
+}
+
+}  // namespace
+}  // namespace fullweb::lrd

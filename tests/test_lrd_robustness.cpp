@@ -1,0 +1,138 @@
+// Robustness / misspecification tests for the Hurst estimators — the
+// paper's methodological warning (§3.1, after Karagiannis et al. [13]):
+// estimators "can hide long-range dependence or report it erroneously".
+// These tests document how our implementations behave under the classic
+// contaminations: short-memory AR(1) data, outlier spikes, missing
+// observations, and level shifts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lrd/estimator_suite.h"
+#include "support/rng.h"
+#include "timeseries/fgn.h"
+
+namespace fullweb::lrd {
+namespace {
+
+std::vector<double> fgn(std::size_t n, double h, std::uint64_t seed) {
+  support::Rng rng(seed);
+  auto r = timeseries::generate_fgn(n, h, 1.0, rng);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+std::vector<double> ar1(std::size_t n, double phi, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs(n);
+  xs[0] = rng.normal();
+  for (std::size_t t = 1; t < n; ++t) xs[t] = phi * xs[t - 1] + rng.normal();
+  return xs;
+}
+
+TEST(Robustness, Ar1ShortMemoryIsNotStrongLrd) {
+  // AR(1) with phi = 0.3 is short-range dependent; the frequency-domain
+  // estimators must not report strong long memory for it (a control for
+  // the "now you see it" false-positive failure mode).
+  const auto xs = ar1(1 << 14, 0.3, 1);
+  const auto whittle = whittle_hurst(xs);
+  const auto av = abry_veitch_hurst(xs);
+  ASSERT_TRUE(whittle.ok());
+  ASSERT_TRUE(av.ok());
+  EXPECT_LT(whittle.value().estimate.h, 0.72);
+  EXPECT_LT(av.value().estimate.h, 0.72);
+}
+
+TEST(Robustness, StrongAr1FoolsFiniteSampleEstimators) {
+  // ... whereas phi = 0.9 (still short memory!) drives finite-sample
+  // estimates well above 0.5 — the documented pitfall. The discriminator
+  // is aggregation: H^(m) of AR(1) FALLS with m, fGn's stays flat.
+  const auto short_mem = ar1(1 << 16, 0.9, 2);
+  const std::vector<std::size_t> levels = {1, 64};
+  const auto sweep_ar = aggregated_hurst_sweep(short_mem, HurstMethod::kWhittle, levels);
+  ASSERT_EQ(sweep_ar.size(), 2U);
+  EXPECT_GT(sweep_ar[0].estimate.h, 0.7);  // fooled at m = 1
+  EXPECT_LT(sweep_ar[1].estimate.h,
+            sweep_ar[0].estimate.h - 0.1);  // exposed by aggregation
+
+  const auto long_mem = fgn(1 << 16, 0.8, 3);
+  const auto sweep_fgn = aggregated_hurst_sweep(long_mem, HurstMethod::kWhittle, levels);
+  ASSERT_EQ(sweep_fgn.size(), 2U);
+  EXPECT_NEAR(sweep_fgn[1].estimate.h, sweep_fgn[0].estimate.h, 0.1);
+}
+
+TEST(Robustness, OutlierSpikesBarelyMoveWaveletAndWhittle) {
+  auto xs = fgn(1 << 14, 0.75, 4);
+  const auto clean_w = whittle_hurst(xs);
+  const auto clean_av = abry_veitch_hurst(xs);
+  ASSERT_TRUE(clean_w.ok());
+  ASSERT_TRUE(clean_av.ok());
+
+  support::Rng rng(5);
+  for (int i = 0; i < 10; ++i)
+    xs[rng.below(xs.size())] += 25.0;  // 25-sigma spikes
+
+  const auto dirty_w = whittle_hurst(xs);
+  const auto dirty_av = abry_veitch_hurst(xs);
+  ASSERT_TRUE(dirty_w.ok());
+  ASSERT_TRUE(dirty_av.ok());
+  EXPECT_NEAR(dirty_w.value().estimate.h, clean_w.value().estimate.h, 0.15);
+  EXPECT_NEAR(dirty_av.value().estimate.h, clean_av.value().estimate.h, 0.15);
+}
+
+TEST(Robustness, ZeroFilledGapsBiasHurstTowardWhiteNoise) {
+  // Documented sensitivity, not robustness: zero-filling 5% of a
+  // counts-like series (logging outages) injects large white-noise spikes
+  // relative to the level, so Whittle's whole-spectrum fit slides toward
+  // H = 0.5. Operators should EXCISE outage windows, not zero-fill them —
+  // this test pins the failure mode that motivates that advice.
+  auto xs = fgn(1 << 14, 0.8, 6);
+  for (auto& x : xs) x += 10.0;  // counts-like positive level
+  const auto clean = whittle_hurst(xs);
+  ASSERT_TRUE(clean.ok());
+
+  support::Rng rng(7);
+  for (std::size_t i = 0; i < xs.size() / 20; ++i) xs[rng.below(xs.size())] = 0.0;
+  const auto gappy = whittle_hurst(xs);
+  ASSERT_TRUE(gappy.ok());
+  EXPECT_LT(gappy.value().estimate.h, clean.value().estimate.h - 0.05);
+  EXPECT_GT(gappy.value().estimate.h, 0.5);  // LRD not fully erased
+}
+
+TEST(Robustness, LevelShiftInflatesTimeDomainEstimators) {
+  // A mid-series mean shift (e.g. a content change on the server) is pure
+  // non-stationarity; the time-domain estimators absorb it as spurious
+  // long memory — exactly why the paper KPSS-tests first.
+  auto xs = fgn(1 << 14, 0.55, 8);
+  const auto clean = variance_time_hurst(xs);
+  ASSERT_TRUE(clean.ok());
+  for (std::size_t t = xs.size() / 2; t < xs.size(); ++t) xs[t] += 3.0;
+  const auto shifted = variance_time_hurst(xs);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_GT(shifted.value().h, clean.value().h + 0.15);
+}
+
+TEST(Robustness, PeriodicContaminationInflatesEstimatesUntilRemoved) {
+  // The paper's core claim as a property test: adding a sinusoid inflates
+  // the suite's mean H; seasonal differencing restores it.
+  const std::size_t period = 256;
+  auto xs = fgn(1 << 14, 0.65, 9);
+  const double clean_mean = hurst_suite(xs).mean_h();
+
+  for (std::size_t t = 0; t < xs.size(); ++t)
+    xs[t] += 2.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                            static_cast<double>(period));
+  const double dirty_mean = hurst_suite(xs).mean_h();
+  EXPECT_GT(dirty_mean, clean_mean + 0.03);
+
+  std::vector<double> diffed(xs.size() - period);
+  for (std::size_t t = period; t < xs.size(); ++t)
+    diffed[t - period] = xs[t] - xs[t - period];
+  const double fixed_mean = hurst_suite(diffed).mean_h();
+  EXPECT_LT(fixed_mean, dirty_mean);
+  EXPECT_NEAR(fixed_mean, clean_mean, 0.12);
+}
+
+}  // namespace
+}  // namespace fullweb::lrd

@@ -1,0 +1,123 @@
+// Deeper validation of the fGn spectral machinery behind the Whittle
+// estimator, and scaling laws of the FGN generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "lrd/whittle.h"
+#include "stats/descriptive.h"
+#include "support/rng.h"
+#include "timeseries/fgn.h"
+#include "timeseries/series.h"
+
+namespace fullweb::lrd {
+namespace {
+
+class SpectralDensityIntegral : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpectralDensityIntegral, IntegratesToUnitVariance) {
+  // For unit-variance fGn, \int_{-pi}^{pi} f(l; H) dl = gamma(0) = 1 under
+  // our convention E[I(lambda)] = f(lambda). This pins down Paxson's
+  // aliasing-sum approximation AND the H-dependent normalization at once.
+  const double h = GetParam();
+  // The density has an integrable singularity ~ lambda^{1-2H} at 0 which
+  // concentrates most of the variance at ultra-low frequencies as H -> 1.
+  // Integrate in log-space (lambda = pi e^{-u}) and add the analytic
+  // remainder of the singular part below the smallest grid frequency.
+  const int n = 200000;
+  const double u_max = 200.0;
+  double sum = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    const double u = (static_cast<double>(i) - 0.5) * u_max / n;
+    const double lambda = std::numbers::pi * std::exp(-u);
+    sum += fgn_spectral_density(lambda, h) * lambda;  // jacobian = lambda
+  }
+  double integral = 2.0 * sum * (u_max / n);
+  // Remainder: f ~ scale * lambda^{1-2H} / 2 below lambda_min.
+  const double lambda_min = std::numbers::pi * std::exp(-u_max);
+  const double scale = std::sin(std::numbers::pi * h) *
+                       std::tgamma(2.0 * h + 1.0) / std::numbers::pi;
+  integral += 2.0 * scale * std::pow(lambda_min, 2.0 - 2.0 * h) /
+              (2.0 * (2.0 - 2.0 * h));
+  EXPECT_NEAR(integral, 1.0, 0.02) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, SpectralDensityIntegral,
+                         ::testing::Values(0.55, 0.6, 0.7, 0.8, 0.9, 0.95));
+
+TEST(SpectralDensity, LowFrequencyPowerLaw) {
+  // f(l) ~ c l^{1-2H} as l -> 0: check the log-log slope near zero.
+  for (double h : {0.6, 0.75, 0.9}) {
+    const double f1 = fgn_spectral_density(1e-4, h);
+    const double f2 = fgn_spectral_density(2e-4, h);
+    const double slope = std::log(f2 / f1) / std::log(2.0);
+    EXPECT_NEAR(slope, 1.0 - 2.0 * h, 0.01) << "H=" << h;
+  }
+}
+
+TEST(SpectralDensity, WhiteNoiseIsFlat) {
+  const double f_low = fgn_spectral_density(0.01, 0.5);
+  const double f_mid = fgn_spectral_density(1.5, 0.5);
+  const double f_high = fgn_spectral_density(3.0, 0.5);
+  EXPECT_NEAR(f_mid / f_low, 1.0, 0.02);
+  EXPECT_NEAR(f_high / f_low, 1.0, 0.02);
+}
+
+TEST(WhittleSigma2, RecoversMarginalVariance) {
+  // The profiled scale sigma^2 should approximate the fGn variance.
+  support::Rng rng(1);
+  const double sigma = 3.0;
+  auto xs = timeseries::generate_fgn(1 << 14, 0.7, sigma, rng);
+  ASSERT_TRUE(xs.ok());
+  const auto r = whittle_hurst(xs.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(std::sqrt(r.value().sigma2), sigma, 0.3);
+}
+
+class FgnAggregationScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(FgnAggregationScaling, VarianceFollowsSelfSimilarLaw) {
+  // Eq. (2) of the paper: Var(X^(m)) = sigma^2 m^{2H-2}. Estimate the decay
+  // exponent from m = 1 vs m = 64 on synthetic fGn.
+  const double h = GetParam();
+  support::Rng rng(200 + static_cast<std::uint64_t>(h * 100));
+  auto xs = timeseries::generate_fgn(1 << 18, h, 1.0, rng);
+  ASSERT_TRUE(xs.ok());
+  const auto agg = timeseries::aggregate(xs.value(), 64);
+  const double v1 = stats::variance_population(xs.value());
+  const double v64 = stats::variance_population(agg);
+  const double exponent = std::log(v64 / v1) / std::log(64.0);
+  EXPECT_NEAR(exponent, 2.0 * h - 2.0, 0.12) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, FgnAggregationScaling,
+                         ::testing::Values(0.55, 0.7, 0.85));
+
+TEST(Whittle, RobustToMeanShiftAndScaling) {
+  // H is invariant to affine transforms of the series.
+  support::Rng rng(2);
+  auto xs = timeseries::generate_fgn(1 << 13, 0.8, 1.0, rng);
+  ASSERT_TRUE(xs.ok());
+  const auto base = whittle_hurst(xs.value());
+  ASSERT_TRUE(base.ok());
+  for (auto& x : xs.value()) x = 5.0 * x + 1000.0;
+  const auto shifted = whittle_hurst(xs.value());
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR(base.value().estimate.h, shifted.value().estimate.h, 1e-3);
+}
+
+TEST(Whittle, SearchIntervalRespected) {
+  support::Rng rng(3);
+  auto xs = timeseries::generate_fgn(1 << 12, 0.9, 1.0, rng);
+  ASSERT_TRUE(xs.ok());
+  WhittleOptions opts;
+  opts.h_max = 0.7;  // force the boundary
+  const auto r = whittle_hurst(xs.value(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().estimate.h, 0.7 + 1e-6);
+}
+
+}  // namespace
+}  // namespace fullweb::lrd

@@ -1,0 +1,241 @@
+#include "poisson/poisson_test.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "support/rng.h"
+
+namespace fullweb::poisson {
+namespace {
+
+/// Homogeneous Poisson arrivals over [0, horizon) at the given rate.
+std::vector<double> poisson_arrivals(double rate, double horizon,
+                                     std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> times;
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(rng.uniform_pos()) / rate;
+    if (t >= horizon) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+/// Markov-modulated (bursty, positively correlated) arrivals: alternating
+/// high/low rate phases with heavy-tailed phase lengths.
+std::vector<double> bursty_arrivals(double horizon, std::uint64_t seed) {
+  support::Rng rng(seed);
+  const stats::Pareto phase_len(1.3, 20.0);
+  std::vector<double> times;
+  double t = 0.0;
+  bool high = true;
+  while (t < horizon) {
+    const double phase_end = std::min(horizon, t + phase_len.sample(rng));
+    const double rate = high ? 8.0 : 0.3;
+    while (t < phase_end) {
+      t += -std::log(rng.uniform_pos()) / rate;
+      if (t < phase_end) times.push_back(t);
+    }
+    t = phase_end;
+    high = !high;
+  }
+  return times;
+}
+
+std::vector<double> quantize(std::vector<double> times) {
+  for (auto& t : times) t = std::floor(t);
+  return times;
+}
+
+// ------------------------------------------------------------- spreading
+
+TEST(SpreadSubsecond, NoneSortsOnly) {
+  support::Rng rng(1);
+  const std::vector<double> times = {3.0, 1.0, 2.0};
+  const auto out = spread_subsecond(times, SpreadMode::kNone, 1.0, rng);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SpreadSubsecond, DeterministicEvenlySpaces) {
+  support::Rng rng(2);
+  const std::vector<double> times = {5.0, 5.0, 5.0, 5.0};
+  const auto out = spread_subsecond(times, SpreadMode::kDeterministic, 1.0, rng);
+  ASSERT_EQ(out.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(out[i], 5.0 + (static_cast<double>(i) + 0.5) / 4.0);
+}
+
+TEST(SpreadSubsecond, UniformStaysInsideSecondAndSorted) {
+  support::Rng rng(3);
+  std::vector<double> times(100, 7.0);
+  times.insert(times.end(), 50, 9.0);
+  const auto out = spread_subsecond(times, SpreadMode::kUniform, 1.0, rng);
+  ASSERT_EQ(out.size(), 150U);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(out[i], 7.0);
+    EXPECT_LT(out[i], 8.0);
+  }
+  for (std::size_t i = 100; i < 150; ++i) {
+    EXPECT_GE(out[i], 9.0);
+    EXPECT_LT(out[i], 10.0);
+  }
+}
+
+TEST(SpreadSubsecond, RespectsGranularity) {
+  support::Rng rng(4);
+  const std::vector<double> times = {10.0, 10.0, 20.0};
+  const auto out = spread_subsecond(times, SpreadMode::kUniform, 10.0, rng);
+  EXPECT_GE(out[0], 10.0);
+  EXPECT_LT(out[1], 20.0);
+  EXPECT_GE(out[2], 20.0);
+}
+
+// ----------------------------------------------------------- the battery
+
+TEST(PoissonTest, AcceptsTruePoissonArrivals) {
+  // 4 hours at 2/s, quantized to seconds then uniformly re-spread — the
+  // exact situation of the paper's session-level CSEE Low/Med finding.
+  const auto times = quantize(poisson_arrivals(2.0, 4 * 3600.0, 5));
+  support::Rng rng(6);
+  PoissonTestOptions opts;
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().independent);
+  EXPECT_TRUE(r.value().exponential);
+  EXPECT_TRUE(r.value().poisson());
+  EXPECT_EQ(r.value().usable_intervals, 4U);
+}
+
+TEST(PoissonTest, AcceptsPoissonWithDeterministicSpreadingAtLowRate) {
+  // Deterministic spreading regularizes the within-second gaps, so it only
+  // preserves exponentiality when same-second collisions are rare — i.e. at
+  // low rates (the regime of the paper's session-level CSEE finding).
+  const auto times = quantize(poisson_arrivals(0.08, 4 * 3600.0, 7));
+  support::Rng rng(8);
+  PoissonTestOptions opts;
+  opts.spread = SpreadMode::kDeterministic;
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().poisson());
+}
+
+TEST(PoissonTest, DeterministicSpreadingDistortsHighRatePoisson) {
+  // At 2 events/s most seconds hold multiple events; evenly spacing them
+  // manufactures regularity that the A^2 test correctly flags ([29]: the
+  // sub-second placement assumption can matter).
+  const auto times = quantize(poisson_arrivals(2.0, 4 * 3600.0, 7));
+  support::Rng rng(8);
+  PoissonTestOptions opts;
+  opts.spread = SpreadMode::kDeterministic;
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().exponential);
+}
+
+TEST(PoissonTest, RejectsBurstyArrivals) {
+  const auto times = quantize(bursty_arrivals(4 * 3600.0, 9));
+  support::Rng rng(10);
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, {}, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().poisson());
+}
+
+TEST(PoissonTest, RejectsConstantSpacingAsNonExponential) {
+  // Perfectly regular arrivals: independent but wildly non-exponential.
+  std::vector<double> times;
+  for (double t = 0.25; t < 4 * 3600.0; t += 0.5) times.push_back(t);
+  support::Rng rng(11);
+  PoissonTestOptions opts;
+  opts.spread = SpreadMode::kNone;
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().exponential);
+  EXPECT_FALSE(r.value().poisson());
+}
+
+TEST(PoissonTest, TenMinuteIntervalsProduceTwentyFour) {
+  const auto times = quantize(poisson_arrivals(1.0, 4 * 3600.0, 12));
+  support::Rng rng(13);
+  PoissonTestOptions opts;
+  opts.interval_seconds = 600.0;
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().intervals.size(), 24U);
+  EXPECT_EQ(r.value().usable_intervals, 24U);
+  EXPECT_TRUE(r.value().poisson());
+}
+
+TEST(PoissonTest, InsufficientEventsIsError) {
+  const auto times = quantize(poisson_arrivals(0.002, 4 * 3600.0, 14));
+  support::Rng rng(15);
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, {}, rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category, "insufficient_data");
+}
+
+TEST(PoissonTest, WindowBoundsFilterEvents) {
+  auto times = quantize(poisson_arrivals(2.0, 8 * 3600.0, 16));
+  support::Rng rng(17);
+  const auto r =
+      test_poisson_arrivals(times, 4 * 3600.0, 8 * 3600.0, {}, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().intervals.size(), 4U);
+  for (const auto& d : r.value().intervals) EXPECT_GE(d.start, 4 * 3600.0);
+}
+
+TEST(PoissonTest, DiagnosticsExposePerIntervalDetail) {
+  const auto times = quantize(poisson_arrivals(2.0, 4 * 3600.0, 18));
+  support::Rng rng(19);
+  const auto r = test_poisson_arrivals(times, 0.0, 4 * 3600.0, {}, rng);
+  ASSERT_TRUE(r.ok());
+  for (const auto& d : r.value().intervals) {
+    ASSERT_TRUE(d.usable);
+    EXPECT_GT(d.events, 1000U);
+    EXPECT_GT(d.rho_threshold, 0.0);
+    EXPECT_LT(std::fabs(d.rho1), 1.0);
+  }
+}
+
+TEST(PoissonTest, BadWindowErrors) {
+  support::Rng rng(20);
+  const std::vector<double> times = {1.0, 2.0};
+  EXPECT_FALSE(test_poisson_arrivals(times, 10.0, 5.0, {}, rng).ok());
+  PoissonTestOptions opts;
+  opts.interval_seconds = -1.0;
+  EXPECT_FALSE(test_poisson_arrivals(times, 0.0, 10.0, opts, rng).ok());
+}
+
+TEST(PoissonTest, SpreadingChoiceDoesNotFlipPoissonVerdict) {
+  // The paper's robustness claim (§4.2): uniform vs deterministic spreading
+  // leads to the same conclusion (checked at a low rate where both are
+  // faithful, and on bursty data where both must reject).
+  const auto times = quantize(poisson_arrivals(0.08, 4 * 3600.0, 21));
+  support::Rng rng_a(22);
+  support::Rng rng_b(23);
+  PoissonTestOptions uni;
+  uni.spread = SpreadMode::kUniform;
+  PoissonTestOptions det;
+  det.spread = SpreadMode::kDeterministic;
+  const auto ra = test_poisson_arrivals(times, 0.0, 4 * 3600.0, uni, rng_a);
+  const auto rb = test_poisson_arrivals(times, 0.0, 4 * 3600.0, det, rng_b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value().poisson(), rb.value().poisson());
+
+  const auto bursty = quantize(bursty_arrivals(4 * 3600.0, 24));
+  const auto ba = test_poisson_arrivals(bursty, 0.0, 4 * 3600.0, uni, rng_a);
+  const auto bb = test_poisson_arrivals(bursty, 0.0, 4 * 3600.0, det, rng_b);
+  ASSERT_TRUE(ba.ok());
+  ASSERT_TRUE(bb.ok());
+  EXPECT_EQ(ba.value().poisson(), bb.value().poisson());
+  EXPECT_FALSE(ba.value().poisson());
+}
+
+}  // namespace
+}  // namespace fullweb::poisson

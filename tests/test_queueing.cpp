@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "queueing/admission.h"
+#include "queueing/fifo_queue.h"
+#include "support/rng.h"
+#include "synth/generator.h"
+
+namespace fullweb::queueing {
+namespace {
+
+// ---------------------------------------------------------------- FIFO
+
+TEST(Fifo, NoContentionZeroWaits) {
+  const std::vector<double> arrivals = {0.0, 10.0, 20.0};
+  const auto r = simulate_fifo_deterministic(arrivals, 1.0);
+  ASSERT_TRUE(r.ok());
+  for (double w : r.value().waits) EXPECT_DOUBLE_EQ(w, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().mean_wait, 0.0);
+}
+
+TEST(Fifo, BackToBackArrivalsQueueUp) {
+  // Three simultaneous arrivals, 1 s service: waits 0, 1, 2.
+  const std::vector<double> arrivals = {0.0, 0.0, 0.0};
+  const auto r = simulate_fifo_deterministic(arrivals, 1.0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().waits.size(), 3U);
+  EXPECT_DOUBLE_EQ(r.value().waits[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.value().waits[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.value().waits[2], 2.0);
+  EXPECT_DOUBLE_EQ(r.value().max_wait, 2.0);
+}
+
+TEST(Fifo, LindleyRecursionHandChecked) {
+  // Arrivals 0, 1, 5; service 3: waits 0, 2, 0... second starts at 3
+  // (wait 2), finishes 6; third arrives 5, starts 6 (wait 1).
+  const std::vector<double> arrivals = {0.0, 1.0, 5.0};
+  const auto r = simulate_fifo_deterministic(arrivals, 3.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().waits[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.value().waits[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.value().waits[2], 1.0);
+}
+
+TEST(Fifo, UtilizationMatchesLoad) {
+  // 1000 arrivals at rate 1/s, service 0.5 s: rho ~ 0.5.
+  std::vector<double> arrivals;
+  for (int i = 0; i < 1000; ++i) arrivals.push_back(static_cast<double>(i));
+  const auto r = simulate_fifo_deterministic(arrivals, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().utilization, 0.5, 0.01);
+}
+
+TEST(Fifo, MM1MeanWaitMatchesTheory) {
+  // M/M/1 with lambda = 1, mu = 2 (rho = 0.5): E[Wq] = rho/(mu - lambda)
+  // = 0.5. Simulate long enough to converge.
+  support::Rng rng(1);
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    t += -std::log(rng.uniform_pos());
+    arrivals.push_back(t);
+  }
+  const auto r = simulate_fifo(arrivals, [&rng] {
+    return -0.5 * std::log(rng.uniform_pos());
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().mean_wait, 0.5, 0.05);
+  EXPECT_NEAR(r.value().utilization, 0.5, 0.02);
+}
+
+TEST(Fifo, RejectsUnsortedArrivals) {
+  const std::vector<double> arrivals = {5.0, 1.0};
+  EXPECT_FALSE(simulate_fifo_deterministic(arrivals, 1.0).ok());
+}
+
+TEST(Fifo, RejectsBadServiceTime) {
+  const std::vector<double> arrivals = {0.0, 1.0};
+  EXPECT_FALSE(simulate_fifo_deterministic(arrivals, 0.0).ok());
+  EXPECT_FALSE(simulate_fifo(arrivals, [] { return -1.0; }).ok());
+}
+
+TEST(Fifo, EmptyArrivals) {
+  const auto r = simulate_fifo_deterministic({}, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().arrivals, 0U);
+}
+
+TEST(Fifo, LrdTrafficWaitsDominatePoissonAtEqualLoad) {
+  // The capacity_planning example's claim as a regression test.
+  support::Rng rng(2);
+  synth::GeneratorOptions gen;
+  gen.duration = 6 * 3600.0;
+  gen.quantize_to_seconds = false;
+  auto w = synth::generate_workload(synth::ServerProfile::csee(), gen, rng);
+  ASSERT_TRUE(w.ok());
+  std::vector<double> lrd;
+  for (const auto& r : w.value().requests) lrd.push_back(r.time);
+  const double rate = static_cast<double>(lrd.size()) / gen.duration;
+
+  std::vector<double> poisson;
+  double t = w.value().t0;
+  for (;;) {
+    t += -std::log(rng.uniform_pos()) / rate;
+    if (t >= w.value().t1) break;
+    poisson.push_back(t);
+  }
+  const double service = 0.7 / rate;
+  const auto rl = simulate_fifo_deterministic(lrd, service);
+  const auto rp = simulate_fifo_deterministic(poisson, service);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_GT(rl.value().p99_wait, 2.0 * rp.value().p99_wait);
+}
+
+// ------------------------------------------------------------ attribution
+
+TEST(Attribution, MapsRequestsToSessions) {
+  support::Rng rng(3);
+  synth::GeneratorOptions gen;
+  gen.duration = 6 * 3600.0;
+  gen.scale = 0.5;
+  auto w = synth::generate_workload(synth::ServerProfile::csee(), gen, rng);
+  ASSERT_TRUE(w.ok());
+  auto tagged = attribute_requests(w.value().requests, w.value().true_sessions);
+  ASSERT_TRUE(tagged.ok());
+  ASSERT_EQ(tagged.value().size(), w.value().requests.size());
+
+  // Per-session request counts recovered exactly.
+  std::vector<std::size_t> counts(w.value().true_sessions.size(), 0);
+  for (const auto& r : tagged.value()) ++counts[r.session];
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    EXPECT_EQ(counts[i], w.value().true_sessions[i].requests) << i;
+}
+
+TEST(Attribution, RejectsUnknownClient) {
+  const std::vector<weblog::Request> requests = {{10.0, 99, 200, 1}};
+  const std::vector<weblog::Session> sessions = {{1, 10.0, 20.0, 1, 1}};
+  EXPECT_FALSE(attribute_requests(requests, sessions).ok());
+}
+
+// -------------------------------------------------------------- admission
+
+std::vector<SessionRequest> burst_requests(std::size_t sessions,
+                                           std::size_t per_session) {
+  // All sessions interleave within the same seconds: heavy contention.
+  // The within-second order rotates each second so the over-capacity
+  // victims are not the same sessions every time (as in real traffic).
+  std::vector<SessionRequest> out;
+  for (std::size_t t = 0; t < per_session; ++t)
+    for (std::size_t s = 0; s < sessions; ++s)
+      out.push_back({static_cast<double>(t),
+                     static_cast<std::uint32_t>((s + t) % sessions)});
+  return out;
+}
+
+std::vector<weblog::Session> flat_sessions(std::size_t n, std::size_t requests,
+                                           double length) {
+  std::vector<weblog::Session> out;
+  for (std::uint32_t i = 0; i < n; ++i)
+    out.push_back({i, 0.0, length, requests, requests * 100});
+  return out;
+}
+
+TEST(Admission, UnderCapacityEverythingCompletes) {
+  const auto requests = burst_requests(5, 10);
+  const auto sessions = flat_sessions(5, 10, 9.0);
+  AdmissionOptions opts;
+  opts.capacity_per_second = 100;
+  support::Rng rng(4);
+  const auto r = simulate_admission(requests, sessions, opts, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().completed, 5U);
+  EXPECT_EQ(r.value().requests_rejected, 0U);
+}
+
+TEST(Admission, SessionAcBeatsRequestDroppingUnderOverload) {
+  // Staggered arrivals: session s starts at second s and sends 1 req/s for
+  // 30 s; steady-state offered load is ~30 req/s against capacity 10.
+  // Session AC turns excess sessions away at the door and completes every
+  // admitted one; request dropping keeps aborting sessions MID-stream
+  // (wasting the capacity they already consumed), so it completes fewer.
+  constexpr std::size_t kSessions = 120;
+  constexpr std::size_t kPerSession = 30;
+  std::vector<SessionRequest> requests;
+  std::vector<weblog::Session> sessions;
+  for (std::uint32_t s = 0; s < kSessions; ++s) {
+    const double start = static_cast<double>(s);
+    sessions.push_back({s, start, start + kPerSession - 1, kPerSession,
+                        kPerSession * 100});
+    for (std::size_t t = 0; t < kPerSession; ++t)
+      requests.push_back({start + static_cast<double>(t), s});
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const SessionRequest& a, const SessionRequest& b) {
+              return a.time < b.time;
+            });
+
+  AdmissionOptions opts;
+  opts.capacity_per_second = 10;
+  support::Rng rng_a(5);
+  support::Rng rng_b(5);
+  opts.policy = AdmissionPolicy::kSessionBased;
+  const auto sb = simulate_admission(requests, sessions, opts, rng_a);
+  opts.policy = AdmissionPolicy::kRequestDropping;
+  const auto rd = simulate_admission(requests, sessions, opts, rng_b);
+  ASSERT_TRUE(sb.ok());
+  ASSERT_TRUE(rd.ok());
+  EXPECT_GT(sb.value().completion_rate(), rd.value().completion_rate() + 0.1);
+  // Session AC never aborts an admitted session: served requests are not
+  // wasted on sessions that later die.
+  EXPECT_EQ(sb.value().completed * kPerSession, sb.value().requests_served);
+}
+
+TEST(Admission, RejectsZeroCapacity) {
+  AdmissionOptions opts;
+  opts.capacity_per_second = 0;
+  support::Rng rng(6);
+  EXPECT_FALSE(simulate_admission({}, {}, opts, rng).ok());
+}
+
+TEST(Admission, AbortedSessionsStopConsumingCapacity) {
+  // One greedy session + many singletons; request dropping kills the
+  // greedy one early, freeing capacity for the rest.
+  std::vector<SessionRequest> requests;
+  std::vector<weblog::Session> sessions;
+  sessions.push_back({0, 0.0, 99.0, 100, 100});
+  for (std::uint32_t s = 1; s <= 50; ++s)
+    sessions.push_back({s, static_cast<double>(s), static_cast<double>(s), 1, 1});
+  for (std::size_t t = 0; t < 100; ++t) requests.push_back({0.5 + t, 0});
+  for (std::uint32_t s = 1; s <= 50; ++s)
+    requests.push_back({static_cast<double>(s), s});
+  std::sort(requests.begin(), requests.end(),
+            [](const SessionRequest& a, const SessionRequest& b) {
+              return a.time < b.time;
+            });
+  AdmissionOptions opts;
+  opts.capacity_per_second = 1;
+  opts.policy = AdmissionPolicy::kRequestDropping;
+  opts.drop_probability = 1.0;
+  support::Rng rng(7);
+  const auto r = simulate_admission(requests, sessions, opts, rng);
+  ASSERT_TRUE(r.ok());
+  // The greedy session dies in second 1; singletons from then on mostly fit.
+  EXPECT_GT(r.value().completed, 40U);
+}
+
+}  // namespace
+}  // namespace fullweb::queueing

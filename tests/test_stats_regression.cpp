@@ -1,0 +1,145 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fullweb::stats {
+namespace {
+
+TEST(Ols, ExactLineRecovered) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.0 + 3.0 * xi);
+  const auto fit = ols(x, y);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Ols, KnownTextbookExample) {
+  // Anscombe-like small set; slope/intercept verified against R lm().
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  const auto fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, 0.8, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.6, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 0.64, 1e-12);
+  // R: summary(lm(y~x))$coefficients["x","Std. Error"] = 0.3464102
+  EXPECT_NEAR(fit.stderr_slope, 0.3464102, 1e-6);
+}
+
+TEST(Ols, NoisySlopeWithinError) {
+  support::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(1.0 - 0.5 * x.back() + 0.1 * rng.normal());
+  }
+  const auto fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 4.0 * fit.stderr_slope);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(Ols, DegenerateAllXEqual) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  const auto fit = ols(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(Ols, TooFewPoints) {
+  const std::vector<double> x = {1};
+  const std::vector<double> y = {2};
+  const auto fit = ols(x, y);
+  EXPECT_EQ(fit.n, 1U);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Ols, PredictEvaluatesLine) {
+  LinearFit fit;
+  fit.intercept = 1.0;
+  fit.slope = 2.0;
+  EXPECT_DOUBLE_EQ(fit.predict(3.0), 7.0);
+}
+
+TEST(Wls, EqualWeightsMatchOlsPointEstimates) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> y = {2.1, 3.9, 6.2, 7.8, 10.1, 11.9};
+  const std::vector<double> w(x.size(), 1.0);
+  const auto fo = ols(x, y);
+  const auto fw = wls(x, y, w);
+  EXPECT_NEAR(fw.slope, fo.slope, 1e-12);
+  EXPECT_NEAR(fw.intercept, fo.intercept, 1e-12);
+}
+
+TEST(Wls, DownweightedOutlierIgnored) {
+  // Perfect line plus one gross outlier with near-zero weight.
+  std::vector<double> x = {0, 1, 2, 3, 4, 2.5};
+  std::vector<double> y = {1, 3, 5, 7, 9, 100};
+  std::vector<double> w = {1, 1, 1, 1, 1, 1e-9};
+  const auto fit = wls(x, y, w);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-5);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-4);
+}
+
+TEST(Wls, SlopeVarianceFromWeights) {
+  // With w_i = 1/sigma_i^2, Var(slope) = 1 / sum w (x - xbar)^2.
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {0, 1, 2, 3};
+  const std::vector<double> w = {4, 4, 4, 4};  // sigma = 0.5 each
+  const auto fit = wls(x, y, w);
+  const double sxx = 4.0 * (2.25 + 0.25 + 0.25 + 2.25);
+  EXPECT_NEAR(fit.stderr_slope, std::sqrt(1.0 / sxx), 1e-12);
+}
+
+TEST(Quadratic, ExactParabolaRecovered) {
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(1.5 - 2.0 * i + 0.75 * i * i);
+  }
+  const auto fit = quadratic_fit(x, y);
+  EXPECT_NEAR(fit.c0, 1.5, 1e-9);
+  EXPECT_NEAR(fit.c1, -2.0, 1e-9);
+  EXPECT_NEAR(fit.c2, 0.75, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Quadratic, StraightLineHasZeroCurvature) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 0.5 * i);
+  }
+  const auto fit = quadratic_fit(x, y);
+  EXPECT_NEAR(fit.c2, 0.0, 1e-10);
+}
+
+TEST(Quadratic, LargeOffsetConditioning) {
+  // Centering inside the fit keeps precision when x is far from 0
+  // (log10 of session lengths can cluster around 3).
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    const double xi = 1000.0 + i * 0.01;
+    x.push_back(xi);
+    y.push_back(2.0 + 0.5 * xi - 0.25 * xi * xi);
+  }
+  const auto fit = quadratic_fit(x, y);
+  EXPECT_NEAR(fit.c2, -0.25, 1e-6);
+}
+
+TEST(Quadratic, TooFewPoints) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2};
+  const auto fit = quadratic_fit(x, y);
+  EXPECT_EQ(fit.n, 2U);
+  EXPECT_DOUBLE_EQ(fit.c2, 0.0);
+}
+
+}  // namespace
+}  // namespace fullweb::stats

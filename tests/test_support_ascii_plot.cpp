@@ -1,0 +1,99 @@
+#include "support/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace fullweb::support {
+namespace {
+
+std::size_t count_char(const std::string& s, char c) {
+  std::size_t n = 0;
+  for (char x : s)
+    if (x == c) ++n;
+  return n;
+}
+
+TEST(AsciiPlot, RendersTitleAndLabels) {
+  PlotOptions opts;
+  opts.title = "My Title";
+  opts.x_label = "time";
+  opts.y_label = "value";
+  const std::string out = render_plot({1, 2, 3}, {1, 4, 9}, opts);
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(AsciiPlot, PointCountMatchesDistinctCells) {
+  PlotOptions opts;
+  opts.width = 60;
+  opts.height = 20;
+  const std::string out = render_plot({0, 1, 2, 3}, {0, 1, 2, 3}, opts);
+  EXPECT_EQ(count_char(out, '*'), 4U);
+}
+
+TEST(AsciiPlot, EmptyInputProducesPlaceholder) {
+  const std::string out = render_plot({}, {}, {});
+  EXPECT_NE(out.find("no plottable points"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesDropNonPositive) {
+  PlotOptions opts;
+  opts.log_x = true;
+  opts.log_y = true;
+  const std::string out =
+      render_plot({-1, 0, 10, 100}, {5, 5, 10, 100}, opts);
+  // Only the two positive-x points survive.
+  EXPECT_EQ(count_char(out, '*'), 2U);
+}
+
+TEST(AsciiPlot, AllPointsNonPositiveOnLogAxisPlaceholder) {
+  PlotOptions opts;
+  opts.log_y = true;
+  const std::string out = render_plot({1, 2}, {-1, 0}, opts);
+  EXPECT_NE(out.find("no plottable points"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultiSeriesLegendAndGlyphs) {
+  PlotSeries a{"alpha", {0, 1}, {0, 1}, 'a'};
+  PlotSeries b{"beta", {0, 1}, {1, 0}, 'b'};
+  const std::string out = render_plot({a, b}, {});
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_GE(count_char(out, 'a'), 2U);
+  EXPECT_GE(count_char(out, 'b'), 2U);
+}
+
+TEST(AsciiPlot, NonFiniteValuesSkipped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string out = render_plot({1, 2, 3, 4}, {1, nan, inf, 4}, {});
+  EXPECT_EQ(count_char(out, '*'), 2U);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  const std::string out = render_plot({1, 2, 3}, {5, 5, 5}, {});
+  EXPECT_EQ(count_char(out, '*'), 3U);
+}
+
+TEST(AsciiPlot, AxisTicksShowDataRange) {
+  const std::string out = render_plot({10, 20}, {100, 200}, {});
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);
+}
+
+TEST(AsciiPlot, MinimumDimensionsEnforced) {
+  PlotOptions opts;
+  opts.width = 1;
+  opts.height = 1;
+  const std::string out = render_plot({1, 2}, {1, 2}, opts);
+  EXPECT_FALSE(out.empty());  // clamped to minimums, no crash
+}
+
+}  // namespace
+}  // namespace fullweb::support

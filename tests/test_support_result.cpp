@@ -1,0 +1,74 @@
+#include "support/result.h"
+
+#include <gtest/gtest.h>
+
+namespace fullweb::support {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error::invalid_argument("not positive");
+  return v;
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().category, "invalid_argument");
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOnErrorThrowsLogicError) {
+  const Result<int> r = parse_positive(0);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(3).value_or(-1), 3);
+  EXPECT_EQ(parse_positive(0).value_or(-1), -1);
+}
+
+TEST(Result, MapTransformsValue) {
+  const auto doubled = parse_positive(4).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 8);
+}
+
+TEST(Result, MapPropagatesError) {
+  const auto doubled = parse_positive(-3).map([](int v) { return v * 2; });
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.error().message, "not positive");
+}
+
+TEST(Result, MoveExtraction) {
+  Result<std::string> r = std::string("hello");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ErrorFactories, CategoriesAreDistinct) {
+  EXPECT_EQ(Error::insufficient_data("x").category, "insufficient_data");
+  EXPECT_EQ(Error::parse("x").category, "parse");
+  EXPECT_EQ(Error::numeric("x").category, "numeric");
+  EXPECT_EQ(Error::invalid_argument("x").category, "invalid_argument");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status s = Error::numeric("overflow");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "overflow");
+}
+
+}  // namespace
+}  // namespace fullweb::support

@@ -1,0 +1,114 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fullweb::support {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) EXPECT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(13);
+  const std::uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(n)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k], draws / static_cast<double>(n),
+                5.0 * std::sqrt(draws / static_cast<double>(n)));
+  }
+}
+
+TEST(Rng, BelowZeroAndOne) {
+  Rng rng(17);
+  EXPECT_EQ(rng.below(0), 0U);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0, sum2 = 0, sum3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+    sum3 += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(23);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fullweb::support

@@ -1,0 +1,101 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace fullweb::support {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t x \n"), "x");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5U);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, SingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1U);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("hello", "lo"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("hello", "he"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(ParseInt, ValidInputs) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_EQ(parse_int("  123  ").value(), 123);
+  EXPECT_EQ(parse_int("0").value(), 0);
+}
+
+TEST(ParseInt, RejectsJunk) {
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("-").has_value());
+}
+
+TEST(ParseDouble, ValidInputs) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double(" 0.5 ").value(), 0.5);
+}
+
+TEST(ParseDouble, RejectsJunk) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(FormatSig, SignificantDigits) {
+  EXPECT_EQ(format_sig(1.6789, 3), "1.68");
+  EXPECT_EQ(format_sig(0.000123456, 3), "0.000123");
+  EXPECT_EQ(format_sig(1234567.0, 4), "1.235e+06");
+}
+
+TEST(FormatSig, SpecialValues) {
+  EXPECT_EQ(format_sig(std::numeric_limits<double>::quiet_NaN(), 3), "NaN");
+  EXPECT_EQ(format_sig(std::numeric_limits<double>::infinity(), 3), "inf");
+  EXPECT_EQ(format_sig(-std::numeric_limits<double>::infinity(), 3), "-inf");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(15785164), "15,785,164");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+}
+
+}  // namespace
+}  // namespace fullweb::support

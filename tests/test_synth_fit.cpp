@@ -1,0 +1,141 @@
+// Round-trip property tests for the FULL-Web model fit: parameters fitted
+// from generated traffic must recover the generating profile, and a replay
+// from the fitted profile must reproduce the observed fingerprint.
+#include "synth/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "synth/generator.h"
+#include "tail/llcd.h"
+
+namespace fullweb::synth {
+namespace {
+
+weblog::Dataset generate(const ServerProfile& profile, double days, double scale,
+                         std::uint64_t seed) {
+  support::Rng rng(seed);
+  GeneratorOptions gen;
+  gen.duration = days * 86400.0;
+  gen.scale = scale;
+  auto ds = generate_dataset(profile, gen, rng);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(FitProfile, RecoversVolumes) {
+  const auto truth = ServerProfile::csee();
+  const auto ds = generate(truth, 7.0, 1.0, 1);
+  const auto fit = fit_profile(ds);
+  ASSERT_TRUE(fit.ok());
+  const ServerProfile& p = fit.value().profile;
+  EXPECT_NEAR(p.week_sessions, truth.week_sessions, 0.25 * truth.week_sessions);
+  EXPECT_NEAR(p.requests_mean, truth.requests_mean, 0.25 * truth.requests_mean);
+}
+
+TEST(FitProfile, RecoversTailIndices) {
+  const auto truth = ServerProfile::clarknet();
+  const auto ds = generate(truth, 7.0, 0.5, 2);
+  const auto fit = fit_profile(ds);
+  ASSERT_TRUE(fit.ok());
+  const ServerProfile& p = fit.value().profile;
+  EXPECT_NEAR(p.requests_alpha, truth.requests_alpha, 0.5);
+  EXPECT_NEAR(p.think.scale_alpha, truth.think.scale_alpha, 0.5);
+  EXPECT_NEAR(p.bytes.scale_alpha, truth.bytes.scale_alpha, 0.5);
+}
+
+TEST(FitProfile, RecoversDiurnalAmplitude) {
+  auto truth = ServerProfile::csee();
+  truth.rate_log_sigma = 0.1;  // quiet noise isolates the sinusoid
+  const auto ds = generate(truth, 7.0, 1.0, 3);
+  const auto fit = fit_profile(ds);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().profile.diurnal_amplitude, truth.diurnal_amplitude,
+              0.15);
+}
+
+TEST(FitProfile, HurstStableAcrossRefit) {
+  // The fitted H is a property of the traffic, not of the fitting seed:
+  // refitting a replay of the fitted model recovers nearly the same H.
+  // (A directional strong-vs-weak comparison is NOT a valid property here:
+  // the heavy-tailed session structure itself contributes LRD, so the
+  // request-level H saturates and does not track the rate-FGN knob alone.)
+  const auto truth = ServerProfile::csee();
+  const auto observed = generate(truth, 4.0, 1.0, 4);
+  const auto fit1 = fit_profile(observed);
+  ASSERT_TRUE(fit1.ok());
+  EXPECT_GT(fit1.value().profile.hurst, 0.5);
+  EXPECT_LT(fit1.value().profile.hurst, 1.0);
+
+  support::Rng rng(99);
+  GeneratorOptions gen;
+  gen.duration = 4.0 * 86400.0;
+  auto replay = generate_dataset(fit1.value().profile, gen, rng);
+  ASSERT_TRUE(replay.ok());
+  const auto fit2 = fit_profile(replay.value());
+  ASSERT_TRUE(fit2.ok());
+  EXPECT_NEAR(fit2.value().profile.hurst, fit1.value().profile.hurst, 0.12);
+}
+
+TEST(FitProfile, MeanBytesPreserved) {
+  const auto truth = ServerProfile::nasa_pub2();
+  const auto ds = generate(truth, 7.0, 3.0, 6);  // upscale for sample size
+  const auto fit = fit_profile(ds);
+  ASSERT_TRUE(fit.ok());
+  const double observed_mean = static_cast<double>(ds.total_bytes()) /
+                               static_cast<double>(ds.requests().size());
+  EXPECT_NEAR(fit.value().diagnostics.mean_bytes_per_request, observed_mean,
+              1e-6);
+}
+
+TEST(FitProfile, ReplayReproducesFingerprint) {
+  // The headline closed loop: observed -> fit -> replay, fingerprints agree.
+  const auto truth = ServerProfile::clarknet();
+  const auto observed = generate(truth, 3.0, 0.3, 7);
+  const auto fit = fit_profile(observed);
+  ASSERT_TRUE(fit.ok());
+
+  support::Rng rng(8);
+  GeneratorOptions gen;
+  gen.duration = 3.0 * 86400.0;
+  auto replay = generate_dataset(fit.value().profile, gen, rng);
+  ASSERT_TRUE(replay.ok());
+
+  const double obs_req = static_cast<double>(observed.requests().size());
+  const double rep_req = static_cast<double>(replay.value().requests().size());
+  EXPECT_NEAR(rep_req, obs_req, 0.3 * obs_req);
+
+  const auto obs_tail = tail::llcd_fit(observed.session_request_counts());
+  const auto rep_tail = tail::llcd_fit(replay.value().session_request_counts());
+  ASSERT_TRUE(obs_tail.ok());
+  ASSERT_TRUE(rep_tail.ok());
+  EXPECT_NEAR(rep_tail.value().alpha, obs_tail.value().alpha, 0.6);
+}
+
+TEST(FitProfile, ErrorsOnTinyDataset) {
+  const auto truth = ServerProfile::nasa_pub2();
+  // A few hours only: under a day -> insufficient.
+  support::Rng rng(9);
+  GeneratorOptions gen;
+  gen.duration = 6 * 3600.0;
+  auto ds = generate_dataset(truth, gen, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(fit_profile(ds.value()).ok());
+}
+
+TEST(FitProfile, ParameterClampsHold) {
+  const auto truth = ServerProfile::wvu();
+  const auto ds = generate(truth, 2.0, 0.05, 10);
+  const auto fit = fit_profile(ds);
+  if (!fit.ok()) return;  // tiny scale may be insufficient; that's fine
+  const ServerProfile& p = fit.value().profile;
+  EXPECT_GE(p.hurst, 0.51);
+  EXPECT_LE(p.hurst, 0.97);
+  EXPECT_GE(p.rate_log_sigma, 0.05);
+  EXPECT_LE(p.rate_log_sigma, 1.5);
+  EXPECT_GE(p.diurnal_amplitude, 0.0);
+  EXPECT_LE(p.diurnal_amplitude, 0.95);
+}
+
+}  // namespace
+}  // namespace fullweb::synth
