@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stationarity.dir/bench_ablation_stationarity.cpp.o"
+  "CMakeFiles/bench_ablation_stationarity.dir/bench_ablation_stationarity.cpp.o.d"
+  "bench_ablation_stationarity"
+  "bench_ablation_stationarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stationarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

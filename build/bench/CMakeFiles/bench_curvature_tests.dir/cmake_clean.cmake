@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_curvature_tests.dir/bench_curvature_tests.cpp.o"
+  "CMakeFiles/bench_curvature_tests.dir/bench_curvature_tests.cpp.o.d"
+  "bench_curvature_tests"
+  "bench_curvature_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_curvature_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

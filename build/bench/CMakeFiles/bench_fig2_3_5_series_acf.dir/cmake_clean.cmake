@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_3_5_series_acf.dir/bench_fig2_3_5_series_acf.cpp.o"
+  "CMakeFiles/bench_fig2_3_5_series_acf.dir/bench_fig2_3_5_series_acf.cpp.o.d"
+  "bench_fig2_3_5_series_acf"
+  "bench_fig2_3_5_series_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_3_5_series_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_3_5_series_acf.
+# This may be replaced when dependencies are built.

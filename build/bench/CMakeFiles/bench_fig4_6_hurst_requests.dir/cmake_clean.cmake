@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_6_hurst_requests.dir/bench_fig4_6_hurst_requests.cpp.o"
+  "CMakeFiles/bench_fig4_6_hurst_requests.dir/bench_fig4_6_hurst_requests.cpp.o.d"
+  "bench_fig4_6_hurst_requests"
+  "bench_fig4_6_hurst_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_6_hurst_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_aggregated_hurst.dir/bench_fig7_8_aggregated_hurst.cpp.o"
+  "CMakeFiles/bench_fig7_8_aggregated_hurst.dir/bench_fig7_8_aggregated_hurst.cpp.o.d"
+  "bench_fig7_8_aggregated_hurst"
+  "bench_fig7_8_aggregated_hurst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_aggregated_hurst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

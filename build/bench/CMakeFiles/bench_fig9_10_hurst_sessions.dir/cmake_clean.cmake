@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10_hurst_sessions.dir/bench_fig9_10_hurst_sessions.cpp.o"
+  "CMakeFiles/bench_fig9_10_hurst_sessions.dir/bench_fig9_10_hurst_sessions.cpp.o.d"
+  "bench_fig9_10_hurst_sessions"
+  "bench_fig9_10_hurst_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10_hurst_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_fit_roundtrip.dir/bench_model_fit_roundtrip.cpp.o"
+  "CMakeFiles/bench_model_fit_roundtrip.dir/bench_model_fit_roundtrip.cpp.o.d"
+  "bench_model_fit_roundtrip"
+  "bench_model_fit_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_fit_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queueing_ablation.dir/bench_queueing_ablation.cpp.o"
+  "CMakeFiles/bench_queueing_ablation.dir/bench_queueing_ablation.cpp.o.d"
+  "bench_queueing_ablation"
+  "bench_queueing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queueing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_poisson_requests.dir/bench_sec42_poisson_requests.cpp.o"
+  "CMakeFiles/bench_sec42_poisson_requests.dir/bench_sec42_poisson_requests.cpp.o.d"
+  "bench_sec42_poisson_requests"
+  "bench_sec42_poisson_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_poisson_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

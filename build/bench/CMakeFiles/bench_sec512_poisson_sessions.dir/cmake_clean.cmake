@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec512_poisson_sessions.dir/bench_sec512_poisson_sessions.cpp.o"
+  "CMakeFiles/bench_sec512_poisson_sessions.dir/bench_sec512_poisson_sessions.cpp.o.d"
+  "bench_sec512_poisson_sessions"
+  "bench_sec512_poisson_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec512_poisson_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

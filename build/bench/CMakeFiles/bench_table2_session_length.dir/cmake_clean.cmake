@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_session_length.dir/bench_table2_session_length.cpp.o"
+  "CMakeFiles/bench_table2_session_length.dir/bench_table2_session_length.cpp.o.d"
+  "bench_table2_session_length"
+  "bench_table2_session_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_session_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_requests_per_session.dir/bench_table3_requests_per_session.cpp.o"
+  "CMakeFiles/bench_table3_requests_per_session.dir/bench_table3_requests_per_session.cpp.o.d"
+  "bench_table3_requests_per_session"
+  "bench_table3_requests_per_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_requests_per_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_estimators.dir/bench_validation_estimators.cpp.o"
+  "CMakeFiles/bench_validation_estimators.dir/bench_validation_estimators.cpp.o.d"
+  "bench_validation_estimators"
+  "bench_validation_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/fullweb_bench_common.dir/bench_common.cpp.o.d"
+  "libfullweb_bench_common.a"
+  "libfullweb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

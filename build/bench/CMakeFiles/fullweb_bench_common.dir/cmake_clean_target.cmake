@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfullweb_bench_common.a"
+)

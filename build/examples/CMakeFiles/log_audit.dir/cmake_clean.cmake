@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_audit.dir/log_audit.cpp.o"
+  "CMakeFiles/log_audit.dir/log_audit.cpp.o.d"
+  "log_audit"
+  "log_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

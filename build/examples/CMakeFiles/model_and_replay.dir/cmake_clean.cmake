@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_and_replay.dir/model_and_replay.cpp.o"
+  "CMakeFiles/model_and_replay.dir/model_and_replay.cpp.o.d"
+  "model_and_replay"
+  "model_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

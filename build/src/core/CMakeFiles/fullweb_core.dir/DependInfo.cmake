@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrival_analysis.cpp" "src/core/CMakeFiles/fullweb_core.dir/arrival_analysis.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/arrival_analysis.cpp.o.d"
+  "/root/repo/src/core/error_analysis.cpp" "src/core/CMakeFiles/fullweb_core.dir/error_analysis.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/error_analysis.cpp.o.d"
+  "/root/repo/src/core/fullweb_model.cpp" "src/core/CMakeFiles/fullweb_core.dir/fullweb_model.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/fullweb_model.cpp.o.d"
+  "/root/repo/src/core/interarrival.cpp" "src/core/CMakeFiles/fullweb_core.dir/interarrival.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/interarrival.cpp.o.d"
+  "/root/repo/src/core/report_markdown.cpp" "src/core/CMakeFiles/fullweb_core.dir/report_markdown.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/report_markdown.cpp.o.d"
+  "/root/repo/src/core/stationary.cpp" "src/core/CMakeFiles/fullweb_core.dir/stationary.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/stationary.cpp.o.d"
+  "/root/repo/src/core/tail_analysis.cpp" "src/core/CMakeFiles/fullweb_core.dir/tail_analysis.cpp.o" "gcc" "src/core/CMakeFiles/fullweb_core.dir/tail_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lrd/CMakeFiles/fullweb_lrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tail/CMakeFiles/fullweb_tail.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/fullweb_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/fullweb_weblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fullweb_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_core.dir/arrival_analysis.cpp.o"
+  "CMakeFiles/fullweb_core.dir/arrival_analysis.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/error_analysis.cpp.o"
+  "CMakeFiles/fullweb_core.dir/error_analysis.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/fullweb_model.cpp.o"
+  "CMakeFiles/fullweb_core.dir/fullweb_model.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/interarrival.cpp.o"
+  "CMakeFiles/fullweb_core.dir/interarrival.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/report_markdown.cpp.o"
+  "CMakeFiles/fullweb_core.dir/report_markdown.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/stationary.cpp.o"
+  "CMakeFiles/fullweb_core.dir/stationary.cpp.o.d"
+  "CMakeFiles/fullweb_core.dir/tail_analysis.cpp.o"
+  "CMakeFiles/fullweb_core.dir/tail_analysis.cpp.o.d"
+  "libfullweb_core.a"
+  "libfullweb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lrd/abry_veitch.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/abry_veitch.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/abry_veitch.cpp.o.d"
+  "/root/repo/src/lrd/dfa.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/dfa.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/dfa.cpp.o.d"
+  "/root/repo/src/lrd/estimator_suite.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/estimator_suite.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/estimator_suite.cpp.o.d"
+  "/root/repo/src/lrd/hurst.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/hurst.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/hurst.cpp.o.d"
+  "/root/repo/src/lrd/periodogram_hurst.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/periodogram_hurst.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/periodogram_hurst.cpp.o.d"
+  "/root/repo/src/lrd/rs.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/rs.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/rs.cpp.o.d"
+  "/root/repo/src/lrd/variance_time.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/variance_time.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/variance_time.cpp.o.d"
+  "/root/repo/src/lrd/whittle.cpp" "src/lrd/CMakeFiles/fullweb_lrd.dir/whittle.cpp.o" "gcc" "src/lrd/CMakeFiles/fullweb_lrd.dir/whittle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/fullweb_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_lrd.dir/abry_veitch.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/abry_veitch.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/dfa.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/dfa.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/estimator_suite.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/estimator_suite.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/hurst.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/hurst.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/periodogram_hurst.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/periodogram_hurst.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/rs.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/rs.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/variance_time.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/variance_time.cpp.o.d"
+  "CMakeFiles/fullweb_lrd.dir/whittle.cpp.o"
+  "CMakeFiles/fullweb_lrd.dir/whittle.cpp.o.d"
+  "libfullweb_lrd.a"
+  "libfullweb_lrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_lrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

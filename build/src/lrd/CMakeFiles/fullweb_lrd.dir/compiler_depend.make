@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fullweb_lrd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fullweb_lrd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_poisson.dir/poisson_test.cpp.o"
+  "CMakeFiles/fullweb_poisson.dir/poisson_test.cpp.o.d"
+  "libfullweb_poisson.a"
+  "libfullweb_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

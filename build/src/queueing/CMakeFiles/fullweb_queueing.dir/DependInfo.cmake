@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/admission.cpp" "src/queueing/CMakeFiles/fullweb_queueing.dir/admission.cpp.o" "gcc" "src/queueing/CMakeFiles/fullweb_queueing.dir/admission.cpp.o.d"
+  "/root/repo/src/queueing/fifo_queue.cpp" "src/queueing/CMakeFiles/fullweb_queueing.dir/fifo_queue.cpp.o" "gcc" "src/queueing/CMakeFiles/fullweb_queueing.dir/fifo_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/weblog/CMakeFiles/fullweb_weblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fullweb_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_queueing.dir/admission.cpp.o"
+  "CMakeFiles/fullweb_queueing.dir/admission.cpp.o.d"
+  "CMakeFiles/fullweb_queueing.dir/fifo_queue.cpp.o"
+  "CMakeFiles/fullweb_queueing.dir/fifo_queue.cpp.o.d"
+  "libfullweb_queueing.a"
+  "libfullweb_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfullweb_queueing.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/acf.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/acf.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/acf.cpp.o.d"
+  "/root/repo/src/stats/anderson_darling.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/anderson_darling.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/anderson_darling.cpp.o.d"
+  "/root/repo/src/stats/binomial.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/binomial.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/binomial.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/fft.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/fft.cpp.o.d"
+  "/root/repo/src/stats/kpss.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/kpss.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/kpss.cpp.o.d"
+  "/root/repo/src/stats/periodogram.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/periodogram.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/periodogram.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/fullweb_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/fullweb_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

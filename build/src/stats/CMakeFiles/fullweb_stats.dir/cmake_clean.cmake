@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_stats.dir/acf.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/acf.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/anderson_darling.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/anderson_darling.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/binomial.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/binomial.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/distributions.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/fft.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/fft.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/kpss.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/kpss.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/periodogram.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/periodogram.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/regression.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/fullweb_stats.dir/special.cpp.o"
+  "CMakeFiles/fullweb_stats.dir/special.cpp.o.d"
+  "libfullweb_stats.a"
+  "libfullweb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

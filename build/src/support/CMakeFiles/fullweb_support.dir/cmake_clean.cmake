@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_support.dir/ascii_plot.cpp.o"
+  "CMakeFiles/fullweb_support.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/fullweb_support.dir/cli.cpp.o"
+  "CMakeFiles/fullweb_support.dir/cli.cpp.o.d"
+  "CMakeFiles/fullweb_support.dir/strings.cpp.o"
+  "CMakeFiles/fullweb_support.dir/strings.cpp.o.d"
+  "CMakeFiles/fullweb_support.dir/table.cpp.o"
+  "CMakeFiles/fullweb_support.dir/table.cpp.o.d"
+  "libfullweb_support.a"
+  "libfullweb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

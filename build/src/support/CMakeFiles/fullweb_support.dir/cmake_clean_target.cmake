@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfullweb_support.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_synth.dir/fit.cpp.o"
+  "CMakeFiles/fullweb_synth.dir/fit.cpp.o.d"
+  "CMakeFiles/fullweb_synth.dir/generator.cpp.o"
+  "CMakeFiles/fullweb_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/fullweb_synth.dir/profile.cpp.o"
+  "CMakeFiles/fullweb_synth.dir/profile.cpp.o.d"
+  "CMakeFiles/fullweb_synth.dir/profile_io.cpp.o"
+  "CMakeFiles/fullweb_synth.dir/profile_io.cpp.o.d"
+  "libfullweb_synth.a"
+  "libfullweb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

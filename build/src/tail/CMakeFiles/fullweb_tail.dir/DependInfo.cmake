@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tail/bootstrap.cpp" "src/tail/CMakeFiles/fullweb_tail.dir/bootstrap.cpp.o" "gcc" "src/tail/CMakeFiles/fullweb_tail.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/tail/curvature.cpp" "src/tail/CMakeFiles/fullweb_tail.dir/curvature.cpp.o" "gcc" "src/tail/CMakeFiles/fullweb_tail.dir/curvature.cpp.o.d"
+  "/root/repo/src/tail/hill.cpp" "src/tail/CMakeFiles/fullweb_tail.dir/hill.cpp.o" "gcc" "src/tail/CMakeFiles/fullweb_tail.dir/hill.cpp.o.d"
+  "/root/repo/src/tail/llcd.cpp" "src/tail/CMakeFiles/fullweb_tail.dir/llcd.cpp.o" "gcc" "src/tail/CMakeFiles/fullweb_tail.dir/llcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_tail.dir/bootstrap.cpp.o"
+  "CMakeFiles/fullweb_tail.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/fullweb_tail.dir/curvature.cpp.o"
+  "CMakeFiles/fullweb_tail.dir/curvature.cpp.o.d"
+  "CMakeFiles/fullweb_tail.dir/hill.cpp.o"
+  "CMakeFiles/fullweb_tail.dir/hill.cpp.o.d"
+  "CMakeFiles/fullweb_tail.dir/llcd.cpp.o"
+  "CMakeFiles/fullweb_tail.dir/llcd.cpp.o.d"
+  "libfullweb_tail.a"
+  "libfullweb_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/detrend.cpp" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/detrend.cpp.o" "gcc" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/detrend.cpp.o.d"
+  "/root/repo/src/timeseries/fgn.cpp" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/fgn.cpp.o" "gcc" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/fgn.cpp.o.d"
+  "/root/repo/src/timeseries/seasonal.cpp" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/seasonal.cpp.o" "gcc" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/seasonal.cpp.o.d"
+  "/root/repo/src/timeseries/series.cpp" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/series.cpp.o" "gcc" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/series.cpp.o.d"
+  "/root/repo/src/timeseries/wavelet.cpp" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/wavelet.cpp.o" "gcc" "src/timeseries/CMakeFiles/fullweb_timeseries.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

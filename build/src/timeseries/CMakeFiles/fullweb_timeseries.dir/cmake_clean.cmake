@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_timeseries.dir/detrend.cpp.o"
+  "CMakeFiles/fullweb_timeseries.dir/detrend.cpp.o.d"
+  "CMakeFiles/fullweb_timeseries.dir/fgn.cpp.o"
+  "CMakeFiles/fullweb_timeseries.dir/fgn.cpp.o.d"
+  "CMakeFiles/fullweb_timeseries.dir/seasonal.cpp.o"
+  "CMakeFiles/fullweb_timeseries.dir/seasonal.cpp.o.d"
+  "CMakeFiles/fullweb_timeseries.dir/series.cpp.o"
+  "CMakeFiles/fullweb_timeseries.dir/series.cpp.o.d"
+  "CMakeFiles/fullweb_timeseries.dir/wavelet.cpp.o"
+  "CMakeFiles/fullweb_timeseries.dir/wavelet.cpp.o.d"
+  "libfullweb_timeseries.a"
+  "libfullweb_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weblog/clf.cpp" "src/weblog/CMakeFiles/fullweb_weblog.dir/clf.cpp.o" "gcc" "src/weblog/CMakeFiles/fullweb_weblog.dir/clf.cpp.o.d"
+  "/root/repo/src/weblog/dataset.cpp" "src/weblog/CMakeFiles/fullweb_weblog.dir/dataset.cpp.o" "gcc" "src/weblog/CMakeFiles/fullweb_weblog.dir/dataset.cpp.o.d"
+  "/root/repo/src/weblog/merge.cpp" "src/weblog/CMakeFiles/fullweb_weblog.dir/merge.cpp.o" "gcc" "src/weblog/CMakeFiles/fullweb_weblog.dir/merge.cpp.o.d"
+  "/root/repo/src/weblog/sessionizer.cpp" "src/weblog/CMakeFiles/fullweb_weblog.dir/sessionizer.cpp.o" "gcc" "src/weblog/CMakeFiles/fullweb_weblog.dir/sessionizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/fullweb_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullweb_weblog.dir/clf.cpp.o"
+  "CMakeFiles/fullweb_weblog.dir/clf.cpp.o.d"
+  "CMakeFiles/fullweb_weblog.dir/dataset.cpp.o"
+  "CMakeFiles/fullweb_weblog.dir/dataset.cpp.o.d"
+  "CMakeFiles/fullweb_weblog.dir/merge.cpp.o"
+  "CMakeFiles/fullweb_weblog.dir/merge.cpp.o.d"
+  "CMakeFiles/fullweb_weblog.dir/sessionizer.cpp.o"
+  "CMakeFiles/fullweb_weblog.dir/sessionizer.cpp.o.d"
+  "libfullweb_weblog.a"
+  "libfullweb_weblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullweb_weblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fullweb_weblog.
+# This may be replaced when dependencies are built.

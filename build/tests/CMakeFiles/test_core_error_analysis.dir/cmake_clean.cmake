@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_error_analysis.dir/test_core_error_analysis.cpp.o"
+  "CMakeFiles/test_core_error_analysis.dir/test_core_error_analysis.cpp.o.d"
+  "test_core_error_analysis"
+  "test_core_error_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_interarrival.dir/test_core_interarrival.cpp.o"
+  "CMakeFiles/test_core_interarrival.dir/test_core_interarrival.cpp.o.d"
+  "test_core_interarrival"
+  "test_core_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

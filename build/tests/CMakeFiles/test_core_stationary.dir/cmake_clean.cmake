@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stationary.dir/test_core_stationary.cpp.o"
+  "CMakeFiles/test_core_stationary.dir/test_core_stationary.cpp.o.d"
+  "test_core_stationary"
+  "test_core_stationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_endtoend.dir/test_integration_endtoend.cpp.o"
+  "CMakeFiles/test_integration_endtoend.dir/test_integration_endtoend.cpp.o.d"
+  "test_integration_endtoend"
+  "test_integration_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrd_dfa.dir/test_lrd_dfa.cpp.o"
+  "CMakeFiles/test_lrd_dfa.dir/test_lrd_dfa.cpp.o.d"
+  "test_lrd_dfa"
+  "test_lrd_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrd_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

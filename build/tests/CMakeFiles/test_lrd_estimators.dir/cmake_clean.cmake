@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrd_estimators.dir/test_lrd_estimators.cpp.o"
+  "CMakeFiles/test_lrd_estimators.dir/test_lrd_estimators.cpp.o.d"
+  "test_lrd_estimators"
+  "test_lrd_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrd_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

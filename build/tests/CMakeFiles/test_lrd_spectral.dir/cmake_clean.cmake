@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrd_spectral.dir/test_lrd_spectral.cpp.o"
+  "CMakeFiles/test_lrd_spectral.dir/test_lrd_spectral.cpp.o.d"
+  "test_lrd_spectral"
+  "test_lrd_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrd_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

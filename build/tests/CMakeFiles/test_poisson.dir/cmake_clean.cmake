@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poisson.dir/test_poisson.cpp.o"
+  "CMakeFiles/test_poisson.dir/test_poisson.cpp.o.d"
+  "test_poisson"
+  "test_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats_acf.cpp" "tests/CMakeFiles/test_stats_acf.dir/test_stats_acf.cpp.o" "gcc" "tests/CMakeFiles/test_stats_acf.dir/test_stats_acf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fullweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fullweb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/fullweb_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/weblog/CMakeFiles/fullweb_weblog.dir/DependInfo.cmake"
+  "/root/repo/build/src/poisson/CMakeFiles/fullweb_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/tail/CMakeFiles/fullweb_tail.dir/DependInfo.cmake"
+  "/root/repo/build/src/lrd/CMakeFiles/fullweb_lrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/fullweb_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fullweb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fullweb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

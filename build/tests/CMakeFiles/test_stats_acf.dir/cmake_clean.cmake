@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_acf.dir/test_stats_acf.cpp.o"
+  "CMakeFiles/test_stats_acf.dir/test_stats_acf.cpp.o.d"
+  "test_stats_acf"
+  "test_stats_acf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_acf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_distributions.dir/test_stats_distributions.cpp.o"
+  "CMakeFiles/test_stats_distributions.dir/test_stats_distributions.cpp.o.d"
+  "test_stats_distributions"
+  "test_stats_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_fft.dir/test_stats_fft.cpp.o"
+  "CMakeFiles/test_stats_fft.dir/test_stats_fft.cpp.o.d"
+  "test_stats_fft"
+  "test_stats_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

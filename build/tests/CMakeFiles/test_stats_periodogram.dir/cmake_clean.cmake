@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_periodogram.dir/test_stats_periodogram.cpp.o"
+  "CMakeFiles/test_stats_periodogram.dir/test_stats_periodogram.cpp.o.d"
+  "test_stats_periodogram"
+  "test_stats_periodogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_periodogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_sampling_ks.dir/test_stats_sampling_ks.cpp.o"
+  "CMakeFiles/test_stats_sampling_ks.dir/test_stats_sampling_ks.cpp.o.d"
+  "test_stats_sampling_ks"
+  "test_stats_sampling_ks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_sampling_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_tests.dir/test_stats_tests.cpp.o"
+  "CMakeFiles/test_stats_tests.dir/test_stats_tests.cpp.o.d"
+  "test_stats_tests"
+  "test_stats_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

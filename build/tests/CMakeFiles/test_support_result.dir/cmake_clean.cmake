@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_result.dir/test_support_result.cpp.o"
+  "CMakeFiles/test_support_result.dir/test_support_result.cpp.o.d"
+  "test_support_result"
+  "test_support_result.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_rng.dir/test_support_rng.cpp.o"
+  "CMakeFiles/test_support_rng.dir/test_support_rng.cpp.o.d"
+  "test_support_rng"
+  "test_support_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

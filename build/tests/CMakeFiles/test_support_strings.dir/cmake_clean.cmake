@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_strings.dir/test_support_strings.cpp.o"
+  "CMakeFiles/test_support_strings.dir/test_support_strings.cpp.o.d"
+  "test_support_strings"
+  "test_support_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_table_cli.dir/test_support_table_cli.cpp.o"
+  "CMakeFiles/test_support_table_cli.dir/test_support_table_cli.cpp.o.d"
+  "test_support_table_cli"
+  "test_support_table_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_table_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

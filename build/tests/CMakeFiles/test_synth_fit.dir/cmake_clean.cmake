@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_fit.dir/test_synth_fit.cpp.o"
+  "CMakeFiles/test_synth_fit.dir/test_synth_fit.cpp.o.d"
+  "test_synth_fit"
+  "test_synth_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

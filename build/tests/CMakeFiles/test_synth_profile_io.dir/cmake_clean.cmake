@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_profile_io.dir/test_synth_profile_io.cpp.o"
+  "CMakeFiles/test_synth_profile_io.dir/test_synth_profile_io.cpp.o.d"
+  "test_synth_profile_io"
+  "test_synth_profile_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_profile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_bootstrap.dir/test_tail_bootstrap.cpp.o"
+  "CMakeFiles/test_tail_bootstrap.dir/test_tail_bootstrap.cpp.o.d"
+  "test_tail_bootstrap"
+  "test_tail_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

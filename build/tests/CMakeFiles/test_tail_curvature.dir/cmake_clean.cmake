@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_curvature.dir/test_tail_curvature.cpp.o"
+  "CMakeFiles/test_tail_curvature.dir/test_tail_curvature.cpp.o.d"
+  "test_tail_curvature"
+  "test_tail_curvature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_curvature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

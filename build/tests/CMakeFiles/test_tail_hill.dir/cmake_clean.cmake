@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_hill.dir/test_tail_hill.cpp.o"
+  "CMakeFiles/test_tail_hill.dir/test_tail_hill.cpp.o.d"
+  "test_tail_hill"
+  "test_tail_hill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_hill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

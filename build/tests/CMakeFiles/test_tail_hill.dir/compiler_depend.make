@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_tail_hill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_llcd.dir/test_tail_llcd.cpp.o"
+  "CMakeFiles/test_tail_llcd.dir/test_tail_llcd.cpp.o.d"
+  "test_tail_llcd"
+  "test_tail_llcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_llcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeseries_fgn_wavelet.dir/test_timeseries_fgn_wavelet.cpp.o"
+  "CMakeFiles/test_timeseries_fgn_wavelet.dir/test_timeseries_fgn_wavelet.cpp.o.d"
+  "test_timeseries_fgn_wavelet"
+  "test_timeseries_fgn_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeseries_fgn_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weblog_clf.dir/test_weblog_clf.cpp.o"
+  "CMakeFiles/test_weblog_clf.dir/test_weblog_clf.cpp.o.d"
+  "test_weblog_clf"
+  "test_weblog_clf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weblog_clf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

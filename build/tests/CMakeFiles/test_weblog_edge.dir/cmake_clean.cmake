@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weblog_edge.dir/test_weblog_edge.cpp.o"
+  "CMakeFiles/test_weblog_edge.dir/test_weblog_edge.cpp.o.d"
+  "test_weblog_edge"
+  "test_weblog_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weblog_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

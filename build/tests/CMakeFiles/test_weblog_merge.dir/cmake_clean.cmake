@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weblog_merge.dir/test_weblog_merge.cpp.o"
+  "CMakeFiles/test_weblog_merge.dir/test_weblog_merge.cpp.o.d"
+  "test_weblog_merge"
+  "test_weblog_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weblog_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weblog_sessionizer.dir/test_weblog_sessionizer.cpp.o"
+  "CMakeFiles/test_weblog_sessionizer.dir/test_weblog_sessionizer.cpp.o.d"
+  "test_weblog_sessionizer"
+  "test_weblog_sessionizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weblog_sessionizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_weblog_sessionizer.
+# This may be replaced when dependencies are built.
