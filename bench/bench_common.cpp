@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "support/executor.h"
 #include "support/strings.h"
 
 namespace fullweb::bench {
@@ -16,12 +17,21 @@ bool parse_bench_flags(int argc, const char* const* argv, BenchContext* ctx,
   flags.define("scale", "1.0", "multiplier on each server's bench scale");
   flags.define("days", "7", "days of synthetic traffic");
   flags.define("seed", std::to_string(kDefaultSeed), "random seed");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   flags.define("csv-dir", "", "existing directory for figure-data CSV dumps");
   if (!flags.parse(argc, argv)) return false;
   ctx->scale_multiplier = flags.get_double("scale");
   ctx->days = flags.get_double("days");
   ctx->seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return false;
+  }
+  ctx->threads = static_cast<std::size_t>(threads);
   ctx->csv_dir = flags.get("csv-dir");
+  support::Executor::set_global_threads(ctx->threads);
   return true;
 }
 
@@ -62,9 +72,10 @@ void print_header(const std::string& title, const std::string& paper_ref,
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("workload: synthetic (see DESIGN.md substitutions); days=%.1f "
-              "scale-mult=%.3g seed=%llu\n",
+              "scale-mult=%.3g seed=%llu threads=%zu\n",
               ctx.days, ctx.scale_multiplier,
-              static_cast<unsigned long long>(ctx.seed));
+              static_cast<unsigned long long>(ctx.seed),
+              support::Executor::global().threads());
   std::printf("================================================================\n\n");
 }
 

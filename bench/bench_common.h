@@ -22,12 +22,15 @@ struct BenchContext {
   double scale_multiplier = 1.0;  ///< multiplies each profile's bench_scale
   double days = 7.0;
   std::uint64_t seed = kDefaultSeed;
+  std::size_t threads = 0;        ///< analysis threads (0 = hardware)
   std::string csv_dir;            ///< when non-empty, figure data is dumped
                                   ///< as CSV files here
 };
 
-/// Standard flags shared by all drivers (--scale, --days, --seed). Returns
-/// false when parsing fails (usage already printed).
+/// Standard flags shared by all drivers (--scale, --days, --seed,
+/// --threads). Returns false when parsing fails (usage already printed).
+/// --threads resizes the global executor, so every analysis call in the
+/// driver runs at the requested parallelism.
 bool parse_bench_flags(int argc, const char* const* argv, BenchContext* ctx,
                        support::CliFlags* extra = nullptr);
 

@@ -1,0 +1,116 @@
+// Parallel-scaling driver: end-to-end FullWebModel fit at 1..N threads.
+//
+// Reports per-stage and total wall-clock for the serial run and for each
+// thread count, the resulting speedup, and — the refactor's core invariant —
+// verifies that every run produces a bit-identical model (same rendered
+// report, same Hurst estimates to the last bit).
+//
+//   ./bench_parallel_scaling --server CSEE --scale 0.5 --max-threads 8
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/fullweb_model.h"
+#include "support/executor.h"
+#include "support/timing.h"
+
+namespace {
+
+using namespace fullweb;
+
+struct RunResult {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  std::string report;
+  std::string stage_table;  // StageTimings holds a mutex; keep the rendering
+};
+
+RunResult run_once(const weblog::Dataset& dataset, std::uint64_t seed,
+                   std::size_t threads) {
+  RunResult out;
+  out.threads = threads;
+  support::Executor ex(threads);
+  support::StageTimings timings;
+
+  core::FullWebOptions opts;
+  opts.executor = &ex;
+  opts.timings = &timings;
+  opts.tails.curvature_replicates = 99;
+
+  support::Rng rng(seed);
+  support::StageTimings wall;
+  {
+    support::StageTimer t(&wall, "total");
+    auto model = core::fit_fullweb_model(dataset, rng, opts);
+    if (!model.ok()) {
+      std::fprintf(stderr, "fatal: fit failed: %s\n",
+                   model.error().message.c_str());
+      std::exit(1);
+    }
+    out.report = core::render_report(model.value());
+  }
+  out.seconds = wall.entries().front().seconds;
+  out.stage_table = timings.table();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx;
+  support::CliFlags flags;
+  flags.define("server", "CSEE", "WVU | ClarkNet | CSEE | NASA-Pub2");
+  flags.define("max-threads", "0",
+               "highest thread count to scale to (0 = hardware)");
+  if (!bench::parse_bench_flags(argc, argv, &ctx, &flags)) return 2;
+
+  synth::ServerProfile profile = synth::ServerProfile::csee();
+  const std::string which = flags.get("server");
+  for (const auto& p : synth::ServerProfile::all_four())
+    if (p.name == which) profile = p;
+
+  std::size_t max_threads =
+      static_cast<std::size_t>(flags.get_int("max-threads"));
+  if (max_threads == 0) max_threads = support::Executor(0).threads();
+
+  bench::print_header("Parallel scaling: FullWebModel end to end",
+                      "Figure 1 pipeline as a task graph (this reproduction)",
+                      ctx);
+
+  const auto dataset = bench::generate_server(profile, ctx);
+  std::printf("dataset: %s, %zu requests, %zu sessions\n\n",
+              dataset.name().c_str(), dataset.requests().size(),
+              dataset.sessions().size());
+
+  std::vector<std::size_t> counts = {1};
+  for (std::size_t t = 2; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads && max_threads > 1)
+    counts.push_back(max_threads);
+
+  std::vector<RunResult> runs;
+  for (std::size_t t : counts) runs.push_back(run_once(dataset, ctx.seed, t));
+
+  const RunResult& serial = runs.front();
+  std::printf("per-stage wall-clock, serial run:\n%s\n",
+              serial.stage_table.c_str());
+
+  std::printf("%-10s %12s %10s %14s\n", "threads", "total (s)", "speedup",
+              "bit-identical");
+  bool all_identical = true;
+  for (const RunResult& r : runs) {
+    const bool identical = r.report == serial.report;
+    all_identical = all_identical && identical;
+    std::printf("%-10zu %12.3f %9.2fx %14s\n", r.threads, r.seconds,
+                serial.seconds / r.seconds, identical ? "yes" : "NO");
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "\nFATAL: parallel run diverged from the serial run — the "
+                 "determinism invariant is broken\n");
+    return 1;
+  }
+  std::printf("\nall runs bit-identical to the serial fit\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+# Runs the threading determinism tests under ThreadSanitizer.
+#
+# Invoked by the `tsan_determinism` ctest entry (see the top-level
+# CMakeLists.txt). Configures a nested build of the same source tree with
+# FULLWEB_SANITIZE=thread, builds only the two test targets that exercise the
+# executor, and runs them. Any data race aborts the test (halt_on_error=1).
+#
+# Expected -D variables: SOURCE_DIR, BUILD_DIR, GENERATOR, CXX_COMPILER.
+
+foreach(var SOURCE_DIR BUILD_DIR GENERATOR CXX_COMPILER)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "tsan_determinism.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+message(STATUS "[tsan] configuring ${BUILD_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND}
+    -S ${SOURCE_DIR} -B ${BUILD_DIR}
+    -G ${GENERATOR}
+    -DCMAKE_CXX_COMPILER=${CXX_COMPILER}
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    -DFULLWEB_SANITIZE=thread
+    -DFULLWEB_TSAN_CHECK=OFF
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[tsan] configure failed (${rc})")
+endif()
+
+message(STATUS "[tsan] building test_support_executor + test_core_determinism")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
+    --target test_support_executor test_core_determinism
+    --parallel
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "[tsan] build failed (${rc})")
+endif()
+
+foreach(test_bin test_support_executor test_core_determinism)
+  message(STATUS "[tsan] running ${test_bin}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env TSAN_OPTIONS=halt_on_error=1
+      ${BUILD_DIR}/tests/${test_bin}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "[tsan] ${test_bin} failed under TSan (${rc})")
+  endif()
+endforeach()
+
+message(STATUS "[tsan] all determinism tests passed under ThreadSanitizer")

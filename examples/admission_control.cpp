@@ -28,6 +28,7 @@
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "support/cli.h"
+#include "support/executor.h"
 #include "support/table.h"
 #include "synth/generator.h"
 #include "tail/llcd.h"
@@ -40,7 +41,15 @@ int main(int argc, char** argv) {
                "per-second capacity as a fraction of the PEAK per-second load");
   flags.define("seed", "5", "random seed");
   flags.define("hours", "24", "hours of traffic");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   if (!flags.parse(argc, argv)) return 2;
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  support::Executor::set_global_threads(static_cast<std::size_t>(threads));
 
   support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   synth::GeneratorOptions gen;

@@ -19,6 +19,7 @@
 #include "queueing/fifo_queue.h"
 #include "stats/descriptive.h"
 #include "support/cli.h"
+#include "support/executor.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/generator.h"
@@ -44,7 +45,15 @@ int main(int argc, char** argv) {
   flags.define("utilization", "0.7", "target server utilization (0, 1)");
   flags.define("seed", "11", "random seed");
   flags.define("hours", "24", "hours of traffic to simulate");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   if (!flags.parse(argc, argv)) return 2;
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  support::Executor::set_global_threads(static_cast<std::size_t>(threads));
   const double rho = flags.get_double("utilization");
   if (!(rho > 0.0 && rho < 1.0)) {
     std::fprintf(stderr, "utilization must be in (0, 1)\n");

@@ -24,6 +24,7 @@
 #include "core/interarrival.h"
 #include "core/report_markdown.h"
 #include "support/cli.h"
+#include "support/executor.h"
 #include "synth/generator.h"
 #include "weblog/clf.h"
 #include "weblog/merge.h"
@@ -64,7 +65,15 @@ int main(int argc, char** argv) {
   flags.define("threshold-minutes", "30", "session inactivity threshold");
   flags.define("curvature-replicates", "99", "Monte-Carlo replicates (0 = skip)");
   flags.define("markdown", "", "also write a Markdown report to this path");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   if (!flags.parse(argc, argv)) return 2;
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  support::Executor::set_global_threads(static_cast<std::size_t>(threads));
 
   std::vector<std::string> paths = flags.positional();
   if (paths.empty()) {

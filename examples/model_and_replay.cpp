@@ -12,6 +12,7 @@
 #include "core/stationary.h"
 #include "lrd/whittle.h"
 #include "support/cli.h"
+#include "support/executor.h"
 #include "support/strings.h"
 #include "support/table.h"
 #include "synth/fit.h"
@@ -69,7 +70,15 @@ int main(int argc, char** argv) {
   flags.define("scale", "0.3", "volume scale");
   flags.define("seed", "3", "random seed");
   flags.define("save", "", "write the fitted profile to this path");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   if (!flags.parse(argc, argv)) return 2;
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  support::Executor::set_global_threads(static_cast<std::size_t>(threads));
 
   synth::ServerProfile truth = synth::ServerProfile::clarknet();
   const std::string which = flags.get("server");

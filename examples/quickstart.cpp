@@ -8,6 +8,7 @@
 
 #include "core/fullweb_model.h"
 #include "support/cli.h"
+#include "support/executor.h"
 #include "synth/generator.h"
 
 int main(int argc, char** argv) {
@@ -18,7 +19,15 @@ int main(int argc, char** argv) {
   flags.define("scale", "1.0", "volume scale relative to the paper's week");
   flags.define("seed", "7", "random seed");
   flags.define("days", "7", "days of synthetic traffic");
+  flags.define("threads", "0",
+               "analysis threads (0 = hardware concurrency, 1 = serial)");
   if (!flags.parse(argc, argv)) return 2;
+  const long long threads = flags.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  support::Executor::set_global_threads(static_cast<std::size_t>(threads));
 
   synth::ServerProfile profile = synth::ServerProfile::csee();
   const std::string which = flags.get("server");

@@ -1,5 +1,7 @@
 #include "core/arrival_analysis.h"
 
+#include "support/executor.h"
+
 namespace fullweb::core {
 
 using support::Result;
@@ -7,22 +9,42 @@ using support::Result;
 Result<ArrivalAnalysis> analyze_arrivals(std::span<const double> counts,
                                          const ArrivalAnalysisOptions& options) {
   ArrivalAnalysis out;
-  out.hurst_raw = lrd::hurst_suite(counts, options.hurst);
+  support::Executor& ex = support::Executor::resolve(options.hurst.executor);
 
-  auto st = make_stationary(counts, options.stationary);
+  // The raw-series suite and the stationarization read the same input and
+  // are independent — run them concurrently. (hurst_suite fans out its five
+  // estimators on the same executor internally.)
+  Result<StationaryReport> st =
+      support::Error::invalid_argument("stationarization did not run");
+  {
+    support::TaskGroup group(ex);
+    group.run([&] { out.hurst_raw = lrd::hurst_suite(counts, options.hurst); });
+    group.run([&] { st = make_stationary(counts, options.stationary); });
+    group.wait();
+  }
   if (!st) return st.error();
   out.stationarity = std::move(st).value();
 
-  out.hurst_stationary = lrd::hurst_suite(out.stationarity.series, options.hurst);
-
+  // The stationary-series suite and the two Figure 7/8 sweeps all read the
+  // stationarized series.
+  support::TaskGroup group(ex);
+  group.run([&] {
+    out.hurst_stationary =
+        lrd::hurst_suite(out.stationarity.series, options.hurst);
+  });
   if (options.run_aggregation_sweep) {
-    out.whittle_sweep = lrd::aggregated_hurst_sweep(
-        out.stationarity.series, lrd::HurstMethod::kWhittle,
-        options.aggregation_levels, options.hurst);
-    out.abry_veitch_sweep = lrd::aggregated_hurst_sweep(
-        out.stationarity.series, lrd::HurstMethod::kAbryVeitch,
-        options.aggregation_levels, options.hurst);
+    group.run([&] {
+      out.whittle_sweep = lrd::aggregated_hurst_sweep(
+          out.stationarity.series, lrd::HurstMethod::kWhittle,
+          options.aggregation_levels, options.hurst);
+    });
+    group.run([&] {
+      out.abry_veitch_sweep = lrd::aggregated_hurst_sweep(
+          out.stationarity.series, lrd::HurstMethod::kAbryVeitch,
+          options.aggregation_levels, options.hurst);
+    });
   }
+  group.wait();
   return out;
 }
 

@@ -1,7 +1,10 @@
 #include "core/fullweb_model.h"
 
+#include <array>
 #include <sstream>
+#include <vector>
 
+#include "support/executor.h"
 #include "support/strings.h"
 #include "support/table.h"
 
@@ -36,14 +39,16 @@ std::vector<double> times_in(const std::vector<double>& all, double t0, double t
   return out;
 }
 
-PoissonBattery run_battery(const std::vector<double>& event_times,
-                           const weblog::Interval& interval,
-                           const FullWebOptions& options, support::Rng& rng) {
-  PoissonBattery battery;
+/// One §4.2 battery. `rng` is the battery's private stream; each of the
+/// four configurations draws from its own substream and runs as a task, so
+/// the cells are scheduling-independent.
+void run_battery(PoissonBattery& battery, const std::vector<double>& event_times,
+                 const weblog::Interval& interval, const FullWebOptions& options,
+                 support::Executor& ex, support::Rng rng) {
   battery.interval = interval;
 
   const auto in_window = times_in(event_times, interval.t0, interval.t1);
-  if (in_window.size() < options.poisson_min_events) return battery;  // NA
+  if (in_window.size() < options.poisson_min_events) return;  // NA
   battery.available = true;
 
   struct Config {
@@ -51,44 +56,66 @@ PoissonBattery run_battery(const std::vector<double>& event_times,
     double interval_seconds;
     poisson::SpreadMode spread;
   };
-  const Config configs[] = {
+  const std::array<Config, 4> configs = {{
       {&PoissonBattery::hourly_uniform, 3600.0, poisson::SpreadMode::kUniform},
       {&PoissonBattery::hourly_deterministic, 3600.0,
        poisson::SpreadMode::kDeterministic},
       {&PoissonBattery::tenmin_uniform, 600.0, poisson::SpreadMode::kUniform},
       {&PoissonBattery::tenmin_deterministic, 600.0,
        poisson::SpreadMode::kDeterministic},
-  };
-  for (const auto& cfg : configs) {
-    poisson::PoissonTestOptions popts = options.poisson;
-    popts.interval_seconds = cfg.interval_seconds;
-    popts.spread = cfg.spread;
-    auto r = poisson::test_poisson_arrivals(in_window, interval.t0, interval.t1,
-                                            popts, rng);
-    PoissonBattery::Cell& cell = battery.*(cfg.cell);
-    if (r.ok()) {
-      cell.ran = true;
-      cell.result = std::move(r).value();
-    } else {
-      cell.skip_reason = r.error().message;
-    }
+  }};
+
+  support::RngSplitter streams(rng);
+  std::array<support::Rng, 4> config_rngs = {streams.stream(0), streams.stream(1),
+                                             streams.stream(2), streams.stream(3)};
+
+  support::TaskGroup group(ex);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    group.run([&, i] {
+      const Config& cfg = configs[i];
+      poisson::PoissonTestOptions popts = options.poisson;
+      popts.interval_seconds = cfg.interval_seconds;
+      popts.spread = cfg.spread;
+      auto r = poisson::test_poisson_arrivals(in_window, interval.t0,
+                                              interval.t1, popts, config_rngs[i]);
+      PoissonBattery::Cell& cell = battery.*(cfg.cell);
+      if (r.ok()) {
+        cell.ran = true;
+        cell.result = std::move(r).value();
+      } else {
+        cell.skip_reason = r.error().message;
+      }
+    });
   }
-  return battery;
+  group.wait();
 }
 
-IntervalTails run_tails(const weblog::Dataset& dataset,
-                        const weblog::Interval& interval,
-                        const FullWebOptions& options, support::Rng& rng) {
-  IntervalTails tails;
+/// Tables 2/3/4 for one interval: the three sample vectors are analyzed as
+/// concurrent tasks, each on its own substream.
+void run_tails(IntervalTails& tails, const weblog::Dataset& dataset,
+               const weblog::Interval& interval, const FullWebOptions& options,
+               support::Executor& ex, support::Rng rng) {
   tails.interval = interval;
-  const auto lengths = dataset.session_lengths(interval.t0, interval.t1);
-  tails.sessions = lengths.size();
-  tails.length = analyze_tail(lengths, rng, options.tails);
-  tails.requests = analyze_tail(
-      dataset.session_request_counts(interval.t0, interval.t1), rng, options.tails);
-  tails.bytes = analyze_tail(dataset.session_byte_counts(interval.t0, interval.t1),
-                             rng, options.tails);
-  return tails;
+
+  support::RngSplitter streams(rng);
+  std::array<support::Rng, 3> metric_rngs = {streams.stream(0), streams.stream(1),
+                                             streams.stream(2)};
+
+  support::TaskGroup group(ex);
+  group.run([&] {
+    const auto lengths = dataset.session_lengths(interval.t0, interval.t1);
+    tails.sessions = lengths.size();
+    tails.length = analyze_tail(lengths, metric_rngs[0], options.tails);
+  });
+  group.run([&] {
+    const auto counts = dataset.session_request_counts(interval.t0, interval.t1);
+    tails.requests = analyze_tail(counts, metric_rngs[1], options.tails);
+  });
+  group.run([&] {
+    const auto bytes = dataset.session_byte_counts(interval.t0, interval.t1);
+    tails.bytes = analyze_tail(bytes, metric_rngs[2], options.tails);
+  });
+  group.wait();
 }
 
 }  // namespace
@@ -96,6 +123,19 @@ IntervalTails run_tails(const weblog::Dataset& dataset,
 Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
                                        support::Rng& rng,
                                        const FullWebOptions& options) {
+  // Plumb the pipeline executor into the nested fan-outs unless the caller
+  // picked different ones per layer.
+  FullWebOptions opts = options;
+  if (opts.arrivals.hurst.executor == nullptr)
+    opts.arrivals.hurst.executor = opts.executor;
+  if (opts.tails.executor == nullptr) opts.tails.executor = opts.executor;
+  support::Executor& ex = support::Executor::resolve(opts.executor);
+
+  // Fixed substream ids per branch — the assignment depends only on the
+  // dataset, never on scheduling, which is what makes parallel and serial
+  // fits bit-identical.
+  support::RngSplitter streams(rng);
+
   FullWebModel model;
   model.server = dataset.name();
   model.total_requests = dataset.requests().size();
@@ -103,44 +143,109 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
   model.mb_transferred =
       static_cast<double>(dataset.total_bytes()) / (1024.0 * 1024.0);
 
-  // §4.1 / §5.1.1 — arrival processes.
-  auto req = analyze_arrivals(dataset.requests_per_second(), options.arrivals);
-  if (!req) return req.error();
-  model.request_arrivals = std::move(req).value();
-
-  // Session series follow the paper's §5.1.1 flow: process only when KPSS
-  // rejects (NASA-Pub2's sparse session series is stationary as-is, and
-  // seasonal-differencing a near-white sparse series over-differences it).
-  auto session_opts = options.arrivals;
-  session_opts.stationary.only_if_nonstationary = true;
-  auto sess = analyze_arrivals(dataset.sessions_per_second(), session_opts);
-  if (!sess) return sess.error();
-  model.session_arrivals = std::move(sess).value();
-
-  // §4.2 / §5.1.2 — Poisson batteries on the Low/Med/High intervals.
+  // Inputs shared across branches, materialized before the fan-out.
+  const auto requests_per_second = dataset.requests_per_second();
+  const auto sessions_per_second = dataset.sessions_per_second();
   const auto request_times = dataset.request_times();
   const auto session_times = dataset.session_start_times();
-  for (weblog::Load load :
-       {weblog::Load::kLow, weblog::Load::kMed, weblog::Load::kHigh}) {
-    auto interval = dataset.pick(load, options.interval_seconds);
-    if (!interval) continue;
-    if (options.run_poisson) {
-      model.request_poisson[load] =
-          run_battery(request_times, interval.value(), options, rng);
-      model.session_poisson[load] =
-          run_battery(session_times, interval.value(), options, rng);
+
+  // Interval selection is cheap and deterministic; do it up front so the
+  // task graph below is static.
+  struct LoadWork {
+    weblog::Load load;
+    weblog::Interval interval;
+    std::size_t stream_base;  ///< substreams: base+0 req battery,
+                              ///< base+1 session battery, base+2 tails
+  };
+  std::vector<LoadWork> load_work;
+  {
+    std::size_t index = 0;
+    for (weblog::Load load :
+         {weblog::Load::kLow, weblog::Load::kMed, weblog::Load::kHigh}) {
+      auto interval = dataset.pick(load, opts.interval_seconds);
+      if (interval) load_work.push_back({load, interval.value(), 3 * index});
+      ++index;  // stream ids stay pinned to the load, not to availability
     }
-    // §5.2 — per-interval tails.
-    model.interval_tails[load] = run_tails(dataset, interval.value(), options, rng);
+  }
+  constexpr std::size_t kWeekStream = 9;
+
+  // Pre-create every map slot on this thread; tasks only write through the
+  // references (std::map insertion is not thread-safe, filling values is).
+  for (const auto& work : load_work) {
+    if (opts.run_poisson) {
+      model.request_poisson[work.load];
+      model.session_poisson[work.load];
+    }
+    model.interval_tails[work.load];
   }
 
-  // Week-level tails.
-  weblog::Interval week;
-  week.t0 = dataset.t0();
-  week.t1 = dataset.t1();
-  week.request_count = model.total_requests;
-  week.session_count = model.total_sessions;
-  model.week_tails = run_tails(dataset, week, options, rng);
+  // §4.1 / §5.1.1 / §4.2 / §5.1.2 / §5.2 / errors — the Figure 1 fan-out.
+  support::Result<ArrivalAnalysis> req_arrivals =
+      support::Error::invalid_argument("request-arrival analysis did not run");
+  support::Result<ArrivalAnalysis> sess_arrivals =
+      support::Error::invalid_argument("session-arrival analysis did not run");
+
+  support::TaskGroup group(ex);
+  group.run([&] {
+    support::StageTimer t(opts.timings, "request arrivals (s4.1)");
+    req_arrivals = analyze_arrivals(requests_per_second, opts.arrivals);
+  });
+  group.run([&] {
+    // Session series follow the paper's §5.1.1 flow: process only when KPSS
+    // rejects (NASA-Pub2's sparse session series is stationary as-is, and
+    // seasonal-differencing a near-white sparse series over-differences it).
+    support::StageTimer t(opts.timings, "session arrivals (s5.1)");
+    auto session_opts = opts.arrivals;
+    session_opts.stationary.only_if_nonstationary = true;
+    sess_arrivals = analyze_arrivals(sessions_per_second, session_opts);
+  });
+
+  for (const auto& work : load_work) {
+    if (opts.run_poisson) {
+      group.run([&, rng_stream = streams.stream(work.stream_base)] {
+        support::StageTimer t(opts.timings,
+                              "poisson requests " + to_string(work.load));
+        run_battery(model.request_poisson[work.load], request_times,
+                    work.interval, opts, ex, rng_stream);
+      });
+      group.run([&, rng_stream = streams.stream(work.stream_base + 1)] {
+        support::StageTimer t(opts.timings,
+                              "poisson sessions " + to_string(work.load));
+        run_battery(model.session_poisson[work.load], session_times,
+                    work.interval, opts, ex, rng_stream);
+      });
+    }
+    group.run([&, rng_stream = streams.stream(work.stream_base + 2)] {
+      support::StageTimer t(opts.timings, "tails " + to_string(work.load));
+      run_tails(model.interval_tails[work.load], dataset, work.interval, opts,
+                ex, rng_stream);
+    });
+  }
+
+  group.run([&, rng_stream = streams.stream(kWeekStream)] {
+    support::StageTimer t(opts.timings, "tails Week");
+    weblog::Interval week;
+    week.t0 = dataset.t0();
+    week.t1 = dataset.t1();
+    week.request_count = model.total_requests;
+    week.session_count = model.total_sessions;
+    run_tails(model.week_tails, dataset, week, opts, ex, rng_stream);
+  });
+
+  if (opts.run_error_analysis) {
+    group.run([&] {
+      support::StageTimer t(opts.timings, "error analysis");
+      if (auto e = analyze_errors(dataset, opts.errors); e.ok())
+        model.errors = e.value();
+    });
+  }
+
+  group.wait();
+
+  if (!req_arrivals) return req_arrivals.error();
+  model.request_arrivals = std::move(req_arrivals).value();
+  if (!sess_arrivals) return sess_arrivals.error();
+  model.session_arrivals = std::move(sess_arrivals).value();
   return model;
 }
 
@@ -220,6 +325,19 @@ std::string render_report(const FullWebModel& model) {
     tails_row(table, to_string(load), tails);
   tails_row(table, "Week", model.week_tails);
   os << table.to_string();
+
+  if (model.errors.has_value()) {
+    const ErrorAnalysis& e = *model.errors;
+    os << "\nError analysis:\n"
+       << "  request error rate: " << support::format_sig(100.0 * e.request_error_rate, 3)
+       << "% (server errors " << support::format_sig(100.0 * e.server_error_rate, 3)
+       << "%)\n"
+       << "  session reliability: " << support::format_sig(e.session_reliability, 4)
+       << "  (" << e.sessions_with_error << " of " << e.sessions
+       << " sessions saw an error; "
+       << support::format_sig(e.errors_per_bad_session, 3)
+       << " errors per bad session)\n";
+  }
   return os.str();
 }
 

@@ -9,17 +9,31 @@
 //   §5.2  intra-session tails      -> TailAnalysis for session length,
 //                                     requests/session, bytes/session,
 //                                     per Low/Med/High interval and the week
+//
+// fit_fullweb_model expresses the Figure 1 branches — the two arrival
+// analyses, the per-interval Poisson batteries, the per-interval tail
+// analyses, and the error analysis — as a task graph on a
+// support::Executor. Every stochastic component draws from a fixed RNG
+// substream (support::RngSplitter), so the fitted model is bit-identical
+// at any thread count, including a serial (--threads 1) run.
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/arrival_analysis.h"
+#include "core/error_analysis.h"
 #include "core/tail_analysis.h"
 #include "poisson/poisson_test.h"
 #include "support/result.h"
 #include "support/rng.h"
+#include "support/timing.h"
 #include "weblog/dataset.h"
+
+namespace fullweb::support {
+class Executor;
+}
 
 namespace fullweb::core {
 
@@ -61,6 +75,15 @@ struct FullWebOptions {
   poisson::PoissonTestOptions poisson;     ///< base options; interval length
                                            ///< and spread mode are varied
   std::size_t poisson_min_events = 200;    ///< below this an interval is NA
+  bool run_error_analysis = true;          ///< Figure 1's error branch
+  ErrorAnalysisOptions errors;
+
+  /// Task executor for the whole pipeline (null = the global pool). Also
+  /// used for nested fan-outs (Hurst suites, curvature, bootstrap) unless
+  /// those sub-options name their own executor.
+  support::Executor* executor = nullptr;
+  /// Optional per-branch wall-clock observer (see support/timing.h).
+  support::StageTimings* timings = nullptr;
 };
 
 struct FullWebModel {
@@ -79,6 +102,10 @@ struct FullWebModel {
 
   std::map<weblog::Load, IntervalTails> interval_tails;    ///< Tables 2-4
   IntervalTails week_tails;                                 ///< Week rows
+
+  /// Figure 1's error-analysis branch; absent when statuses are unknown
+  /// or the branch is disabled.
+  std::optional<ErrorAnalysis> errors;
 };
 
 [[nodiscard]] support::Result<FullWebModel> fit_fullweb_model(

@@ -1,5 +1,6 @@
 #include "core/tail_analysis.h"
 
+#include "support/executor.h"
 #include "support/strings.h"
 
 namespace fullweb::core {
@@ -25,25 +26,44 @@ TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
   TailAnalysis out;
   if (samples.size() < options.min_samples) return out;  // NA
 
-  if (auto fit = tail::llcd_fit(samples, options.llcd); fit.ok()) {
-    out.llcd = fit.value();
-    out.available = true;
+  // The two curvature tests get fixed substreams of the caller's generator
+  // up front, so their draws are independent of scheduling (and of whether
+  // the estimators below succeed).
+  support::RngSplitter streams(rng);
+  support::Rng pareto_rng = streams.stream(0);
+  support::Rng lognormal_rng = streams.stream(1);
+
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  {
+    support::TaskGroup group(ex);
+    group.run([&] {
+      if (auto fit = tail::llcd_fit(samples, options.llcd); fit.ok())
+        out.llcd = fit.value();
+    });
+    group.run([&] {
+      if (auto est = tail::hill_estimate(samples, options.hill); est.ok())
+        out.hill = est.value();
+    });
+    group.wait();
   }
-  if (auto est = tail::hill_estimate(samples, options.hill); est.ok()) {
-    out.hill = est.value();
-    out.available = true;
-  }
+  out.available = out.llcd.has_value() || out.hill.has_value();
   if (!out.available) return out;
 
   if (options.run_curvature) {
     tail::CurvatureOptions copts;
     copts.replicates = options.curvature_replicates;
-    copts.model = tail::TailModel::kPareto;
-    if (auto c = tail::curvature_test(samples, rng, copts); c.ok())
-      out.curvature_pareto = c.value();
-    copts.model = tail::TailModel::kLognormal;
-    if (auto c = tail::curvature_test(samples, rng, copts); c.ok())
-      out.curvature_lognormal = c.value();
+    support::TaskGroup group(ex);
+    group.run([&, copts]() mutable {
+      copts.model = tail::TailModel::kPareto;
+      if (auto c = tail::curvature_test(samples, pareto_rng, copts); c.ok())
+        out.curvature_pareto = c.value();
+    });
+    group.run([&, copts]() mutable {
+      copts.model = tail::TailModel::kLognormal;
+      if (auto c = tail::curvature_test(samples, lognormal_rng, copts); c.ok())
+        out.curvature_lognormal = c.value();
+    });
+    group.wait();
   }
   return out;
 }

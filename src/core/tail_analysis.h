@@ -12,6 +12,10 @@
 #include "tail/hill.h"
 #include "tail/llcd.h"
 
+namespace fullweb::support {
+class Executor;
+}
+
 namespace fullweb::core {
 
 struct TailAnalysisOptions {
@@ -20,6 +24,8 @@ struct TailAnalysisOptions {
   bool run_curvature = true;
   std::size_t curvature_replicates = 199;
   std::size_t min_samples = 60;  ///< below this, everything is NA
+  /// Task executor for the estimator/curvature fan-out (null = global pool).
+  support::Executor* executor = nullptr;
 };
 
 /// One cell group of Tables 2/3/4.
@@ -44,6 +50,10 @@ struct TailAnalysis {
   }
 };
 
+/// Runs the LLCD fit, the Hill estimate, and (when warranted) the two
+/// Monte-Carlo curvature tests as concurrent tasks. Each curvature test
+/// draws from its own substream of `rng`, so results do not depend on the
+/// executor's thread count.
 [[nodiscard]] TailAnalysis analyze_tail(std::span<const double> samples,
                                         support::Rng& rng,
                                         const TailAnalysisOptions& options = {});

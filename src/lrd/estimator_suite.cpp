@@ -1,5 +1,9 @@
 #include "lrd/estimator_suite.h"
 
+#include <array>
+#include <optional>
+
+#include "support/executor.h"
 #include "timeseries/series.h"
 
 namespace fullweb::lrd {
@@ -18,60 +22,80 @@ bool HurstSuiteResult::all_indicate_lrd() const noexcept {
   return true;
 }
 
+namespace {
+
+/// Dispatch one estimator by method on an already-aggregated series.
+support::Result<HurstEstimate> run_estimator(std::span<const double> xs,
+                                             HurstMethod method,
+                                             const HurstSuiteOptions& options) {
+  switch (method) {
+    case HurstMethod::kVarianceTime:
+      return variance_time_hurst(xs, options.variance_time);
+    case HurstMethod::kRoverS:
+      return rs_hurst(xs, options.rs);
+    case HurstMethod::kPeriodogram:
+      return periodogram_hurst(xs, options.periodogram);
+    case HurstMethod::kWhittle: {
+      auto r = whittle_hurst(xs, options.whittle);
+      if (!r.ok()) return r.error();
+      return r.value().estimate;
+    }
+    case HurstMethod::kAbryVeitch: {
+      auto r = abry_veitch_hurst(xs, options.abry_veitch);
+      if (!r.ok()) return r.error();
+      return r.value().estimate;
+    }
+    case HurstMethod::kDfa:
+      return dfa_hurst(xs);
+  }
+  return support::Error::invalid_argument("unsupported aggregation method");
+}
+
+}  // namespace
+
 HurstSuiteResult hurst_suite(std::span<const double> xs,
                              const HurstSuiteOptions& options) {
-  HurstSuiteResult out;
-  if (auto r = variance_time_hurst(xs, options.variance_time); r.ok())
-    out.estimates.push_back(r.value());
-  if (auto r = rs_hurst(xs, options.rs); r.ok()) out.estimates.push_back(r.value());
-  if (auto r = periodogram_hurst(xs, options.periodogram); r.ok())
-    out.estimates.push_back(r.value());
-  if (options.run_whittle) {
-    if (auto r = whittle_hurst(xs, options.whittle); r.ok())
-      out.estimates.push_back(r.value().estimate);
+  // Fixed battery order: fills the result slots concurrently, then collects
+  // in this order so the output is identical to the old sequential code.
+  const std::array<HurstMethod, 5> battery = {
+      HurstMethod::kVarianceTime, HurstMethod::kRoverS,
+      HurstMethod::kPeriodogram, HurstMethod::kWhittle,
+      HurstMethod::kAbryVeitch};
+  std::array<std::optional<HurstEstimate>, battery.size()> slots;
+
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  support::TaskGroup group(ex);
+  for (std::size_t i = 0; i < battery.size(); ++i) {
+    if (battery[i] == HurstMethod::kWhittle && !options.run_whittle) continue;
+    group.run([&, i] {
+      if (auto r = run_estimator(xs, battery[i], options); r.ok())
+        slots[i] = r.value();
+    });
   }
-  if (auto r = abry_veitch_hurst(xs, options.abry_veitch); r.ok())
-    out.estimates.push_back(r.value().estimate);
+  group.wait();
+
+  HurstSuiteResult out;
+  for (const auto& slot : slots)
+    if (slot.has_value()) out.estimates.push_back(*slot);
   return out;
 }
 
 std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
     std::span<const double> xs, HurstMethod method,
     std::span<const std::size_t> levels, const HurstSuiteOptions& options) {
-  std::vector<AggregatedHurstPoint> out;
-  for (std::size_t m : levels) {
-    if (m == 0) continue;
+  std::vector<std::optional<AggregatedHurstPoint>> slots(levels.size());
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  ex.parallel_for(0, levels.size(), [&](std::size_t i) {
+    const std::size_t m = levels[i];
+    if (m == 0) return;
     const auto agg = timeseries::aggregate(xs, m);
-    support::Result<HurstEstimate> est =
-        support::Error::invalid_argument("unsupported aggregation method");
-    switch (method) {
-      case HurstMethod::kWhittle: {
-        auto r = whittle_hurst(agg, options.whittle);
-        est = r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
-                     : support::Result<HurstEstimate>(r.error());
-        break;
-      }
-      case HurstMethod::kAbryVeitch: {
-        auto r = abry_veitch_hurst(agg, options.abry_veitch);
-        est = r.ok() ? support::Result<HurstEstimate>(r.value().estimate)
-                     : support::Result<HurstEstimate>(r.error());
-        break;
-      }
-      case HurstMethod::kVarianceTime:
-        est = variance_time_hurst(agg, options.variance_time);
-        break;
-      case HurstMethod::kRoverS:
-        est = rs_hurst(agg, options.rs);
-        break;
-      case HurstMethod::kPeriodogram:
-        est = periodogram_hurst(agg, options.periodogram);
-        break;
-      case HurstMethod::kDfa:
-        est = dfa_hurst(agg);
-        break;
-    }
-    if (est.ok()) out.push_back({m, est.value()});
-  }
+    if (auto est = run_estimator(agg, method, options); est.ok())
+      slots[i] = AggregatedHurstPoint{m, est.value()};
+  });
+
+  std::vector<AggregatedHurstPoint> out;
+  for (const auto& slot : slots)
+    if (slot.has_value()) out.push_back(*slot);
   return out;
 }
 

@@ -1,5 +1,10 @@
 // Run the paper's full battery of five Hurst estimators on one series,
 // and the aggregated-series sweep of Figures 7 and 8.
+//
+// The five estimators are independent, as are the per-level estimates of a
+// sweep, so both fan out on the configured support::Executor. Estimators
+// take no RNG and results are collected in a fixed order, so parallel and
+// serial runs are bit-identical.
 #pragma once
 
 #include <span>
@@ -13,6 +18,10 @@
 #include "lrd/variance_time.h"
 #include "lrd/whittle.h"
 #include "support/result.h"
+
+namespace fullweb::support {
+class Executor;
+}
 
 namespace fullweb::lrd {
 
@@ -40,6 +49,8 @@ struct HurstSuiteOptions {
   WhittleOptions whittle;
   AbryVeitchOptions abry_veitch;
   bool run_whittle = true;  ///< Whittle is O(n log n + n * iters); allow skip
+  /// Task executor for the estimator fan-out (null = the global pool).
+  support::Executor* executor = nullptr;
 };
 
 [[nodiscard]] HurstSuiteResult hurst_suite(std::span<const double> xs,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "stats/special.h"
+
 namespace fullweb::stats {
 
 double binomial_pmf(std::size_t n, double p, std::size_t k) noexcept {
@@ -11,7 +13,7 @@ double binomial_pmf(std::size_t n, double p, std::size_t k) noexcept {
   const double nn = static_cast<double>(n);
   const double kk = static_cast<double>(k);
   const double log_choose =
-      std::lgamma(nn + 1.0) - std::lgamma(kk + 1.0) - std::lgamma(nn - kk + 1.0);
+      log_gamma(nn + 1.0) - log_gamma(kk + 1.0) - log_gamma(nn - kk + 1.0);
   return std::exp(log_choose + kk * std::log(p) + (nn - kk) * std::log1p(-p));
 }
 

@@ -6,6 +6,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "stats/special.h"
+
 namespace fullweb::stats {
 
 using support::Error;
@@ -263,7 +265,7 @@ long long poisson_ptrs(double mean, support::Rng& rng) noexcept {
     if (us >= 0.07 && v <= v_r) return k;
     if (us < 0.013 && v > us) continue;
     const double lhs = std::log(v * inv_alpha / (a / (us * us) + b));
-    const double rhs = -mean + kf * log_mean - std::lgamma(kf + 1.0);
+    const double rhs = -mean + kf * log_mean - log_gamma(kf + 1.0);
     if (lhs <= rhs) return k;
   }
 }

@@ -1,6 +1,9 @@
 // Special functions needed by the wavelet (Abry-Veitch) estimator's bias and
-// variance corrections: digamma psi(x) and trigamma psi'(x).
+// variance corrections — digamma psi(x) and trigamma psi'(x) — plus a
+// thread-safe log-gamma for the concurrent analysis pipeline.
 #pragma once
+
+#include <cmath>
 
 namespace fullweb::stats {
 
@@ -10,5 +13,17 @@ namespace fullweb::stats {
 
 /// Trigamma psi'(x) for x > 0 (same recurrence + asymptotic approach).
 [[nodiscard]] double trigamma(double x);
+
+/// log Γ(x), safe to call from concurrent tasks: glibc's lgamma (and
+/// std::lgamma) writes the process-global `signgam`, which is a data race
+/// even though the return value is pure. lgamma_r keeps the sign local.
+[[nodiscard]] inline double log_gamma(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 }  // namespace fullweb::stats

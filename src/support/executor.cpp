@@ -1,0 +1,220 @@
+#include "support/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+namespace fullweb::support {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// pool internals
+
+struct Executor::Impl {
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  explicit Impl(std::size_t workers) {
+    queues_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+
+  ~Impl() {
+    {
+      std::scoped_lock lock(signal_m_);
+      stop_ = true;
+      ++work_epoch_;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Push a task: running workers push onto their own deque (LIFO pop keeps
+  /// nested subtasks hot in cache); external threads use the shared
+  /// injection queue.
+  void push(std::function<void()> task) {
+    if (current_pool == this) {
+      WorkerQueue& mine = *queues_[current_index];
+      std::scoped_lock lock(mine.m);
+      mine.q.push_back(std::move(task));
+    } else {
+      std::scoped_lock lock(inject_m_);
+      inject_q_.push_back(std::move(task));
+    }
+    {
+      std::scoped_lock lock(signal_m_);
+      ++work_epoch_;
+    }
+    work_cv_.notify_all();
+  }
+
+  /// Pop one task, preferring the caller's own deque, then the injection
+  /// queue, then stealing the oldest task from a victim.
+  bool try_pop(std::function<void()>& out) {
+    if (current_pool == this) {
+      WorkerQueue& mine = *queues_[current_index];
+      std::scoped_lock lock(mine.m);
+      if (!mine.q.empty()) {
+        out = std::move(mine.q.back());  // LIFO: newest, cache-warm
+        mine.q.pop_back();
+        return true;
+      }
+    }
+    {
+      std::scoped_lock lock(inject_m_);
+      if (!inject_q_.empty()) {
+        out = std::move(inject_q_.front());
+        inject_q_.pop_front();
+        return true;
+      }
+    }
+    const std::size_t self =
+        current_pool == this ? current_index : queues_.size();
+    for (std::size_t k = 0; k < queues_.size(); ++k) {
+      if (k == self) continue;
+      WorkerQueue& victim = *queues_[k];
+      std::scoped_lock lock(victim.m);
+      if (!victim.q.empty()) {
+        out = std::move(victim.q.front());  // FIFO: steal the coarsest task
+        victim.q.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t index) {
+    current_pool = this;
+    current_index = index;
+    std::function<void()> task;
+    for (;;) {
+      std::uint64_t seen;
+      {
+        std::scoped_lock lock(signal_m_);
+        if (stop_) return;
+        seen = work_epoch_;
+      }
+      if (try_pop(task)) {
+        task();
+        task = nullptr;
+        continue;
+      }
+      std::unique_lock lock(signal_m_);
+      // Short timeout as a safety net against any missed-epoch interleaving.
+      work_cv_.wait_for(lock, 10ms,
+                        [&] { return stop_ || work_epoch_ != seen; });
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex inject_m_;
+  std::deque<std::function<void()>> inject_q_;
+
+  std::mutex signal_m_;
+  std::condition_variable work_cv_;
+  std::uint64_t work_epoch_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+
+  /// Which pool (if any) the current thread is a worker of.
+  static thread_local Impl* current_pool;
+  static thread_local std::size_t current_index;
+};
+
+thread_local Executor::Impl* Executor::Impl::current_pool = nullptr;
+thread_local std::size_t Executor::Impl::current_index = 0;
+
+// ---------------------------------------------------------------------------
+// Executor
+
+Executor::Executor(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // Hard cap: a wild request (e.g. a negative CLI value cast to size_t)
+  // must not try to spawn billions of workers.
+  constexpr std::size_t kMaxThreads = 1024;
+  threads_ = std::min(threads, kMaxThreads);
+  if (threads_ > 1) impl_ = std::make_unique<Impl>(threads_);
+}
+
+Executor::~Executor() = default;
+
+void Executor::enqueue(std::function<void()> task) {
+  impl_->push(std::move(task));
+}
+
+bool Executor::try_run_one() {
+  if (!impl_) return false;
+  std::function<void()> task;
+  if (!impl_->try_pop(task)) return false;
+  task();
+  return true;
+}
+
+void Executor::help_while_pending(detail::WaitState& state) {
+  for (;;) {
+    {
+      std::scoped_lock lock(state.m);
+      if (state.pending == 0) return;
+    }
+    if (try_run_one()) continue;
+    // Nothing runnable here (tasks are in flight on other threads): block
+    // until a completion notifies, with a short poll so tasks spawned by
+    // the in-flight work are picked up promptly.
+    std::unique_lock lock(state.m);
+    if (state.pending == 0) return;
+    state.cv.wait_for(lock, 1ms, [&] { return state.pending == 0; });
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  // Tasks capture state_ by shared_ptr, so letting them outlive the group
+  // would be memory-safe but almost certainly a logic bug (results written
+  // after the scope that owns them ended) — drain instead.
+  executor_.help_while_pending(*state_);
+}
+
+void TaskGroup::wait() {
+  executor_.help_while_pending(*state_);
+  std::exception_ptr error;
+  {
+    std::scoped_lock lock(state_->m);
+    error = state_->error;
+    state_->error = nullptr;  // observed
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// ---------------------------------------------------------------------------
+// global pool
+
+namespace {
+std::mutex g_global_m;
+std::unique_ptr<Executor> g_global;  // guarded by g_global_m
+}  // namespace
+
+Executor& Executor::global() {
+  std::scoped_lock lock(g_global_m);
+  if (!g_global) g_global = std::make_unique<Executor>(0);
+  return *g_global;
+}
+
+void Executor::set_global_threads(std::size_t n) {
+  std::scoped_lock lock(g_global_m);
+  g_global = std::make_unique<Executor>(n);
+}
+
+}  // namespace fullweb::support

@@ -106,14 +106,48 @@ class Rng {
     return u * factor;
   }
 
-  /// Derive an independent stream: hashes this generator's next output with
-  /// the stream id so parallel components (per-server generators) do not
-  /// share sequences.
-  Rng fork(std::uint64_t stream_id) noexcept {
-    return Rng((*this)() ^ (stream_id * 0x2545f4914f6cdd1dULL + 0x9e3779b9ULL));
+  /// Advance the state by 2^128 steps (the xoshiro256++ jump polynomial).
+  /// Repeated jumps partition the period into 2^128 non-overlapping
+  /// subsequences: the canonical way to hand independent streams to
+  /// parallel tasks without any risk of correlation.
+  void jump() noexcept {
+    apply_jump({0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL});
+  }
+
+  /// Advance the state by 2^192 steps. Use to reserve a whole region of the
+  /// sequence (room for 2^64 jump()-spaced substreams) for derived streams.
+  void long_jump() noexcept {
+    apply_jump({0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                0x77710069854ee241ULL, 0x39109bb02acbe635ULL});
+  }
+
+  /// The k-th substream of this generator: a copy advanced by k jumps, i.e.
+  /// the subsequence starting k * 2^128 steps ahead. Substreams with
+  /// distinct k never overlap, and substream(k) is a pure function of
+  /// (current state, k) — independent of how other substreams are used.
+  [[nodiscard]] Rng substream(std::uint64_t k) const noexcept {
+    Rng out = *this;
+    out.have_spare_ = false;
+    for (std::uint64_t i = 0; i < k; ++i) out.jump();
+    return out;
   }
 
  private:
+  void apply_jump(const std::array<std::uint64_t, 4>& poly) noexcept {
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : poly) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (1ULL << b)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+    have_spare_ = false;
+  }
+
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
@@ -121,6 +155,50 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
   double spare_ = 0.0;
   bool have_spare_ = false;
+};
+
+/// Hands out the substreams of a base generator one index at a time.
+///
+/// stream(k) == base.substream(k) for every k, but sequential (monotonically
+/// increasing) access — the pattern task graphs use when assigning stream
+/// ids at submission time — is O(1) amortized instead of O(k), because the
+/// splitter caches the last jumped-to position.
+///
+/// Constructing a splitter from a live generator long_jump()s the parent
+/// past the entire region its substreams can occupy, so the parent may keep
+/// producing values without ever colliding with a derived stream.
+class RngSplitter {
+ public:
+  /// Splits `parent`: captures its state as the substream base, then
+  /// long-jumps the parent out of the derived region.
+  explicit RngSplitter(Rng& parent) noexcept : base_(parent), cursor_(parent) {
+    parent.long_jump();
+  }
+
+  /// Splitter over a copy of `rng` without touching it (the caller promises
+  /// not to reuse the generator's current position).
+  static RngSplitter over(const Rng& rng) noexcept {
+    Rng copy = rng;
+    return RngSplitter(copy);
+  }
+
+  /// The k-th substream of the base generator.
+  [[nodiscard]] Rng stream(std::uint64_t k) noexcept {
+    if (k < cursor_index_) {  // rewind: restart from the base state
+      cursor_ = base_;
+      cursor_index_ = 0;
+    }
+    while (cursor_index_ < k) {
+      cursor_.jump();
+      ++cursor_index_;
+    }
+    return cursor_;
+  }
+
+ private:
+  Rng base_;
+  Rng cursor_;
+  std::uint64_t cursor_index_ = 0;
 };
 
 }  // namespace fullweb::support

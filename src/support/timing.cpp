@@ -1,0 +1,72 @@
+#include "support/timing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace fullweb::support {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void StageTimings::record(std::string_view stage, double seconds) {
+  std::scoped_lock lock(m_);
+  entries_.push_back({std::string(stage), seconds});
+}
+
+std::vector<StageTimings::Entry> StageTimings::entries() const {
+  std::scoped_lock lock(m_);
+  return entries_;
+}
+
+bool StageTimings::empty() const {
+  std::scoped_lock lock(m_);
+  return entries_.empty();
+}
+
+double StageTimings::total_seconds() const {
+  std::scoped_lock lock(m_);
+  double total = 0.0;
+  for (const auto& e : entries_) total += e.seconds;
+  return total;
+}
+
+std::string StageTimings::table() const {
+  const auto snapshot = entries();
+  std::size_t width = 5;  // "stage"
+  for (const auto& e : snapshot) width = std::max(width, e.stage.size());
+  std::string out;
+  char buf[64];
+  for (const auto& e : snapshot) {
+    out += "  ";
+    out += e.stage;
+    out.append(width - e.stage.size() + 2, ' ');
+    std::snprintf(buf, sizeof buf, "%9.3f s\n", e.seconds);
+    out += buf;
+  }
+  return out;
+}
+
+StageTimer::StageTimer(StageTimings* sink, std::string_view stage)
+    : sink_(sink), stage_(stage), armed_(sink != nullptr) {
+  if (armed_) start_ = now_seconds();
+}
+
+StageTimer::~StageTimer() {
+  if (armed_) stop();
+}
+
+double StageTimer::stop() {
+  if (!armed_) return 0.0;
+  armed_ = false;
+  const double elapsed = now_seconds() - start_;
+  sink_->record(stage_, elapsed);
+  return elapsed;
+}
+
+}  // namespace fullweb::support

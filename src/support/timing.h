@@ -1,0 +1,62 @@
+// Lightweight per-stage wall-clock observer for the analysis pipeline.
+//
+// The FULL-Web task graph runs its branches concurrently, so a single
+// outer stopwatch says nothing about where time goes. Each pipeline branch
+// times itself with a StageTimer and reports into a shared (thread-safe)
+// StageTimings sink; bench drivers print the resulting table. A null sink
+// disables timing with no overhead beyond a pointer test.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fullweb::support {
+
+class StageTimings {
+ public:
+  struct Entry {
+    std::string stage;
+    double seconds = 0.0;
+  };
+
+  /// Append one measurement (thread-safe; entries keep arrival order).
+  void record(std::string_view stage, double seconds);
+
+  [[nodiscard]] std::vector<Entry> entries() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Sum of all recorded stage durations (CPU-side busy time; with
+  /// parallel branches this exceeds elapsed wall-clock).
+  [[nodiscard]] double total_seconds() const;
+
+  /// Two-column "stage / seconds" text table, in arrival order.
+  [[nodiscard]] std::string table() const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<Entry> entries_;
+};
+
+/// RAII stopwatch: records the elapsed time into `sink` on destruction
+/// (or at stop()). A null sink makes it a no-op.
+class StageTimer {
+ public:
+  StageTimer(StageTimings* sink, std::string_view stage);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Record now and detach; returns the elapsed seconds.
+  double stop();
+
+ private:
+  StageTimings* sink_;
+  std::string stage_;
+  double start_ = 0.0;  ///< steady-clock seconds
+  bool armed_ = false;
+};
+
+}  // namespace fullweb::support

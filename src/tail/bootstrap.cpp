@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "stats/descriptive.h"
+#include "support/executor.h"
 
 namespace fullweb::tail {
 
@@ -29,14 +31,27 @@ Result<BootstrapCi> bootstrap_ci(
   auto point = estimator(samples);
   if (!point) return point.error();
 
-  std::vector<double> resample(samples.size());
+  // One RNG substream per replicate: replicate b always draws the same
+  // resample no matter how replicates are chunked across threads, so the
+  // interval is identical at any thread count (and to a serial run).
+  support::RngSplitter streams(rng);
+  std::vector<support::Rng> replicate_rngs;
+  replicate_rngs.reserve(options.replicates);
+  for (std::size_t b = 0; b < options.replicates; ++b)
+    replicate_rngs.push_back(streams.stream(b));
+
+  std::vector<std::optional<double>> slots(options.replicates);
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  ex.parallel_for(0, options.replicates, [&](std::size_t b) {
+    support::Rng& replicate_rng = replicate_rngs[b];
+    std::vector<double> resample(samples.size());
+    for (auto& v : resample) v = samples[replicate_rng.below(samples.size())];
+    if (auto est = estimator(resample); est.ok()) slots[b] = est.value();
+  });
   std::vector<double> estimates;
   estimates.reserve(options.replicates);
-  for (std::size_t b = 0; b < options.replicates; ++b) {
-    for (auto& v : resample) v = samples[rng.below(samples.size())];
-    if (auto est = estimator(resample); est.ok())
-      estimates.push_back(est.value());
-  }
+  for (const auto& slot : slots)
+    if (slot.has_value()) estimates.push_back(*slot);
   const double success = static_cast<double>(estimates.size()) /
                          static_cast<double>(options.replicates);
   if (success < options.min_success)

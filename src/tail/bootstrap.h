@@ -7,6 +7,9 @@
 // (resample the SAMPLE, re-run the whole estimator) give an honest
 // uncertainty measure for both, and quantify how much wider than
 // sigma_alpha the truth is.
+// Each replicate draws from its own RNG substream (support::RngSplitter),
+// so resampling parallelizes on the configured executor and the interval is
+// bit-identical at any thread count.
 #pragma once
 
 #include <span>
@@ -15,6 +18,10 @@
 #include "support/rng.h"
 #include "tail/hill.h"
 #include "tail/llcd.h"
+
+namespace fullweb::support {
+class Executor;
+}
 
 namespace fullweb::tail {
 
@@ -31,6 +38,8 @@ struct BootstrapOptions {
   /// Minimum fraction of replicates that must produce an estimate; below
   /// this the interval is unreliable and an error is returned.
   double min_success = 0.5;
+  /// Task executor for the resampling fan-out (null = the global pool).
+  support::Executor* executor = nullptr;
 };
 
 /// Percentile bootstrap CI for alpha_LLCD.

@@ -1,0 +1,128 @@
+// The behavior-preservation contract of the parallel pipeline: fitting the
+// FULL-Web model with a serial executor and with an oversubscribed 8-thread
+// pool must produce bit-identical results, because every stochastic stage
+// draws from a substream pinned to its position in the analysis, not to the
+// execution schedule.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "core/fullweb_model.h"
+#include "support/executor.h"
+#include "support/rng.h"
+#include "support/timing.h"
+#include "synth/generator.h"
+
+namespace fullweb::core {
+namespace {
+
+struct Fit {
+  FullWebModel model;
+  std::string report;
+};
+
+Fit fit_with_threads(std::size_t threads) {
+  support::Rng gen_rng(11);
+  synth::GeneratorOptions gen;
+  gen.duration = 86400.0;
+  gen.scale = 0.35;
+  auto ds = synth::generate_dataset(synth::ServerProfile::csee(), gen, gen_rng);
+  EXPECT_TRUE(ds.ok());
+
+  support::Executor ex(threads);
+  support::StageTimings timings;
+  FullWebOptions opts;
+  opts.interval_seconds = 4 * 3600.0;
+  opts.tails.curvature_replicates = 19;
+  opts.arrivals.aggregation_levels = {1, 10};
+  opts.executor = &ex;
+  opts.timings = &timings;
+  support::Rng fit_rng(11);
+  auto model = fit_fullweb_model(ds.value(), fit_rng, opts);
+  EXPECT_TRUE(model.ok());
+  EXPECT_FALSE(timings.empty());
+  return {model.value(), render_report(model.value())};
+}
+
+void expect_bit_identical(const FullWebModel& a, const FullWebModel& b) {
+  // Exact comparisons on purpose: the contract is bitwise equality, not
+  // numerical closeness.
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.total_sessions, b.total_sessions);
+  EXPECT_EQ(a.mb_transferred, b.mb_transferred);
+
+  const auto& ra = a.request_arrivals;
+  const auto& rb = b.request_arrivals;
+  ASSERT_EQ(ra.hurst_raw.estimates.size(), rb.hurst_raw.estimates.size());
+  for (std::size_t i = 0; i < ra.hurst_raw.estimates.size(); ++i) {
+    EXPECT_EQ(ra.hurst_raw.estimates[i].h, rb.hurst_raw.estimates[i].h) << i;
+  }
+  ASSERT_EQ(ra.hurst_stationary.estimates.size(),
+            rb.hurst_stationary.estimates.size());
+  for (std::size_t i = 0; i < ra.hurst_stationary.estimates.size(); ++i) {
+    EXPECT_EQ(ra.hurst_stationary.estimates[i].h,
+              rb.hurst_stationary.estimates[i].h)
+        << i;
+  }
+  ASSERT_EQ(ra.whittle_sweep.size(), rb.whittle_sweep.size());
+  ASSERT_EQ(ra.abry_veitch_sweep.size(), rb.abry_veitch_sweep.size());
+  for (std::size_t i = 0; i < ra.whittle_sweep.size(); ++i) {
+    EXPECT_EQ(ra.whittle_sweep[i].estimate.h, rb.whittle_sweep[i].estimate.h);
+  }
+  for (std::size_t i = 0; i < ra.abry_veitch_sweep.size(); ++i) {
+    EXPECT_EQ(ra.abry_veitch_sweep[i].estimate.h,
+              rb.abry_veitch_sweep[i].estimate.h);
+  }
+
+  ASSERT_EQ(a.request_poisson.size(), b.request_poisson.size());
+  for (const auto& [load, battery] : a.request_poisson) {
+    const auto it = b.request_poisson.find(load);
+    ASSERT_NE(it, b.request_poisson.end());
+    EXPECT_EQ(battery.available, it->second.available);
+    EXPECT_EQ(battery.poisson_all(), it->second.poisson_all());
+  }
+
+  ASSERT_EQ(a.interval_tails.size(), b.interval_tails.size());
+  for (const auto& [load, tails] : a.interval_tails) {
+    const auto it = b.interval_tails.find(load);
+    ASSERT_NE(it, b.interval_tails.end());
+    const auto& ta = tails;
+    const auto& tb = it->second;
+    EXPECT_EQ(ta.length.available, tb.length.available);
+    if (ta.length.llcd && tb.length.llcd)
+      EXPECT_EQ(ta.length.llcd->alpha, tb.length.llcd->alpha);
+    if (ta.length.curvature_pareto && tb.length.curvature_pareto)
+      EXPECT_EQ(ta.length.curvature_pareto->p_value,
+                tb.length.curvature_pareto->p_value);
+    if (ta.bytes.hill && tb.bytes.hill)
+      EXPECT_EQ(ta.bytes.hill->alpha, tb.bytes.hill->alpha);
+  }
+
+  if (a.week_tails.length.llcd && b.week_tails.length.llcd)
+    EXPECT_EQ(a.week_tails.length.llcd->alpha, b.week_tails.length.llcd->alpha);
+
+  ASSERT_EQ(a.errors.has_value(), b.errors.has_value());
+  if (a.errors) {
+    EXPECT_EQ(a.errors->request_error_rate, b.errors->request_error_rate);
+    EXPECT_EQ(a.errors->session_reliability, b.errors->session_reliability);
+  }
+}
+
+TEST(FullWebDeterminism, SerialAndParallelAreBitIdentical) {
+  const Fit serial = fit_with_threads(1);
+  const Fit parallel = fit_with_threads(8);
+  expect_bit_identical(serial.model, parallel.model);
+  // The rendered report covers every numeric field at full printed
+  // precision — the cheapest whole-model equality check we have.
+  EXPECT_EQ(serial.report, parallel.report);
+}
+
+TEST(FullWebDeterminism, RepeatedParallelRunsAgree) {
+  const Fit first = fit_with_threads(8);
+  const Fit second = fit_with_threads(8);
+  EXPECT_EQ(first.report, second.report);
+}
+
+}  // namespace
+}  // namespace fullweb::core

@@ -1,0 +1,182 @@
+#include "support/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fullweb::support {
+namespace {
+
+TEST(Executor, SerialRunsInlineOnCallingThread) {
+  Executor ex(1);
+  EXPECT_TRUE(ex.serial());
+  EXPECT_EQ(ex.threads(), 1U);
+  const auto caller = std::this_thread::get_id();
+  auto future = ex.async([&] { return std::this_thread::get_id(); });
+  EXPECT_EQ(future.get(), caller);
+}
+
+TEST(Executor, ZeroMeansHardwareConcurrency) {
+  Executor ex(0);
+  EXPECT_GE(ex.threads(), 1U);
+}
+
+TEST(Executor, AsyncReturnsValue) {
+  Executor ex(4);
+  auto future = ex.async([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(Executor, AsyncVoidCompletes) {
+  Executor ex(4);
+  std::atomic<int> hits{0};
+  auto future = ex.async([&] { ++hits; });
+  future.get();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(Executor, AsyncPropagatesException) {
+  Executor ex(4);
+  auto future = ex.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  Executor ex(4);
+  std::atomic<int> hits{0};
+  ex.parallel_for(0, 0, [&](std::size_t) { ++hits; });
+  ex.parallel_for(7, 7, [&](std::size_t) { ++hits; });
+  ex.parallel_for(9, 3, [&](std::size_t) { ++hits; });  // begin > end
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ParallelFor, SingleItem) {
+  Executor ex(4);
+  std::vector<int> seen;
+  ex.parallel_for(5, 6, [&](std::size_t i) {
+    seen.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(seen.size(), 1U);
+  EXPECT_EQ(seen[0], 5);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  Executor ex(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  ex.parallel_for(0, n, [&](std::size_t i) { counts[i]++; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndExecutorSurvives) {
+  Executor ex(4);
+  EXPECT_THROW(
+      ex.parallel_for(0, 1000,
+                      [&](std::size_t i) {
+                        if (i == 137) throw std::runtime_error("bad index");
+                      }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> hits{0};
+  ex.parallel_for(0, 100, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ParallelFor, SerialExceptionPropagates) {
+  Executor ex(1);
+  EXPECT_THROW(ex.parallel_for(0, 10,
+                               [&](std::size_t i) {
+                                 if (i == 3) throw std::logic_error("x");
+                               }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, NestedDoesNotDeadlock) {
+  Executor ex(2);  // small pool: waiting threads must help, not sleep
+  std::atomic<int> hits{0};
+  ex.parallel_for(0, 8, [&](std::size_t) {
+    ex.parallel_for(0, 64, [&](std::size_t) { ++hits; }, 4);
+  });
+  EXPECT_EQ(hits.load(), 8 * 64);
+}
+
+TEST(TaskGroup, WaitsForAllTasks) {
+  Executor ex(4);
+  std::atomic<int> hits{0};
+  TaskGroup group(ex);
+  for (int i = 0; i < 64; ++i) group.run([&] { ++hits; });
+  group.wait();
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(TaskGroup, RethrowsFirstException) {
+  Executor ex(4);
+  TaskGroup group(ex);
+  group.run([] {});
+  group.run([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, SerialExecutorRunsEagerly) {
+  Executor ex(1);
+  int order = 0;
+  TaskGroup group(ex);
+  group.run([&] { EXPECT_EQ(order++, 0); });
+  group.run([&] { EXPECT_EQ(order++, 1); });
+  group.wait();
+  EXPECT_EQ(order, 2);
+}
+
+TEST(Executor, ManySmallTasksStress) {
+  Executor ex(4);
+  std::atomic<std::uint64_t> sum{0};
+  TaskGroup group(ex);
+  for (std::uint64_t i = 0; i < 5000; ++i) group.run([&sum, i] { sum += i; });
+  group.wait();
+  EXPECT_EQ(sum.load(), 5000ULL * 4999ULL / 2ULL);
+}
+
+/// The determinism contract the pipeline relies on: per-index substreams
+/// make a parallel reduction bit-identical to the serial one.
+TEST(Executor, SubstreamedWorkIsThreadCountInvariant) {
+  constexpr std::size_t n = 256;
+  auto run = [&](std::size_t threads) {
+    Executor ex(threads);
+    Rng base(2026);
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    RngSplitter splitter(base);
+    for (std::size_t i = 0; i < n; ++i) streams.push_back(splitter.stream(i));
+    std::vector<double> out(n);
+    ex.parallel_for(0, n, [&](std::size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 100; ++k) acc += streams[i].normal();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << i;  // bitwise, not approximate
+  }
+}
+
+TEST(Executor, GlobalPoolResizes) {
+  Executor::set_global_threads(3);
+  EXPECT_EQ(Executor::global().threads(), 3U);
+  EXPECT_EQ(&Executor::resolve(nullptr), &Executor::global());
+  Executor local(2);
+  EXPECT_EQ(&Executor::resolve(&local), &local);
+  Executor::set_global_threads(0);  // back to hardware default
+}
+
+}  // namespace
+}  // namespace fullweb::support

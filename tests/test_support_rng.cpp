@@ -95,14 +95,71 @@ TEST(Rng, NormalMomentsMatchStandardNormal) {
   EXPECT_NEAR(sum3 / n, 0.0, 0.05);  // symmetry
 }
 
-TEST(Rng, ForkProducesIndependentStreams) {
+TEST(Rng, JumpChangesStateDeterministically) {
+  Rng a(23);
+  Rng b(23);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Rng unjumped(23);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == unjumped()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndOrderFree) {
   Rng base(23);
-  Rng a = base.fork(1);
-  Rng b = base.fork(2);
+  Rng a = base.substream(1);
+  Rng b = base.substream(2);
   int equal = 0;
   for (int i = 0; i < 100; ++i)
     if (a() == b()) ++equal;
   EXPECT_LT(equal, 3);
+  // substream(k) is a pure function of the base state.
+  Rng a_again = base.substream(1);
+  Rng a_ref(23);
+  a_ref.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a_again(), a_ref());
+}
+
+TEST(Rng, SubstreamZeroEqualsSelf) {
+  Rng base(29);
+  Rng s0 = base.substream(0);
+  Rng copy(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s0(), copy());
+}
+
+TEST(Rng, LongJumpDiffersFromJump) {
+  Rng a(31), b(31);
+  a.jump();
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngSplitter, MatchesSubstreamAtAnyAccessOrder) {
+  Rng base(37);
+  const Rng snapshot = base;  // splitter consumes the parent via long_jump
+  RngSplitter splitter(base);
+  // Out-of-order and repeated access must match substream(k) exactly.
+  for (std::uint64_t k : {5ULL, 1ULL, 3ULL, 1ULL, 0ULL, 7ULL}) {
+    Rng from_splitter = splitter.stream(k);
+    Rng reference = snapshot.substream(k);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(from_splitter(), reference());
+  }
+}
+
+TEST(RngSplitter, ParentIsJumpedPastDerivedStreams) {
+  Rng parent(41);
+  const Rng snapshot = parent;
+  RngSplitter splitter(parent);
+  // The parent must now be long_jump()ed: disjoint from every substream.
+  Rng expected = snapshot;
+  expected.long_jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(parent(), expected());
 }
 
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
