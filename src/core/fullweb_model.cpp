@@ -65,7 +65,9 @@ void run_battery(PoissonBattery& battery, const std::vector<double>& event_times
        poisson::SpreadMode::kDeterministic},
   }};
 
-  support::RngSplitter streams(rng);
+  // Level 0: the four config streams are leaves, consumed whole by
+  // test_poisson_arrivals.
+  support::RngSplitter streams(rng, 0);
   std::array<support::Rng, 4> config_rngs = {streams.stream(0), streams.stream(1),
                                              streams.stream(2), streams.stream(3)};
 
@@ -97,7 +99,9 @@ void run_tails(IntervalTails& tails, const weblog::Dataset& dataset,
                support::Executor& ex, support::Rng rng) {
   tails.interval = interval;
 
-  support::RngSplitter streams(rng);
+  // Level 1: each metric stream is re-split once more by analyze_tail (its
+  // curvature tests), so metrics need whole level-0 regions of their own.
+  support::RngSplitter streams(rng, 1);
   std::array<support::Rng, 3> metric_rngs = {streams.stream(0), streams.stream(1),
                                              streams.stream(2)};
 
@@ -133,8 +137,10 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
 
   // Fixed substream ids per branch — the assignment depends only on the
   // dataset, never on scheduling, which is what makes parallel and serial
-  // fits bit-identical.
-  support::RngSplitter streams(rng);
+  // fits bit-identical. Level 2: each branch stream is re-split by
+  // run_battery / run_tails (and run_tails's streams again by
+  // analyze_tail), so branches must be a whole level-1 region apart.
+  support::RngSplitter streams(rng, 2);
 
   FullWebModel model;
   model.server = dataset.name();

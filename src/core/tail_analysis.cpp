@@ -28,8 +28,10 @@ TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
 
   // The two curvature tests get fixed substreams of the caller's generator
   // up front, so their draws are independent of scheduling (and of whether
-  // the estimators below succeed).
-  support::RngSplitter streams(rng);
+  // the estimators below succeed). Level 0: curvature_test consumes its
+  // stream whole. Callers handing us a stream from a splitter must have
+  // split at level >= 1 to leave room for this split.
+  support::RngSplitter streams(rng, 0);
   support::Rng pareto_rng = streams.stream(0);
   support::Rng lognormal_rng = streams.stream(1);
 

@@ -1,9 +1,11 @@
 #include "support/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -43,6 +45,7 @@ struct Executor::Impl {
   /// nested subtasks hot in cache); external threads use the shared
   /// injection queue.
   void push(std::function<void()> task) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
     if (current_pool == this) {
       WorkerQueue& mine = *queues_[current_index];
       std::scoped_lock lock(mine.m);
@@ -51,6 +54,33 @@ struct Executor::Impl {
       std::scoped_lock lock(inject_m_);
       inject_q_.push_back(std::move(task));
     }
+    bump_epoch();
+  }
+
+  /// Called after a popped task has run to completion (worker or helper).
+  /// The epoch bump is what wakes blocked waiters: a completion may be the
+  /// one that drops their WaitState::pending to zero.
+  void finished_one() {
+    outstanding_.fetch_sub(1, std::memory_order_release);
+    bump_epoch();
+  }
+
+  bool idle() const { return outstanding_.load(std::memory_order_acquire) == 0; }
+
+  std::uint64_t epoch() {
+    std::scoped_lock lock(signal_m_);
+    return work_epoch_;
+  }
+
+  /// Block until the epoch moves past `seen` (new work pushed, or a task
+  /// completed). The timeout is a backstop only — every epoch change
+  /// notifies — so it can be coarse.
+  void wait_for_epoch_change(std::uint64_t seen) {
+    std::unique_lock lock(signal_m_);
+    work_cv_.wait_for(lock, 100ms, [&] { return work_epoch_ != seen; });
+  }
+
+  void bump_epoch() {
     {
       std::scoped_lock lock(signal_m_);
       ++work_epoch_;
@@ -107,12 +137,14 @@ struct Executor::Impl {
       if (try_pop(task)) {
         task();
         task = nullptr;
+        finished_one();
         continue;
       }
       std::unique_lock lock(signal_m_);
-      // Short timeout as a safety net against any missed-epoch interleaving.
-      work_cv_.wait_for(lock, 10ms,
-                        [&] { return stop_ || work_epoch_ != seen; });
+      // The epoch was sampled before the failed pop, so any push since then
+      // makes the predicate true immediately — no wakeup can be lost. The
+      // timeout is a coarse backstop, not a poll.
+      work_cv_.wait_for(lock, 1s, [&] { return stop_ || work_epoch_ != seen; });
     }
   }
 
@@ -124,6 +156,9 @@ struct Executor::Impl {
   std::condition_variable work_cv_;
   std::uint64_t work_epoch_ = 0;
   bool stop_ = false;
+
+  /// Tasks pushed whose bodies have not yet returned (queued + executing).
+  std::atomic<std::size_t> outstanding_{0};
 
   std::vector<std::thread> threads_;
 
@@ -161,22 +196,33 @@ bool Executor::try_run_one() {
   std::function<void()> task;
   if (!impl_->try_pop(task)) return false;
   task();
+  impl_->finished_one();
   return true;
 }
 
 void Executor::help_while_pending(detail::WaitState& state) {
   for (;;) {
+    // Sample the epoch before checking for work: any push or completion
+    // after this point changes it, so the wait below cannot sleep through
+    // an event it needed.
+    const std::uint64_t seen = impl_ ? impl_->epoch() : 0;
     {
       std::scoped_lock lock(state.m);
       if (state.pending == 0) return;
     }
     if (try_run_one()) continue;
     // Nothing runnable here (tasks are in flight on other threads): block
-    // until a completion notifies, with a short poll so tasks spawned by
-    // the in-flight work are picked up promptly.
-    std::unique_lock lock(state.m);
-    if (state.pending == 0) return;
-    state.cv.wait_for(lock, 1ms, [&] { return state.pending == 0; });
+    // on the pool's event stream. Both events we care about — a completion
+    // (which may zero state.pending) and new work spawned by in-flight
+    // tasks (which we should help run) — bump the epoch and notify.
+    if (impl_) {
+      impl_->wait_for_epoch_change(seen);
+    } else {
+      // Serial executor: tasks run inline, so pending should already be 0
+      // here; wait defensively rather than spin.
+      std::unique_lock lock(state.m);
+      state.cv.wait_for(lock, 1ms, [&] { return state.pending == 0; });
+    }
   }
 }
 
@@ -214,6 +260,18 @@ Executor& Executor::global() {
 
 void Executor::set_global_threads(std::size_t n) {
   std::scoped_lock lock(g_global_m);
+  if (g_global && g_global->impl_) {
+    // global() hands out bare references, so swapping the pool while work
+    // is in flight would dangle them. Tolerate the short window between a
+    // waiter observing completion and the worker's wrapper returning, then
+    // fail loudly instead of use-after-free.
+    for (int spin = 0; !g_global->impl_->idle() && spin < 1000; ++spin)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    if (!g_global->impl_->idle())
+      throw std::logic_error(
+          "Executor::set_global_threads: the global pool has tasks "
+          "outstanding; resize only between analyses");
+  }
   g_global = std::make_unique<Executor>(n);
 }
 

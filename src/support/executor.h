@@ -151,8 +151,10 @@ class Executor {
   static Executor& global();
 
   /// Replace the global pool with one of `n` threads (0 = hardware). Call
-  /// before analysis work starts — outstanding tasks on the old pool are
-  /// joined first. Examples and bench drivers call this from --threads.
+  /// between analyses: throws std::logic_error if the old pool still has
+  /// tasks outstanding, because references handed out by global() would
+  /// dangle. Examples and bench drivers call this from --threads at
+  /// startup.
   static void set_global_threads(std::size_t n);
 
   /// options-plumbing helper: a null executor pointer means "the global

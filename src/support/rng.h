@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -122,6 +123,33 @@ class Rng {
                 0x77710069854ee241ULL, 0x39109bb02acbe635ULL});
   }
 
+  /// Advance the state by 2^e steps, for e in {128, 160, 192, 224}. These
+  /// are the stream spacings RngSplitter uses to keep nested splits
+  /// disjoint. The e = 160 and e = 224 polynomials are produced by
+  /// tools/gen_jump_polys.cpp (x^(2^e) mod the characteristic polynomial of
+  /// the state transition); as a self-check the generator reproduces the
+  /// published e = 128 and e = 192 constants bit for bit.
+  void jump_pow2(int e) noexcept {
+    switch (e) {
+      case 128:
+        jump();
+        return;
+      case 160:
+        apply_jump({0xc04b4f9c5d26c200ULL, 0x69e6e6e431a2d40bULL,
+                    0x4823b45b89dc689cULL, 0xf567382197055bf0ULL});
+        return;
+      case 192:
+        long_jump();
+        return;
+      case 224:
+        apply_jump({0x0c7840cbc3b121adULL, 0xd317530723ab526aULL,
+                    0xf31d2e03157bc387ULL, 0xa2b5d83a373c7ac2ULL});
+        return;
+      default:
+        assert(false && "jump_pow2: unsupported exponent");
+    }
+  }
+
   /// The k-th substream of this generator: a copy advanced by k jumps, i.e.
   /// the subsequence starting k * 2^128 steps ahead. Substreams with
   /// distinct k never overlap, and substream(k) is a pure function of
@@ -157,39 +185,66 @@ class Rng {
   bool have_spare_ = false;
 };
 
-/// Hands out the substreams of a base generator one index at a time.
+/// Hands out non-overlapping substreams of a base generator one index at a
+/// time, with an explicit nesting *level* that keeps re-split streams
+/// disjoint from their siblings.
 ///
-/// stream(k) == base.substream(k) for every k, but sequential (monotonically
-/// increasing) access — the pattern task graphs use when assigning stream
-/// ids at submission time — is O(1) amortized instead of O(k), because the
-/// splitter caches the last jumped-to position.
+/// A splitter at level L spaces consecutive streams 2^(128 + 32L) states
+/// apart. Level-0 streams are leaves: consume them directly, never re-split
+/// them. A stream from a level-L splitter (L >= 1) owns the whole region up
+/// to its successor — exactly enough room to host one level-(L-1) splitter
+/// with up to 2^32 streams, each itself re-splittable one level further
+/// down. The level is what prevents hierarchy aliasing: if every level used
+/// the same 2^128 spacing, parent.stream(k) re-split would reproduce
+/// parent.stream(k + j) bit for bit, silently correlating "independent"
+/// branches of a task graph.
 ///
-/// Constructing a splitter from a live generator long_jump()s the parent
-/// past the entire region its substreams can occupy, so the parent may keep
-/// producing values without ever colliding with a derived stream.
+/// At level 0, stream(k) == base.substream(k) for every k; sequential
+/// (monotonically increasing) access — the pattern task graphs use when
+/// assigning stream ids at submission time — is O(1) amortized instead of
+/// O(k), because the splitter caches the last jumped-to position.
+///
+/// Constructing a splitter from a live generator advances the parent by
+/// 2^224 states — past the entire region a splitter of any level can
+/// occupy — so the parent may keep producing values (or seed further
+/// splitters) without ever colliding with a derived stream.
 class RngSplitter {
  public:
-  /// Splits `parent`: captures its state as the substream base, then
-  /// long-jumps the parent out of the derived region.
-  explicit RngSplitter(Rng& parent) noexcept : base_(parent), cursor_(parent) {
-    parent.long_jump();
+  /// Deepest supported splitter level: a three-level hierarchy
+  /// (2 -> 1 -> 0) as used by core::fit_fullweb_model.
+  static constexpr int kMaxLevel = 2;
+
+  /// Splits `parent` at `level`: captures its state as the substream base,
+  /// then jumps the parent out of the derived region.
+  explicit RngSplitter(Rng& parent, int level = 0) noexcept
+      : base_(parent.substream(0)),  // substream(0) drops the cached normal
+                                     // spare, so stream(k) == substream(k)
+        cursor_(base_),
+        level_(level < 0 ? 0 : (level > kMaxLevel ? kMaxLevel : level)) {
+    assert(level >= 0 && level <= kMaxLevel);
+    parent.jump_pow2(224);
   }
 
   /// Splitter over a copy of `rng` without touching it (the caller promises
   /// not to reuse the generator's current position).
-  static RngSplitter over(const Rng& rng) noexcept {
+  static RngSplitter over(const Rng& rng, int level = 0) noexcept {
     Rng copy = rng;
-    return RngSplitter(copy);
+    return RngSplitter(copy, level);
   }
 
-  /// The k-th substream of the base generator.
+  [[nodiscard]] int level() const noexcept { return level_; }
+
+  /// The k-th substream of the base generator. At kMaxLevel, k must stay
+  /// below 2^32 so the stream remains inside the region reserved from the
+  /// parent (lower levels accept any k).
   [[nodiscard]] Rng stream(std::uint64_t k) noexcept {
+    assert(level_ < kMaxLevel || k < (std::uint64_t{1} << 32));
     if (k < cursor_index_) {  // rewind: restart from the base state
       cursor_ = base_;
       cursor_index_ = 0;
     }
     while (cursor_index_ < k) {
-      cursor_.jump();
+      cursor_.jump_pow2(128 + 32 * level_);
       ++cursor_index_;
     }
     return cursor_;
@@ -199,6 +254,7 @@ class RngSplitter {
   Rng base_;
   Rng cursor_;
   std::uint64_t cursor_index_ = 0;
+  int level_ = 0;
 };
 
 }  // namespace fullweb::support

@@ -31,10 +31,11 @@ Result<BootstrapCi> bootstrap_ci(
   auto point = estimator(samples);
   if (!point) return point.error();
 
-  // One RNG substream per replicate: replicate b always draws the same
-  // resample no matter how replicates are chunked across threads, so the
-  // interval is identical at any thread count (and to a serial run).
-  support::RngSplitter streams(rng);
+  // One level-0 (leaf) RNG substream per replicate: replicate b always
+  // draws the same resample no matter how replicates are chunked across
+  // threads, so the interval is identical at any thread count (and to a
+  // serial run).
+  support::RngSplitter streams(rng, 0);
   std::vector<support::Rng> replicate_rngs;
   replicate_rngs.reserve(options.replicates);
   for (std::size_t b = 0; b < options.replicates; ++b)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -176,6 +177,21 @@ TEST(Executor, GlobalPoolResizes) {
   Executor local(2);
   EXPECT_EQ(&Executor::resolve(&local), &local);
   Executor::set_global_threads(0);  // back to hardware default
+}
+
+TEST(Executor, SetGlobalThreadsRefusesWhileBusy) {
+  Executor::set_global_threads(2);  // ensure pool mode (not serial inline)
+  std::atomic<bool> release{false};
+  auto pending = Executor::global().async([&] {
+    while (!release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Replacing the pool now would dangle the reference the task runs on.
+  EXPECT_THROW(Executor::set_global_threads(4), std::logic_error);
+  release.store(true);
+  pending.get();
+  // Idle again (set_global_threads absorbs the wrapper wind-down window).
+  EXPECT_NO_THROW(Executor::set_global_threads(0));
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+// Offline generator for the jump polynomials hardcoded in support/rng.h.
+//
+// A jump of 2^e steps of the xoshiro256 state transition T is applied as the
+// polynomial q_e(x) = x^(2^e) mod p(x), where p is the characteristic
+// polynomial of T (a primitive degree-256 polynomial over GF(2), since
+// xoshiro256 has maximal period). This program recovers p via
+// Berlekamp-Massey on the scalar sequence <u, T^i v>, computes q_e by
+// repeated modular squaring, and prints the four 64-bit words that
+// Rng::apply_jump consumes (coefficient of x^(64*w + b) = bit b of word w).
+//
+// Self-checks, all fatal on mismatch:
+//   * deg p == 256 and p(T) annihilates random states,
+//   * q_128 and q_192 reproduce the constants published by Blackman & Vigna
+//     (Rng::jump / Rng::long_jump), which validates the whole pipeline,
+//   * applying q_e twice equals applying q_{e+1} once on random states.
+//
+// Build & run:  c++ -O2 -std=c++20 -o gen_jump_polys gen_jump_polys.cpp
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+using u64 = std::uint64_t;
+using State = std::array<u64, 4>;
+
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// One step of the xoshiro256 state transition (linear over GF(2); the ++
+/// output scrambler does not touch the state and is irrelevant here).
+void step(State& s) {
+  const u64 t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+}
+
+u64 splitmix(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+State random_state(u64& seed) {
+  return {splitmix(seed), splitmix(seed), splitmix(seed), splitmix(seed)};
+}
+
+int parity(const State& a, const State& b) {
+  u64 acc = 0;
+  for (int i = 0; i < 4; ++i) acc ^= a[i] & b[i];
+  return __builtin_parityll(acc);
+}
+
+/// Berlekamp-Massey over GF(2): shortest LFSR C (C[0] = 1) with
+/// sum_j C[j] s[i-j] = 0 for all i >= L. Returns C; degree via L.
+std::vector<int> berlekamp_massey(const std::vector<int>& s, int& L_out) {
+  const int n = static_cast<int>(s.size());
+  std::vector<int> C(n + 1, 0), B(n + 1, 0);
+  C[0] = B[0] = 1;
+  int L = 0, m = 1;
+  for (int i = 0; i < n; ++i) {
+    int d = 0;
+    for (int j = 0; j <= L; ++j) d ^= C[j] & s[i - j];
+    if (d == 0) {
+      ++m;
+    } else if (2 * L <= i) {
+      std::vector<int> T = C;
+      for (int j = 0; j + m <= n; ++j) C[j + m] ^= B[j];
+      L = i + 1 - L;
+      B = T;
+      m = 1;
+    } else {
+      for (int j = 0; j + m <= n; ++j) C[j + m] ^= B[j];
+      ++m;
+    }
+  }
+  L_out = L;
+  return C;
+}
+
+/// Bit-packed polynomial over GF(2), coefficient of x^i = bit i.
+struct Poly {
+  std::vector<u64> w;
+  Poly() : w(4, 0) {}
+  explicit Poly(int bits) : w((bits + 63) / 64, 0) {}
+  bool get(int i) const { return (w[i / 64] >> (i % 64)) & 1; }
+  void set(int i) { w[i / 64] |= 1ULL << (i % 64); }
+};
+
+/// r = r^2 mod p, with deg p == 256 (p has 257 bits). r keeps 256 bits.
+void square_mod(Poly& r, const Poly& p) {
+  Poly sq(512);
+  for (int i = 0; i < 256; ++i)
+    if (r.get(i)) sq.set(2 * i);
+  for (int j = 510; j >= 256; --j) {
+    if (!sq.get(j)) continue;
+    const int shift = j - 256;
+    for (int k = 0; k <= 256; ++k)
+      if (p.get(k)) sq.w[(k + shift) / 64] ^= 1ULL << ((k + shift) % 64);
+  }
+  for (int i = 0; i < 4; ++i) r.w[i] = sq.w[i];
+}
+
+/// Apply the jump polynomial q to a state: acc = sum_{i: q_i = 1} T^i s,
+/// exactly the loop Rng::apply_jump runs.
+State apply_poly(const Poly& q, State s) {
+  State acc{};
+  const int bits = static_cast<int>(q.w.size()) * 64;
+  for (int i = 0; i < bits; ++i) {
+    if (q.get(i))
+      for (int k = 0; k < 4; ++k) acc[k] ^= s[k];
+    step(s);
+  }
+  return acc;
+}
+
+void die(const char* msg) {
+  std::fprintf(stderr, "FATAL: %s\n", msg);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  // --- characteristic polynomial via Berlekamp-Massey --------------------
+  u64 seed = 0x853c49e6748fea9bULL;
+  Poly p(257);
+  int deg = 0;
+  for (int attempt = 0; attempt < 8 && deg != 256; ++attempt) {
+    const State u = random_state(seed);
+    State v = random_state(seed);
+    std::vector<int> s(512);
+    for (int i = 0; i < 512; ++i) {
+      s[i] = parity(u, v);
+      step(v);
+    }
+    int L = 0;
+    const std::vector<int> C = berlekamp_massey(s, L);
+    if (L != 256) continue;  // unlucky u, v: sequence minpoly was a divisor
+    // The connection polynomial is the reversal of the minimal polynomial:
+    // p_k = C[L - k].
+    p = Poly(257);
+    for (int k = 0; k <= 256; ++k)
+      if (C[256 - k]) p.set(k);
+    deg = 256;
+  }
+  if (deg != 256) die("Berlekamp-Massey never reached degree 256");
+
+  // p(T) must annihilate every state (Cayley-Hamilton).
+  for (int trial = 0; trial < 4; ++trial) {
+    const State z = apply_poly(p, random_state(seed));
+    if (z[0] | z[1] | z[2] | z[3]) die("p(T) does not annihilate states");
+  }
+
+  // --- q_e = x^(2^e) mod p for every exponent rng.h uses -----------------
+  constexpr std::array<u64, 4> kPublishedJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  constexpr std::array<u64, 4> kPublishedLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+
+  Poly q(256);
+  q.set(1);  // x
+  std::array<Poly, 256> by_exp{};  // q_e for e = 1..255, filled as we square
+  int e = 0;
+  std::vector<int> wanted = {128, 160, 192, 224};
+  for (e = 1; e <= 225; ++e) {
+    square_mod(q, p);
+    for (int w : wanted)
+      if (e == w || e == w + 1) by_exp[e] = q;
+  }
+
+  auto words = [](const Poly& poly) { return poly.w; };
+  if (words(by_exp[128]) != std::vector<u64>(kPublishedJump.begin(),
+                                             kPublishedJump.end()))
+    die("q_128 != published jump() constants");
+  if (words(by_exp[192]) != std::vector<u64>(kPublishedLongJump.begin(),
+                                             kPublishedLongJump.end()))
+    die("q_192 != published long_jump() constants");
+
+  // Doubling check: q_e twice == q_{e+1} once.
+  for (int w : wanted) {
+    const State s0 = random_state(seed);
+    const State twice = apply_poly(by_exp[w], apply_poly(by_exp[w], s0));
+    const State once = apply_poly(by_exp[w + 1], s0);
+    if (twice != once) die("q_e^2 != q_{e+1}");
+  }
+
+  for (int w : wanted) {
+    std::printf("x^(2^%d) mod p:\n  {", w);
+    const auto& ws = by_exp[w].w;
+    for (int i = 0; i < 4; ++i)
+      std::printf("0x%016llxULL%s", static_cast<unsigned long long>(ws[i]),
+                  i < 3 ? ", " : "}\n");
+  }
+  std::puts("all self-checks passed");
+  return 0;
+}
