@@ -1,19 +1,28 @@
 // Microbenchmarks (google-benchmark) — throughput of the computational
 // kernels: FFT, ACF, periodogram, Hurst estimators, FGN synthesis, KPSS,
-// the CLF parser, and the sessionizer.
+// bootstrap tail CIs, the CLF parser, and the sessionizer.
+//
+// Unless --benchmark_out is given explicitly, results are also written as
+// google-benchmark JSON to BENCH_micro.json in the working directory; diff
+// two runs with tools/bench_compare (see EXPERIMENTS.md "Perf baseline").
 #include <benchmark/benchmark.h>
 
+#include <complex>
+#include <cstring>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "lrd/abry_veitch.h"
 #include "lrd/variance_time.h"
 #include "lrd/whittle.h"
 #include "stats/acf.h"
+#include "stats/distributions.h"
 #include "stats/fft.h"
 #include "stats/kpss.h"
 #include "stats/periodogram.h"
 #include "support/rng.h"
+#include "tail/bootstrap.h"
 #include "timeseries/fgn.h"
 #include "weblog/clf.h"
 #include "weblog/sessionizer.h"
@@ -29,23 +38,48 @@ std::vector<double> noise(std::size_t n, std::uint64_t seed = 1) {
   return xs;
 }
 
+/// Real-input transform, power-of-two length: packed half-length path.
 void BM_FftPow2(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto xs = noise(n);
+  std::vector<std::complex<double>> spec;
   for (auto _ : state) {
-    auto spec = stats::fft_real(xs);
-    benchmark::DoNotOptimize(spec);
+    stats::fft_real(xs, spec);
+    benchmark::DoNotOptimize(spec.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FftPow2)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
+/// Full complex transform at the same lengths, for the real-path ratio.
+void BM_FftComplexPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = noise(n);
+  std::vector<std::complex<double>> src(n);
+  for (std::size_t i = 0; i < n; ++i) src[i] = {xs[i], 0.0};
+  std::vector<std::complex<double>> buf;
+  for (auto _ : state) {
+    buf = src;
+    stats::fft(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftComplexPow2)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+/// Genuine Bluestein lengths (prime / highly composite non-pow-2), through
+/// the complex fft() entry point so no pow-2 fast path can hide the chirp
+/// machinery. 86,400 = one day of per-second samples.
 void BM_FftBluestein(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto xs = noise(n);
+  std::vector<std::complex<double>> src(n);
+  for (std::size_t i = 0; i < n; ++i) src[i] = {xs[i], 0.0};
+  std::vector<std::complex<double>> buf;
   for (auto _ : state) {
-    auto spec = stats::fft_real(xs);
-    benchmark::DoNotOptimize(spec);
+    buf = src;
+    stats::fft(buf);
+    benchmark::DoNotOptimize(buf.data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
@@ -88,6 +122,56 @@ void BM_GenerateFgn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_GenerateFgn)->Arg(1 << 14)->Arg(1 << 18);
+
+/// Monte-Carlo shape: 100 draws at one (n, H) configuration per iteration,
+/// the access pattern of bench_validation_estimators and the curvature
+/// tests. Exercises the circulant-spectrum cache across replicates.
+void BM_GenerateFgnSweep100(benchmark::State& state) {
+  support::Rng rng(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (int rep = 0; rep < 100; ++rep) {
+      auto xs = timeseries::generate_fgn(n, 0.8, 1.0, rng);
+      benchmark::DoNotOptimize(xs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GenerateFgnSweep100)->Arg(1 << 14);
+
+void BM_BootstrapHillCi(benchmark::State& state) {
+  support::Rng sample_rng(8);
+  const stats::Pareto dist(1.4, 1.0);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = dist.sample(sample_rng);
+  tail::BootstrapOptions opts;
+  opts.replicates = 60;
+  for (auto _ : state) {
+    support::Rng rng(9);
+    auto ci = tail::bootstrap_hill_ci(xs, rng, opts);
+    benchmark::DoNotOptimize(ci);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.replicates));
+}
+BENCHMARK(BM_BootstrapHillCi)->Arg(5000);
+
+void BM_BootstrapLlcdCi(benchmark::State& state) {
+  support::Rng sample_rng(10);
+  const stats::Pareto dist(1.4, 1.0);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = dist.sample(sample_rng);
+  tail::BootstrapOptions opts;
+  opts.replicates = 60;
+  for (auto _ : state) {
+    support::Rng rng(11);
+    auto ci = tail::bootstrap_llcd_ci(xs, rng, opts);
+    benchmark::DoNotOptimize(ci);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(opts.replicates));
+}
+BENCHMARK(BM_BootstrapLlcdCi)->Arg(5000);
 
 void BM_WhittleHurst(benchmark::State& state) {
   support::Rng rng(4);
@@ -154,4 +238,25 @@ BENCHMARK(BM_Sessionize)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default JSON sink: unless the caller passes its
+// own --benchmark_out, results are mirrored to BENCH_micro.json in the
+// working directory so the machine-readable perf baseline is regenerated by
+// simply running the binary (tools/bench_compare diffs two such files).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc_eff = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_eff, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_eff, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,8 @@
 //   ./bench_parallel_scaling --server CSEE --scale 0.5 --max-threads 8
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,9 @@ int main(int argc, char** argv) {
   flags.define("server", "CSEE", "WVU | ClarkNet | CSEE | NASA-Pub2");
   flags.define("max-threads", "0",
                "highest thread count to scale to (0 = hardware)");
+  flags.define("json-out", "BENCH_scaling.json",
+               "machine-readable results file, bench_compare-compatible "
+               "(empty = skip)");
   if (!bench::parse_bench_flags(argc, argv, &ctx, &flags)) return 2;
 
   synth::ServerProfile profile = synth::ServerProfile::csee();
@@ -112,5 +117,33 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nall runs bit-identical to the serial fit\n");
+
+  // Machine-readable mirror of the table, shaped like google-benchmark JSON
+  // so tools/bench_compare can diff it against a committed baseline.
+  const std::string json_path = flags.get("json-out");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    } else {
+      json << std::setprecision(17);
+      json << "{\n  \"context\": {\"server\": \"" << dataset.name()
+           << "\", \"seed\": " << ctx.seed
+           << ", \"requests\": " << dataset.requests().size()
+           << ", \"max_threads\": " << max_threads << "},\n"
+           << "  \"benchmarks\": [\n";
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunResult& r = runs[i];
+        json << "    {\"name\": \"fullweb_fit/threads:" << r.threads
+             << "\", \"real_time\": " << r.seconds * 1e9
+             << ", \"time_unit\": \"ns\", \"items_per_second\": "
+             << static_cast<double>(dataset.requests().size()) / r.seconds
+             << ", \"speedup\": " << serial.seconds / r.seconds << "}"
+             << (i + 1 < runs.size() ? "," : "") << "\n";
+      }
+      json << "  ]\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
   return 0;
 }

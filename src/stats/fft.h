@@ -4,13 +4,64 @@
 // Used by the periodogram (week-length per-second series, n = 604,800 — not a
 // power of two), FFT-based autocorrelation, and the Davies-Harte fractional
 // Gaussian noise generator.
+//
+// Transforms are driven by cached FftPlans: bit-reversal and per-stage
+// twiddle tables for the radix-2 path, and for Bluestein lengths the chirp
+// table plus the pre-transformed chirp spectrum per direction. Plans live in
+// a process-wide mutex-guarded LRU (support::LruCache), so repeated
+// same-length transforms — ACF sweeps, periodogram batches, bootstrap
+// replicates, fGn Monte-Carlo draws — pay the setup cost once.
 #pragma once
 
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace fullweb::stats {
+
+/// Precomputed tables for length-n DFTs. Immutable after construction and
+/// shared across threads; obtain instances through get() only.
+class FftPlan {
+ public:
+  /// The (cached) plan for length-n transforms.
+  [[nodiscard]] static std::shared_ptr<const FftPlan> get(std::size_t n);
+
+  [[nodiscard]] std::size_t length() const noexcept { return n_; }
+
+  /// In-place unnormalized forward DFT of exactly length() points.
+  void forward(std::vector<std::complex<double>>& data) const;
+
+  /// In-place unnormalized inverse DFT (callers scale by 1/n; ifft() does).
+  void backward(std::vector<std::complex<double>>& data) const;
+
+ private:
+  explicit FftPlan(std::size_t n);
+
+  void transform_pow2(std::complex<double>* a, bool inverse) const;
+  void transform_bluestein(std::vector<std::complex<double>>& a,
+                           bool inverse) const;
+
+  std::size_t n_ = 0;
+
+  // Radix-2 tables (power-of-two lengths). twiddle_ is the per-stage table
+  // laid out flat: stage `len` holds exp(-2*pi*i*k/len), k < len/2, at
+  // offset len/2 - 1 (n - 1 entries total). Twiddles are computed with
+  // direct cos/sin per entry — unlike the w *= wlen recurrence this does
+  // not accumulate rounding error across a stage.
+  std::vector<std::uint32_t> bitrev_;
+  std::vector<std::complex<double>> twiddle_;
+
+  // Bluestein tables (other lengths): chirp w[k] = exp(-i*pi*k^2/n) (the
+  // inverse direction conjugates on use), and the forward length-m_ spectrum
+  // of the padded conjugate-chirp sequence for each direction.
+  std::size_t m_ = 0;                      ///< convolution length, power of two
+  std::shared_ptr<const FftPlan> sub_;     ///< length-m_ radix-2 plan
+  std::vector<std::complex<double>> chirp_;
+  std::vector<std::complex<double>> chirp_spectrum_fwd_;
+  std::vector<std::complex<double>> chirp_spectrum_inv_;
+};
 
 /// In-place forward FFT. Any length (radix-2 fast path, Bluestein otherwise).
 void fft(std::vector<std::complex<double>>& data);
@@ -22,7 +73,17 @@ void ifft(std::vector<std::complex<double>>& data);
 /// same length (conjugate-symmetric).
 [[nodiscard]] std::vector<std::complex<double>> fft_real(std::span<const double> xs);
 
-/// Smallest power of two >= n.
+/// As above, but writes the spectrum into `out` (resized to xs.size()).
+/// Power-of-two lengths use the packed real-to-complex path: one complex FFT
+/// of length n/2 instead of length n (~2x fewer flops). `out` may be a
+/// reused scratch buffer; it must not alias the Workspace slots the FFT uses
+/// internally (ws::kRealFftHalf, ws::kBluestein).
+void fft_real(std::span<const double> xs,
+              std::vector<std::complex<double>>& out);
+
+/// Smallest power of two >= n, or 0 when none is representable in size_t
+/// (n > 2^63 on 64-bit). Callers transform buffers that exist in memory, so
+/// in practice 0 signals arithmetic misuse, not a plannable transform.
 [[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
 
 /// True if n is a power of two (n >= 1).

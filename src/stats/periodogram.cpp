@@ -7,6 +7,7 @@
 
 #include "stats/descriptive.h"
 #include "stats/fft.h"
+#include "support/workspace.h"
 
 namespace fullweb::stats {
 
@@ -16,10 +17,15 @@ Periodogram periodogram(std::span<const double> xs) {
   if (n < 2) return pg;
 
   // Remove the mean so the j = 0 ordinate does not leak into neighbours.
+  // Staging + spectrum live in per-thread scratch; power-of-two lengths
+  // (the whittle/Hurst sweeps truncate to one) take the packed real path.
   const double m = mean(xs);
-  std::vector<std::complex<double>> buf(n);
-  for (std::size_t i = 0; i < n; ++i) buf[i] = {xs[i] - m, 0.0};
-  fft(buf);
+  auto& arena = support::Workspace::for_thread();
+  auto& staged = arena.real(support::ws::kFftStage);
+  staged.resize(n);
+  for (std::size_t i = 0; i < n; ++i) staged[i] = xs[i] - m;
+  auto& buf = arena.cplx(support::ws::kSpectrum);
+  fft_real(staged, buf);
 
   const std::size_t half = (n - 1) / 2;
   pg.frequency.reserve(half);

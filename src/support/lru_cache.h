@@ -1,0 +1,82 @@
+// Small thread-safe LRU cache of immutable shared values.
+//
+// Backs the process-wide kernel caches (FFT plans, fGn circulant spectra).
+// Values are handed out as shared_ptr<const V>, so an entry evicted while
+// another thread still uses it stays alive until that use ends; cached data
+// is immutable after construction, which is what makes sharing across the
+// executor's workers race-free (see DESIGN.md §5.6).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fullweb::support {
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// Keeps at most `capacity` entries (least-recently-used evicted first).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value for `key`, building it with `factory` on a
+  /// miss. The factory runs OUTSIDE the lock: it may be slow and may itself
+  /// use this cache (the Bluestein plan builds its inner power-of-two plan
+  /// this way). Two threads racing on the same fresh key may both run the
+  /// factory; the first insertion wins and the loser adopts it, so callers
+  /// always share one canonical value per key. The factory must return an
+  /// equivalent value for equal keys.
+  template <class Factory>
+  std::shared_ptr<const Value> get_or_create(const Key& key, Factory&& factory) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (auto it = map_.find(key); it != map_.end()) {
+        order_.splice(order_.begin(), order_, it->second.order_it);
+        return it->second.value;
+      }
+    }
+    std::shared_ptr<const Value> fresh = factory();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.order_it);
+      return it->second.value;  // lost the race; share the winner
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{fresh, order_.begin()});
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+    }
+    return fresh;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    order_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Value> value;
+    typename std::list<Key>::iterator order_it;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Key> order_;  // front = most recently used
+  std::unordered_map<Key, Entry, Hash> map_;
+};
+
+}  // namespace fullweb::support

@@ -1,0 +1,10 @@
+#include "support/workspace.h"
+
+namespace fullweb::support {
+
+Workspace& Workspace::for_thread() noexcept {
+  thread_local Workspace arena;
+  return arena;
+}
+
+}  // namespace fullweb::support

@@ -8,6 +8,7 @@
 
 #include "stats/descriptive.h"
 #include "support/executor.h"
+#include "support/workspace.h"
 
 namespace fullweb::tail {
 
@@ -45,7 +46,13 @@ Result<BootstrapCi> bootstrap_ci(
   support::Executor& ex = support::Executor::resolve(options.executor);
   ex.parallel_for(0, options.replicates, [&](std::size_t b) {
     support::Rng& replicate_rng = replicate_rngs[b];
-    std::vector<double> resample(samples.size());
+    // Per-worker reusable resample buffer: each executor thread owns one, so
+    // replicates executed back-to-back on a worker stop paying an n-sized
+    // allocation each. Every element is overwritten before the estimator
+    // reads it, so reuse cannot leak state between replicates.
+    auto& resample =
+        support::Workspace::for_thread().real(support::ws::kBootstrapResample);
+    resample.resize(samples.size());
     for (auto& v : resample) v = samples[replicate_rng.below(samples.size())];
     if (auto est = estimator(resample); est.ok()) slots[b] = est.value();
   });

@@ -5,24 +5,38 @@
 #include <functional>
 #include <limits>
 
+#include "support/workspace.h"
+
 namespace fullweb::tail {
 
 using support::Error;
 using support::Result;
 
 Result<HillPlot> hill_plot(std::span<const double> xs, const HillOptions& options) {
-  std::vector<double> sorted;
+  auto& sorted = support::Workspace::for_thread().real(support::ws::kTailSorted);
+  sorted.clear();
   sorted.reserve(xs.size());
   for (double v : xs)
     if (v > 0.0) sorted.push_back(v);
   const std::size_t n = sorted.size();
-  const auto k_max = static_cast<std::size_t>(
+  auto k_max = static_cast<std::size_t>(
       std::floor(options.max_tail_fraction * static_cast<double>(n)));
+  if (n > 0 && k_max > n - 1) k_max = n - 1;  // alpha_k needs X_(k+1)
   if (k_max < std::max<std::size_t>(options.min_k, 2) + 1)
     return Error::insufficient_data("hill_plot: sample too small for tail fraction");
 
-  // Descending order: sorted[0] = X_(1) (largest).
-  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  // The plot only reads the k_max + 1 largest order statistics, so select
+  // them first and sort just that prefix (descending: sorted[0] = X_(1),
+  // the largest) instead of sorting all n samples. Equal values make the
+  // selection boundary arbitrary among ties, but the prefix *values* — and
+  // hence the plot — match the full sort exactly.
+  const std::size_t top = k_max + 1;
+  if (top < n)
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(top - 1),
+                     sorted.end(), std::greater<>());
+  std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(top),
+            std::greater<>());
 
   HillPlot plot;
   plot.k.reserve(k_max);

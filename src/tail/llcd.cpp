@@ -6,6 +6,7 @@
 
 #include "stats/descriptive.h"
 #include "stats/regression.h"
+#include "support/workspace.h"
 
 namespace fullweb::tail {
 
@@ -36,11 +37,15 @@ struct FitAttempt {
 };
 
 /// Regress over plot points with x >= theta; count raw tail samples too.
+/// `lx`/`ly` are caller-owned scratch, reused across theta attempts so the
+/// auto-theta scan does not reallocate per fraction.
 FitAttempt fit_above(const LlcdPlot& plot, std::span<const double> xs,
-                     double theta, std::size_t min_points) {
+                     double theta, std::size_t min_points,
+                     std::vector<double>& lx, std::vector<double>& ly) {
   FitAttempt out;
   const double log_theta = std::log10(theta);
-  std::vector<double> lx, ly;
+  lx.clear();
+  ly.clear();
   for (std::size_t i = 0; i < plot.log10_x.size(); ++i) {
     if (plot.log10_x[i] >= log_theta) {
       lx.push_back(plot.log10_x[i]);
@@ -68,15 +73,21 @@ Result<LlcdFit> llcd_fit(std::span<const double> xs, const LlcdOptions& options)
   if (!plot_r) return plot_r.error();
   const LlcdPlot& plot = plot_r.value();
 
+  std::vector<double> lx, ly;  // regression scratch shared by every attempt
+
   // Explicit theta wins; then an explicit tail fraction; else scan.
   if (!std::isnan(options.theta)) {
-    const auto a = fit_above(plot, xs, options.theta, options.min_points);
+    const auto a = fit_above(plot, xs, options.theta, options.min_points, lx, ly);
     if (!a.ok)
       return Error::insufficient_data("llcd_fit: too few points above theta");
     return a.fit;
   }
 
-  std::vector<double> positive;
+  // Sorted positive samples (for quantile-based thetas) live in per-thread
+  // scratch: bootstrap replicates re-fit at a fixed sample size, so the
+  // buffer is sorted in place with no per-replicate allocation.
+  auto& positive = support::Workspace::for_thread().real(support::ws::kTailSorted);
+  positive.clear();
   positive.reserve(xs.size());
   for (double v : xs)
     if (v > 0.0) positive.push_back(v);
@@ -87,7 +98,7 @@ Result<LlcdFit> llcd_fit(std::span<const double> xs, const LlcdOptions& options)
   if (options.tail_fraction > 0.0) {
     const double q = std::clamp(1.0 - options.tail_fraction, 0.0, 1.0);
     const double theta = stats::quantile_sorted(positive, q);
-    const auto a = fit_above(plot, xs, theta, options.min_points);
+    const auto a = fit_above(plot, xs, theta, options.min_points, lx, ly);
     if (!a.ok)
       return Error::insufficient_data(
           "llcd_fit: too few distinct points in requested tail");
@@ -103,7 +114,7 @@ Result<LlcdFit> llcd_fit(std::span<const double> xs, const LlcdOptions& options)
   FitAttempt best;
   for (double frac : kFractions) {
     const double theta = stats::quantile_sorted(positive, 1.0 - frac);
-    const auto a = fit_above(plot, xs, theta, options.min_points);
+    const auto a = fit_above(plot, xs, theta, options.min_points, lx, ly);
     if (a.ok && (!best.ok || a.fit.r_squared > best.fit.r_squared)) best = a;
   }
   if (!best.ok)

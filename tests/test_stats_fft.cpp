@@ -55,6 +55,30 @@ INSTANTIATE_TEST_SUITE_P(Sizes, FftMatchesNaive,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31,
                                            32, 60, 64, 97, 100, 128, 210, 256));
 
+// The Bluestein pain points: primes and 2^k +- 1 lengths, where the chirp
+// convolution length 2n-1 sits just above/below a power of two.
+INSTANTIATE_TEST_SUITE_P(PrimesAndPow2Neighbours, FftMatchesNaive,
+                         ::testing::Values(63, 65, 127, 129, 251, 255, 257,
+                                           509, 511, 513));
+
+TEST(Fft, RandomLengthsAgreeWithNaiveDft) {
+  support::Rng rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto n = static_cast<std::size_t>(2 + rng.below(1400));
+    auto xs = random_signal(n, 1000 + trial);
+    const auto expected = naive_dft(xs);
+    fft(xs);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_NEAR(xs[k].real(), expected[k].real(),
+                  1e-8 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+      ASSERT_NEAR(xs[k].imag(), expected[k].imag(),
+                  1e-8 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
 class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(FftRoundTrip, InverseRecoversSignal) {
@@ -69,9 +93,12 @@ TEST_P(FftRoundTrip, InverseRecoversSignal) {
   }
 }
 
+// 2^k +- 1 keeps the round-trip on the Bluestein path right next to the
+// radix-2 sizes it embeds.
 INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
-                         ::testing::Values(1, 2, 3, 8, 13, 64, 100, 1000, 1024,
-                                           4096, 6000));
+                         ::testing::Values(1, 2, 3, 8, 13, 64, 100, 1000, 1023,
+                                           1024, 1025, 4095, 4096, 4097,
+                                           6000));
 
 TEST(Fft, ImpulseGivesFlatSpectrum) {
   std::vector<cd> xs(8, cd(0, 0));
@@ -112,6 +139,31 @@ TEST(Fft, ParsevalHolds) {
   EXPECT_NEAR(freq_energy / 100.0, time_energy, 1e-8 * time_energy);
 }
 
+TEST(FftReal, PackedPow2PathAgreesWithComplexFft) {
+  // Power-of-two lengths take the pack-two-halves real path; it must agree
+  // with the full complex transform of the same data.
+  for (std::size_t n : {2U, 8U, 64U, 1024U}) {
+    support::Rng rng(11 + n);
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.normal();
+    std::vector<cd> reference(n);
+    for (std::size_t i = 0; i < n; ++i) reference[i] = cd(xs[i], 0.0);
+    fft(reference);
+    // Exercise the out-param overload with a dirty, wrongly-sized buffer.
+    std::vector<cd> spec(3, cd(99, 99));
+    fft_real(xs, spec);
+    ASSERT_EQ(spec.size(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(spec[k].real(), reference[k].real(),
+                  1e-10 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+      EXPECT_NEAR(spec[k].imag(), reference[k].imag(),
+                  1e-10 * static_cast<double>(n))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
 TEST(FftReal, ConjugateSymmetry) {
   support::Rng rng(5);
   std::vector<double> xs(100);
@@ -130,6 +182,16 @@ TEST(NextPow2, Boundaries) {
   EXPECT_EQ(next_pow2(3), 4U);
   EXPECT_EQ(next_pow2(1024), 1024U);
   EXPECT_EQ(next_pow2(1025), 2048U);
+}
+
+TEST(NextPow2, SignalsOverflowInsteadOfLooping) {
+  // The largest representable power of two is (SIZE_MAX >> 1) + 1. Anything
+  // above it cannot be rounded up; next_pow2 must return 0, not spin or
+  // wrap around.
+  constexpr std::size_t kTopPow2 = (SIZE_MAX >> 1) + 1;
+  EXPECT_EQ(next_pow2(kTopPow2), kTopPow2);
+  EXPECT_EQ(next_pow2(kTopPow2 + 1), 0U);
+  EXPECT_EQ(next_pow2(SIZE_MAX), 0U);
 }
 
 TEST(IsPow2, Classification) {

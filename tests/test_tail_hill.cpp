@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "stats/distributions.h"
@@ -104,6 +107,64 @@ TEST(HillPlot, TiesAtTopYieldNaNNotCrash) {
   ASSERT_TRUE(plot.ok());
   // First k values (inside the tie run) are NaN-flagged.
   EXPECT_TRUE(std::isnan(plot.value().alpha[0]));
+}
+
+/// The pre-selection reference: sort ALL positive samples descending, then
+/// run the identical Hill recursion. hill_plot() only nth_element-selects
+/// and sorts the top k_max + 1 values; since selection preserves the
+/// multiset of the prefix, both must agree bit for bit.
+HillPlot full_sort_hill_plot(std::span<const double> xs,
+                             const HillOptions& options) {
+  std::vector<double> sorted;
+  for (double v : xs)
+    if (v > 0.0) sorted.push_back(v);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t n = sorted.size();
+  auto k_max = static_cast<std::size_t>(
+      std::floor(options.max_tail_fraction * static_cast<double>(n)));
+  if (n > 0 && k_max > n - 1) k_max = n - 1;
+  HillPlot plot;
+  double sum_log = 0.0;
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    sum_log += std::log(sorted[k - 1]);
+    const double h = sum_log / static_cast<double>(k) - std::log(sorted[k]);
+    plot.k.push_back(k);
+    plot.alpha.push_back(h > 0.0 ? 1.0 / h
+                                 : std::numeric_limits<double>::quiet_NaN());
+  }
+  return plot;
+}
+
+TEST(HillPlot, SelectionMatchesFullSortExactly) {
+  support::Rng rng(86);
+  const stats::Pareto pareto(1.3, 1.0);
+  const stats::Lognormal lognormal(0.5, 1.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 150 + rng.below(4000);
+    std::vector<double> xs(n);
+    for (auto& x : xs) {
+      x = (rng.below(2) == 0) ? pareto.sample(rng) : lognormal.sample(rng);
+      // Coarse rounding on some trials forces ties, including at the top.
+      if (trial % 3 == 0) x = std::ceil(x * 4.0) / 4.0;
+    }
+    if (trial % 4 == 0) xs[0] = -1.0;  // non-positive values get filtered
+    HillOptions opts;
+    opts.max_tail_fraction = (trial % 2 == 0) ? 0.15 : 1.5;  // 1.5 clamps
+    const auto plot = hill_plot(xs, opts);
+    ASSERT_TRUE(plot.ok()) << "trial=" << trial;
+    const auto reference = full_sort_hill_plot(xs, opts);
+    ASSERT_EQ(plot.value().k, reference.k) << "trial=" << trial;
+    ASSERT_EQ(plot.value().alpha.size(), reference.alpha.size());
+    for (std::size_t i = 0; i < reference.alpha.size(); ++i) {
+      const double got = plot.value().alpha[i];
+      const double want = reference.alpha[i];
+      if (std::isnan(want)) {
+        ASSERT_TRUE(std::isnan(got)) << "trial=" << trial << " i=" << i;
+      } else {
+        ASSERT_EQ(got, want) << "trial=" << trial << " i=" << i;  // exact
+      }
+    }
+  }
 }
 
 TEST(HillPlot, KRangeRespectsTailFraction) {
