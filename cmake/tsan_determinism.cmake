@@ -2,7 +2,7 @@
 #
 # Invoked by the `tsan_determinism` ctest entry (see the top-level
 # CMakeLists.txt). Configures a nested build of the same source tree with
-# FULLWEB_SANITIZE=thread, builds only the two test targets that exercise the
+# FULLWEB_SANITIZE=thread, builds only the test targets that exercise the
 # executor, and runs them. Any data race aborts the test (halt_on_error=1).
 #
 # Expected -D variables: SOURCE_DIR, BUILD_DIR, GENERATOR, CXX_COMPILER.
@@ -27,17 +27,24 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "[tsan] configure failed (${rc})")
 endif()
 
-message(STATUS "[tsan] building test_support_executor + test_core_determinism")
+# test_weblog_streaming drives the chunked parallel CLF reader on the
+# executor; test_weblog_corpus is serial but cheap and pins parser behaviour
+# the reader depends on, so both run under the same gate.
+set(FULLWEB_TSAN_TESTS
+  test_support_executor test_core_determinism
+  test_weblog_streaming test_weblog_corpus)
+
+message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
-    --target test_support_executor test_core_determinism
+    --target ${FULLWEB_TSAN_TESTS}
     --parallel
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "[tsan] build failed (${rc})")
 endif()
 
-foreach(test_bin test_support_executor test_core_determinism)
+foreach(test_bin IN LISTS FULLWEB_TSAN_TESTS)
   message(STATUS "[tsan] running ${test_bin}")
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E env TSAN_OPTIONS=halt_on_error=1

@@ -50,7 +50,81 @@ int month_from_abbrev(std::string_view s) noexcept {
   return 0;
 }
 
+bool is_leap(long long y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int days_in_month(long long y, int m) noexcept {
+  constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                         31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[static_cast<std::size_t>(m - 1)];
+}
+
+/// Find the index of the closing quote of the request field, honoring
+/// backslash escapes (\" does not terminate, \\ does not escape the
+/// following quote). `text` starts just past the opening quote.
+std::string_view::size_type find_closing_quote(std::string_view text) noexcept {
+  bool escaped = false;
+  for (std::string_view::size_type i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Undo to_clf_line's escaping: \" -> " and \\ -> \. Any other backslash
+/// pair is preserved verbatim (Apache also emits \t, \xhh, ... — the
+/// analyses treat paths as opaque, so those stay as logged).
+std::string unescape_request(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::string_view::size_type i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 1 < raw.size() &&
+        (raw[i + 1] == '"' || raw[i + 1] == '\\')) {
+      out.push_back(raw[i + 1]);
+      ++i;
+    } else {
+      out.push_back(raw[i]);
+    }
+  }
+  return out;
+}
+
+std::string escape_request(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+Error fail(ClfParseReason* reason, ClfParseReason r, std::string msg) {
+  if (reason != nullptr) *reason = r;
+  return Error::parse(std::move(msg));
+}
+
 }  // namespace
+
+std::string_view to_string(ClfParseReason reason) noexcept {
+  switch (reason) {
+    case ClfParseReason::kNone: return "ok";
+    case ClfParseReason::kMissingFields: return "missing_fields";
+    case ClfParseReason::kBadTimestamp: return "bad_timestamp";
+    case ClfParseReason::kBadRequest: return "bad_request";
+    case ClfParseReason::kBadStatus: return "bad_status";
+    case ClfParseReason::kBadBytes: return "bad_bytes";
+  }
+  return "?";
+}
 
 std::string format_clf_timestamp(double epoch_seconds) {
   const auto total = static_cast<long long>(std::floor(epoch_seconds));
@@ -87,11 +161,23 @@ Result<double> parse_clf_timestamp(std::string_view text) {
       text[17] != ':')
     return Error::parse("malformed timestamp: " + std::string(text));
 
+  // Range validation: out-of-range fields must be rejected, not silently
+  // wrapped into a wrong epoch by the civil-date arithmetic below. Second
+  // 60 is tolerated (leap seconds appear in real logs) and maps onto the
+  // next minute.
+  if (*day < 1 || *day > days_in_month(*year, mon) || *hh > 23 || *mm > 59 ||
+      *ss > 60)
+    return Error::parse("timestamp field out of range: " + std::string(text));
+
   long long offset_seconds = 0;
   if (text.size() >= 26 && (text[21] == '+' || text[21] == '-')) {
     const auto oh = support::parse_int(text.substr(22, 2));
     const auto om = support::parse_int(text.substr(24, 2));
     if (!oh || !om) return Error::parse("malformed timezone offset");
+    // Real UTC offsets stay within +-14:00; anything larger is log
+    // corruption, not a timezone.
+    if (*oh < 0 || *oh > 14 || *om < 0 || *om > 59)
+      return Error::parse("timezone offset out of range: " + std::string(text));
     offset_seconds = (*oh * 3600 + *om * 60) * (text[21] == '+' ? 1 : -1);
   }
 
@@ -102,13 +188,20 @@ Result<double> parse_clf_timestamp(std::string_view text) {
 }
 
 Result<LogEntry> parse_clf_line(std::string_view line) {
+  return parse_clf_line(line, nullptr);
+}
+
+Result<LogEntry> parse_clf_line(std::string_view line, ClfParseReason* reason) {
+  if (reason != nullptr) *reason = ClfParseReason::kNone;
   LogEntry e;
   line = support::trim(line);
-  if (line.empty()) return Error::parse("empty line");
+  if (line.empty())
+    return fail(reason, ClfParseReason::kMissingFields, "empty line");
 
   // host
   auto sp = line.find(' ');
-  if (sp == std::string_view::npos) return Error::parse("missing fields");
+  if (sp == std::string_view::npos)
+    return fail(reason, ClfParseReason::kMissingFields, "missing fields");
   e.client = std::string(line.substr(0, sp));
   line.remove_prefix(sp + 1);
 
@@ -116,29 +209,41 @@ Result<LogEntry> parse_clf_line(std::string_view line) {
   // no spaces in CLF).
   for (int skip = 0; skip < 2; ++skip) {
     sp = line.find(' ');
-    if (sp == std::string_view::npos) return Error::parse("missing fields");
+    if (sp == std::string_view::npos)
+      return fail(reason, ClfParseReason::kMissingFields, "missing fields");
     line.remove_prefix(sp + 1);
   }
 
   // [timestamp]
-  if (line.empty() || line.front() != '[') return Error::parse("missing timestamp");
+  if (line.empty() || line.front() != '[')
+    return fail(reason, ClfParseReason::kBadTimestamp, "missing timestamp");
   const auto rb = line.find(']');
-  if (rb == std::string_view::npos) return Error::parse("unterminated timestamp");
+  if (rb == std::string_view::npos)
+    return fail(reason, ClfParseReason::kBadTimestamp, "unterminated timestamp");
   auto ts = parse_clf_timestamp(line.substr(0, rb + 1));
-  if (!ts) return ts.error();
+  if (!ts) {
+    if (reason != nullptr) *reason = ClfParseReason::kBadTimestamp;
+    return ts.error();
+  }
   e.timestamp = ts.value();
   line.remove_prefix(rb + 1);
   line = support::trim(line);
 
-  // "request"
-  if (line.empty() || line.front() != '"') return Error::parse("missing request");
-  const auto rq = line.find('"', 1);
-  if (rq == std::string_view::npos) return Error::parse("unterminated request");
-  const std::string_view request = line.substr(1, rq - 1);
-  line.remove_prefix(rq + 1);
+  // "request" — \" inside the field does not terminate it.
+  if (line.empty() || line.front() != '"')
+    return fail(reason, ClfParseReason::kBadRequest, "missing request");
+  const auto rq = find_closing_quote(line.substr(1));
+  if (rq == std::string_view::npos)
+    return fail(reason, ClfParseReason::kBadRequest, "unterminated request");
+  const std::string_view raw_request = line.substr(1, rq);
+  line.remove_prefix(rq + 2);
   line = support::trim(line);
 
-  if (request != "-") {
+  if (raw_request != "-") {
+    const std::string request =
+        raw_request.find('\\') == std::string_view::npos
+            ? std::string(raw_request)
+            : unescape_request(raw_request);
     const auto parts = support::split(request, ' ');
     if (!parts.empty()) e.method = std::string(parts[0]);
     if (parts.size() >= 2) e.path = std::string(parts[1]);
@@ -150,9 +255,12 @@ Result<LogEntry> parse_clf_line(std::string_view line) {
   const std::string_view status_tok =
       sp == std::string_view::npos ? line : line.substr(0, sp);
   const auto status = support::parse_int(status_tok);
-  if (!status) return Error::parse("bad status: " + std::string(status_tok));
+  if (!status)
+    return fail(reason, ClfParseReason::kBadStatus,
+                "bad status: " + std::string(status_tok));
   e.status = static_cast<int>(*status);
-  if (sp == std::string_view::npos) return Error::parse("missing bytes field");
+  if (sp == std::string_view::npos)
+    return fail(reason, ClfParseReason::kBadBytes, "missing bytes field");
   line.remove_prefix(sp + 1);
   line = support::trim(line);
 
@@ -164,7 +272,8 @@ Result<LogEntry> parse_clf_line(std::string_view line) {
   } else {
     const auto bytes = support::parse_int(bytes_tok);
     if (!bytes || *bytes < 0)
-      return Error::parse("bad bytes: " + std::string(bytes_tok));
+      return fail(reason, ClfParseReason::kBadBytes,
+                  "bad bytes: " + std::string(bytes_tok));
     e.bytes = static_cast<std::uint64_t>(*bytes);
   }
   return e;
@@ -177,6 +286,9 @@ std::string to_clf_line(const LogEntry& entry) {
   } else {
     request = entry.method + " " + entry.path +
               (entry.protocol.empty() ? "" : " " + entry.protocol);
+    if (request.find('"') != std::string::npos ||
+        request.find('\\') != std::string::npos)
+      request = escape_request(request);
   }
   return entry.client + " - - " + format_clf_timestamp(entry.timestamp) + " \"" +
          request + "\" " + std::to_string(entry.status) + " " +

@@ -7,6 +7,7 @@
 // is exercised end to end.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -17,16 +18,39 @@
 
 namespace fullweb::weblog {
 
+/// Why a line was rejected — the machine-readable side of a parse Error,
+/// used by the ingest layer's per-file malformed-by-reason accounting.
+enum class ClfParseReason {
+  kNone = 0,        ///< parsed successfully
+  kMissingFields,   ///< too few space-separated fields / empty line
+  kBadTimestamp,    ///< missing, unterminated, malformed, or out-of-range
+  kBadRequest,      ///< missing or unterminated quoted request field
+  kBadStatus,       ///< non-numeric status token
+  kBadBytes,        ///< missing or negative byte count
+};
+inline constexpr std::size_t kClfParseReasonCount = 6;
+[[nodiscard]] std::string_view to_string(ClfParseReason reason) noexcept;
+
 /// Parse one log line. Tolerates Combined-format trailers (they are
 /// ignored), "-" byte counts, and malformed request lines inside quotes;
-/// returns a parse Error for structurally broken lines.
+/// returns a parse Error for structurally broken lines. Backslash escapes
+/// inside the quoted request field are honored: \" does not terminate the
+/// field, and \" / \\ are unescaped (other escape pairs are kept verbatim).
+/// If `reason` is non-null it is set to the rejection class (kNone on
+/// success).
 [[nodiscard]] support::Result<LogEntry> parse_clf_line(std::string_view line);
+[[nodiscard]] support::Result<LogEntry> parse_clf_line(std::string_view line,
+                                                       ClfParseReason* reason);
 
 /// Render an entry as a CLF line (no trailing newline). ident/authuser are
-/// emitted as "-".
+/// emitted as "-"; quotes and backslashes in the request are escaped so the
+/// line round-trips through parse_clf_line.
 [[nodiscard]] std::string to_clf_line(const LogEntry& entry);
 
 /// Epoch seconds -> "[dd/Mon/yyyy:HH:MM:SS +0000]" (UTC) and back.
+/// Parsing validates field ranges: day within the month (leap years
+/// honored), hour <= 23, minute <= 59, second <= 60 (leap second
+/// tolerated), timezone offset within +-14:59.
 [[nodiscard]] std::string format_clf_timestamp(double epoch_seconds);
 [[nodiscard]] support::Result<double> parse_clf_timestamp(std::string_view text);
 

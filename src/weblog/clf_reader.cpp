@@ -1,0 +1,143 @@
+#include "weblog/clf_reader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "support/executor.h"
+#include "support/strings.h"
+
+namespace fullweb::weblog {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+/// Result of parsing one newline-delimited block.
+struct ParsedChunk {
+  std::vector<LogEntry> entries;
+  std::size_t lines = 0;
+  std::array<std::size_t, kClfParseReasonCount> malformed{};
+};
+
+/// Parse every line of `text` (blank lines are skipped silently, matching
+/// parse_clf_stream). Runs on a worker thread; touches nothing shared.
+ParsedChunk parse_chunk(const std::string& text) {
+  ParsedChunk out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line =
+        support::trim(std::string_view(text).substr(pos, nl - pos));
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ++out.lines;
+    ClfParseReason reason = ClfParseReason::kNone;
+    auto e = parse_clf_line(line, &reason);
+    if (e.ok()) {
+      out.entries.push_back(std::move(e).value());
+    } else {
+      ++out.malformed[static_cast<std::size_t>(reason)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string IngestStats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "bytes=%llu lines=%zu parsed=%zu malformed=%zu chunks=%zu "
+                "wall=%.3fs",
+                static_cast<unsigned long long>(bytes), lines, parsed,
+                malformed, chunks, wall_seconds);
+  std::string out = buf;
+  if (open_failed) return path + ": OPEN FAILED";
+  for (std::size_t i = 1; i < kClfParseReasonCount; ++i) {
+    if (malformed_by_reason[i] == 0) continue;
+    out += " ";
+    out += to_string(static_cast<ClfParseReason>(i));
+    out += "=" + std::to_string(malformed_by_reason[i]);
+  }
+  return out;
+}
+
+Result<IngestStats> read_clf_file(
+    const std::string& path, const ClfReaderOptions& options,
+    const std::function<void(LogEntry&&)>& on_entry) {
+  const auto start = std::chrono::steady_clock::now();
+  IngestStats stats;
+  stats.path = path;
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    stats.open_failed = true;
+    return Error{"cannot open " + path, "io"};
+  }
+
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  const std::size_t chunk_bytes = std::max<std::size_t>(options.chunk_bytes, 4096);
+  const std::size_t inflight =
+      options.max_inflight_chunks != 0
+          ? options.max_inflight_chunks
+          : std::max<std::size_t>(2 * ex.threads(), 2);
+
+  // Futures are drained strictly FIFO, so entries reach `on_entry` in file
+  // order no matter which worker parsed which block.
+  std::deque<support::Future<ParsedChunk>> pending;
+  auto drain_one = [&] {
+    ParsedChunk chunk = pending.front().get();
+    pending.pop_front();
+    stats.lines += chunk.lines;
+    stats.parsed += chunk.entries.size();
+    for (std::size_t i = 0; i < kClfParseReasonCount; ++i) {
+      stats.malformed_by_reason[i] += chunk.malformed[i];
+      stats.malformed += chunk.malformed[i];
+    }
+    for (auto& e : chunk.entries) on_entry(std::move(e));
+  };
+  auto submit = [&](std::string&& text) {
+    ++stats.chunks;
+    pending.push_back(
+        ex.async([text = std::move(text)] { return parse_chunk(text); }));
+    if (pending.size() >= inflight) drain_one();
+  };
+
+  std::string carry;  // partial trailing line of the previous block
+  std::string block;
+  while (is) {
+    block.assign(chunk_bytes, '\0');
+    is.read(block.data(), static_cast<std::streamsize>(chunk_bytes));
+    block.resize(static_cast<std::size_t>(is.gcount()));
+    if (block.empty()) break;
+    stats.bytes += block.size();
+
+    std::string text = std::move(carry);
+    text += block;
+    const auto nl = text.rfind('\n');
+    if (nl == std::string::npos) {
+      // No newline yet — keep accumulating (degenerate giant-line case).
+      carry = std::move(text);
+      continue;
+    }
+    carry = text.substr(nl + 1);
+    text.resize(nl + 1);
+    submit(std::move(text));
+  }
+  if (!carry.empty()) submit(std::move(carry));  // final unterminated line
+  while (!pending.empty()) drain_one();
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace fullweb::weblog

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "timeseries/series.h"
+#include "weblog/streaming_sessionizer.h"
 
 namespace fullweb::weblog {
 
@@ -65,14 +66,81 @@ Result<Dataset> Dataset::from_requests(std::string name,
   return ds;
 }
 
-void Dataset::finalize(const SessionizerOptions& sessionizer) {
+void Dataset::sort_requests_and_total() {
   std::sort(requests_.begin(), requests_.end(),
             [](const Request& a, const Request& b) { return a.time < b.time; });
   total_bytes_ = 0;
   for (const auto& r : requests_) total_bytes_ += r.bytes;
   t0_ = std::floor(requests_.front().time);
   t1_ = std::floor(requests_.back().time) + 1.0;
+}
+
+void Dataset::finalize(const SessionizerOptions& sessionizer) {
+  sort_requests_and_total();
   sessions_ = sessionize(requests_, sessionizer);
+}
+
+Result<Dataset> Dataset::from_clf_stream(std::string name,
+                                         std::span<const std::string> paths,
+                                         const StreamIngestOptions& options,
+                                         StreamIngestReport* report) {
+  Dataset ds;
+  ds.name_ = std::move(name);
+
+  std::unordered_map<std::string, std::uint32_t> intern;
+  StreamingSessionizer sessionizer(options.sessionizer);
+  StreamIngestReport local_report;
+  StreamIngestReport& rep = report != nullptr ? *report : local_report;
+  rep = StreamIngestReport{};
+
+  // Interning follows delivery order — identical to from_entries on the
+  // same entry sequence — and the compact Request is all we keep; the
+  // LogEntry (with its strings) dies right here.
+  bool sorted = true;
+  double prev_time = 0.0;
+  auto on_entry = [&](LogEntry&& e) {
+    auto [it, inserted] =
+        intern.emplace(e.client, static_cast<std::uint32_t>(intern.size()));
+    const Request r{e.timestamp, it->second,
+                    static_cast<std::uint16_t>(std::clamp(e.status, 0, 65535)),
+                    e.bytes};
+    if (!ds.requests_.empty() && r.time < prev_time) sorted = false;
+    prev_time = r.time;
+    ds.requests_.push_back(r);
+    // Keep feeding even after a sort violation: peak accounting stays
+    // meaningful and the flag decides whether the result is used.
+    sessionizer.add(r);
+  };
+
+  for (const auto& path : paths) {
+    auto stats = read_clf_file(path, options.reader, on_entry);
+    if (stats.ok()) {
+      IngestStats s = std::move(stats).value();
+      s.peak_open_sessions = sessionizer.peak_open_sessions();
+      rep.files.push_back(std::move(s));
+    } else {
+      IngestStats failed;
+      failed.path = path;
+      failed.open_failed = true;
+      rep.files.push_back(std::move(failed));
+    }
+  }
+  if (ds.requests_.empty())
+    return Error::insufficient_data("Dataset::from_clf_stream: no entries");
+
+  ds.distinct_clients_ = intern.size();
+  rep.peak_open_sessions = sessionizer.peak_open_sessions();
+  rep.sessionized_incrementally = sorted && !sessionizer.saw_unsorted();
+
+  ds.sort_requests_and_total();
+  if (rep.sessionized_incrementally) {
+    ds.sessions_ = sessionizer.finish();
+  } else {
+    // Out-of-order entry stream: incremental eviction decisions are not
+    // trustworthy, so sessionize the (now sorted) table the batch way.
+    ds.sessions_ = sessionize(ds.requests_, options.sessionizer);
+  }
+  return ds;
 }
 
 std::vector<double> Dataset::request_times() const {

@@ -12,10 +12,28 @@
 #include <vector>
 
 #include "support/result.h"
+#include "weblog/clf_reader.h"
 #include "weblog/entry.h"
 #include "weblog/sessionizer.h"
 
 namespace fullweb::weblog {
+
+/// Options for the streaming ingest path (Dataset::from_clf_stream).
+struct StreamIngestOptions {
+  SessionizerOptions sessionizer;
+  ClfReaderOptions reader;
+};
+
+/// What the streaming ingest observed, beyond the Dataset itself.
+struct StreamIngestReport {
+  std::vector<IngestStats> files;     ///< one per input path, in order
+  std::size_t peak_open_sessions = 0; ///< sessionizer high-water mark
+  /// True when the concatenated entry stream was non-decreasing in time and
+  /// the bounded-memory incremental sessionizer was used; false means the
+  /// input was out of order and sessionization fell back to the batch path
+  /// (results are identical either way).
+  bool sessionized_incrementally = false;
+};
 
 /// One 4-hour (by default) analysis interval.
 struct Interval {
@@ -44,6 +62,26 @@ class Dataset {
   static support::Result<Dataset> from_requests(
       std::string name, std::vector<Request> requests,
       const SessionizerOptions& sessionizer = {});
+
+  /// Streaming ingest: read CLF files chunk-by-chunk (parsed in parallel on
+  /// the executor in options.reader), interning clients and sessionizing
+  /// incrementally, so peak transient memory is O(chunk budget + open
+  /// sessions + the compact request table) — the raw text and LogEntry
+  /// strings are never all resident. Produces request and session tables
+  /// bit-identical to parsing the same files in order and calling
+  /// from_entries(), at any thread count.
+  ///
+  /// Paths are processed sequentially (concatenation order); logs from
+  /// redundant replicas that interleave in time still ingest correctly
+  /// (the sessionizer falls back to the batch path on out-of-order input)
+  /// but client-id assignment follows concatenation order, unlike
+  /// merge_clf_files + from_entries which interns in merged time order.
+  /// Unreadable files are recorded in the report (open_failed) rather than
+  /// failing the ingest; errors only when no file yields any entry.
+  static support::Result<Dataset> from_clf_stream(
+      std::string name, std::span<const std::string> paths,
+      const StreamIngestOptions& options = {},
+      StreamIngestReport* report = nullptr);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::vector<Request>& requests() const noexcept {
@@ -93,6 +131,8 @@ class Dataset {
  private:
   Dataset() = default;
   void finalize(const SessionizerOptions& sessionizer);
+  /// Sort requests_ by time and recompute totals/t0/t1 (no sessionization).
+  void sort_requests_and_total();
 
   std::string name_;
   std::vector<Request> requests_;   ///< sorted by time

@@ -39,6 +39,9 @@ Result<MergeResult> merge_clf_files(std::span<const std::string> paths) {
           is, [&](LogEntry&& e) { entries.push_back(std::move(e)); });
       report.parsed = entries.size();
       logs.push_back(std::move(entries));
+    } else {
+      report.open_failed = true;
+      report.error = "cannot open " + path;
     }
     result.files.push_back(std::move(report));
   }

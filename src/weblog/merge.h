@@ -24,6 +24,11 @@ struct MergeFileReport {
   std::string path;
   std::size_t parsed = 0;
   std::size_t malformed = 0;
+  /// The file could not be opened at all. Distinguishes "unreadable" from
+  /// "readable but empty/fully malformed" — a silent parsed=0/malformed=0
+  /// row used to be the only trace of a bad path.
+  bool open_failed = false;
+  std::string error;  ///< open-failure detail, empty otherwise
 };
 
 struct MergeResult {
@@ -33,7 +38,7 @@ struct MergeResult {
 
 /// Parse and merge several CLF files. Errors when no file yields any entry
 /// (all unreadable or fully malformed); individual unreadable files are
-/// reported with parsed == 0 rather than failing the whole merge.
+/// recorded with open_failed set rather than failing the whole merge.
 [[nodiscard]] support::Result<MergeResult> merge_clf_files(
     std::span<const std::string> paths);
 

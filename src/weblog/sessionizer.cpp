@@ -11,10 +11,11 @@ std::vector<Session> sessionize(std::span<const Request> requests,
   if (requests.empty()) return sessions;
 
   // Sort an index array by (client, time) so each client's requests are
-  // contiguous and chronological.
-  std::vector<std::uint32_t> order(requests.size());
-  std::iota(order.begin(), order.end(), 0U);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+  // contiguous and chronological. RequestIndex is std::size_t: a uint32
+  // index would silently wrap past 2^32 requests.
+  std::vector<RequestIndex> order(requests.size());
+  std::iota(order.begin(), order.end(), RequestIndex{0});
+  std::sort(order.begin(), order.end(), [&](RequestIndex a, RequestIndex b) {
     if (requests[a].client != requests[b].client)
       return requests[a].client < requests[b].client;
     return requests[a].time < requests[b].time;
@@ -27,7 +28,7 @@ std::vector<Session> sessionize(std::span<const Request> requests,
     open = false;
   };
 
-  for (std::uint32_t idx : order) {
+  for (RequestIndex idx : order) {
     const Request& r = requests[idx];
     const bool same_client = open && current.client == r.client;
     const bool within_gap =
@@ -43,8 +44,7 @@ std::vector<Session> sessionize(std::span<const Request> requests,
   }
   close();
 
-  std::sort(sessions.begin(), sessions.end(),
-            [](const Session& a, const Session& b) { return a.start < b.start; });
+  std::sort(sessions.begin(), sessions.end(), session_order);
   return sessions;
 }
 

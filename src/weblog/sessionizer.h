@@ -6,6 +6,7 @@
 // boundaries are delimited by inactivity longer than the threshold.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -20,6 +21,11 @@ struct Request {
   std::uint64_t bytes = 0;     ///< response bytes (completed or partial)
 };
 
+/// Index type used to address requests during sessionization. Deliberately
+/// std::size_t (not std::uint32_t): the streaming ingest path may legally
+/// feed more than 2^32 requests through one sessionization pass.
+using RequestIndex = std::size_t;
+
 struct Session {
   std::uint32_t client = 0;
   double start = 0.0;          ///< time of the first request
@@ -31,12 +37,23 @@ struct Session {
   [[nodiscard]] double length() const noexcept { return end - start; }
 };
 
+/// Canonical session-table ordering: by start time, ties broken by client
+/// id (a client cannot open two sessions at the same instant, so this is a
+/// total order on any real table). Both the batch and streaming
+/// sessionizers sort with this comparator, which is what makes their
+/// outputs bit-identical.
+[[nodiscard]] inline bool session_order(const Session& a,
+                                        const Session& b) noexcept {
+  if (a.start != b.start) return a.start < b.start;
+  return a.client < b.client;
+}
+
 struct SessionizerOptions {
   double threshold_seconds = 1800.0;  ///< 30 minutes, per the paper
 };
 
 /// Group requests into sessions. Requests need not be sorted. The result is
-/// ordered by session start time. O(n log n).
+/// in canonical `session_order`. O(n log n).
 [[nodiscard]] std::vector<Session> sessionize(std::span<const Request> requests,
                                               const SessionizerOptions& options = {});
 

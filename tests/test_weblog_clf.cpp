@@ -118,6 +118,46 @@ TEST(ParseClfLine, RejectsStructurallyBroken) {
       parse_clf_line("h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200").ok());
 }
 
+TEST(ParseClfLine, EscapedQuotesInsideRequestHonored) {
+  // Regression: find('"', 1) used to stop at the escaped quote, truncating
+  // the request and rejecting the (valid) line on the leftover text.
+  const auto e = parse_clf_line(
+      "10.0.0.1 - - [12/Jan/2004:08:30:00 +0000] "
+      "\"GET /file\\\"name\\\".html HTTP/1.0\" 200 99");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().method, "GET");
+  EXPECT_EQ(e.value().path, "/file\"name\".html");
+  EXPECT_EQ(e.value().protocol, "HTTP/1.0");
+  EXPECT_EQ(e.value().status, 200);
+  EXPECT_EQ(e.value().bytes, 99U);
+}
+
+TEST(ClfTimestamp, RejectsOutOfRangeFields) {
+  // Regression: these used to wrap silently into a wrong epoch.
+  EXPECT_FALSE(parse_clf_timestamp("[32/Jan/2004:00:00:00 +0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:25:00:00 +0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:00:61:00 +0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:00:00:61 +0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:00:00:00 +9999]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[29/Feb/2003:00:00:00 +0000]").ok());
+}
+
+TEST(ToClfLine, EscapesQuotesAndBackslashesInRequest) {
+  LogEntry e;
+  e.timestamp = 1073865600.0;
+  e.client = "10.0.0.1";
+  e.method = "GET";
+  e.path = "/a\"b\\c";
+  e.protocol = "HTTP/1.0";
+  e.status = 200;
+  e.bytes = 1;
+  const std::string line = to_clf_line(e);
+  EXPECT_NE(line.find("\\\""), std::string::npos);
+  const auto back = parse_clf_line(line);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().path, e.path);
+}
+
 TEST(ToClfLine, RoundTripsThroughParser) {
   LogEntry e;
   e.timestamp = 1073865600.0 + 3661.0;

@@ -1,0 +1,214 @@
+// Corpus test for the CLF parser: a reference table of real-world log
+// quirks — escaped quotes, missing fields, invalid dates, negative
+// offsets, "-" bytes, Combined trailers — each pinned to parse-vs-reject
+// and, on rejection, to the reason class. Plus randomized round-trip
+// through to_clf_line covering request-line escaping.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+#include "weblog/clf.h"
+
+namespace fullweb::weblog {
+namespace {
+
+struct LineCase {
+  const char* line;
+  bool ok;
+  ClfParseReason reason;  // kNone when ok
+  const char* note;
+};
+
+const char* kTs = "[12/Jan/2004:08:30:00 +0000]";
+
+std::string with_ts(const std::string& rest) {
+  return "host - - " + std::string(kTs) + " " + rest;
+}
+
+TEST(ClfCorpus, LineReferenceTable) {
+  const std::vector<LineCase> cases = {
+      // --- well-formed variants ---
+      {"127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] \"GET /apache_pb.gif "
+       "HTTP/1.0\" 200 2326",
+       true, ClfParseReason::kNone, "canonical Apache example"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /x HTTP/1.0\" 304 -", true,
+       ClfParseReason::kNone, "dash bytes"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"-\" 408 -", true,
+       ClfParseReason::kNone, "empty request line"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", true,
+       ClfParseReason::kNone, "HTTP/0.9, no protocol"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /a HTTP/1.1\" 200 5 "
+       "\"http://r.example/\" \"Mozilla/4.08\"",
+       true, ClfParseReason::kNone, "Combined trailers ignored"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /a HTTP/1.1\" 200 5 \"-\" "
+       "\"Mozilla/5.0 (X11; \\\"quoted\\\" agent)\"",
+       true, ClfParseReason::kNone, "escaped quotes in the user agent"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /say\\\"hi\\\" HTTP/1.0\" "
+       "200 7",
+       true, ClfParseReason::kNone, "escaped quote inside the request"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /a\\\\b HTTP/1.0\" 200 7",
+       true, ClfParseReason::kNone, "escaped backslash inside the request"},
+      {"h - - [31/Dec/1999:23:59:59 +0000] \"GET / HTTP/1.0\" 200 1", true,
+       ClfParseReason::kNone, "end of 1999"},
+      {"h - - [29/Feb/2004:12:00:00 +0000] \"GET / HTTP/1.0\" 200 1", true,
+       ClfParseReason::kNone, "leap day on a leap year"},
+      {"h - - [31/Dec/2005:23:59:60 -0730] \"GET / HTTP/1.0\" 200 1", true,
+       ClfParseReason::kNone, "leap second + negative half-hour offset"},
+      {"h - - [12/Jan/2004:08:30:00 +1400] \"GET / HTTP/1.0\" 200 1", true,
+       ClfParseReason::kNone, "maximal real offset"},
+      {"user_4711 - - [12/Apr/2004:10:00:00 +0000] \"GET /doc.pdf HTTP/1.1\" "
+       "200 9999",
+       true, ClfParseReason::kNone, "sanitized opaque client id"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /big HTTP/1.0\" 200 "
+       "4294967296",
+       true, ClfParseReason::kNone, "response larger than 4 GiB"},
+
+      // --- structurally broken ---
+      {"", false, ClfParseReason::kMissingFields, "empty line"},
+      {"onlyhost", false, ClfParseReason::kMissingFields, "one token"},
+      {"h - -", false, ClfParseReason::kMissingFields, "stops before stamp"},
+      {"h - - not-a-timestamp \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "unbracketed timestamp"},
+      {"h - - [12/Jan/2004:08:30:00 +0000 \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "unterminated bracket"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] 200 1", false,
+       ClfParseReason::kBadRequest, "request field missing"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"unterminated 200 1", false,
+       ClfParseReason::kBadRequest, "unterminated request"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /trap\\\" 200 1", false,
+       ClfParseReason::kBadRequest,
+       "escaped final quote must NOT close the field"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" xx 1", false,
+       ClfParseReason::kBadStatus, "non-numeric status"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200", false,
+       ClfParseReason::kBadBytes, "bytes field missing"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 -5", false,
+       ClfParseReason::kBadBytes, "negative bytes"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 12x4", false,
+       ClfParseReason::kBadBytes, "trailing junk in bytes"},
+
+      // --- out-of-range timestamp fields (previously silently wrapped) ---
+      {"h - - [32/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "day 32"},
+      {"h - - [00/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "day 0"},
+      {"h - - [31/Apr/2004:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "April 31st"},
+      {"h - - [29/Feb/2003:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "leap day on a non-leap year"},
+      {"h - - [29/Feb/1900:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "1900 is not a leap year"},
+      {"h - - [12/Jan/2004:25:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "hour 25"},
+      {"h - - [12/Jan/2004:08:61:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "minute 61"},
+      {"h - - [12/Jan/2004:08:30:61 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "second 61"},
+      {"h - - [12/Jan/2004:08:30:00 +9999] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "offset 99:99"},
+      {"h - - [12/Jan/2004:08:30:00 -9900] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "offset -99:00"},
+      {"h - - [12/Jxx/2004:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "bad month abbreviation"},
+      {"h - - [aa/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "non-numeric day"},
+  };
+
+  for (const auto& c : cases) {
+    ClfParseReason reason = ClfParseReason::kNone;
+    const auto e = parse_clf_line(c.line, &reason);
+    EXPECT_EQ(e.ok(), c.ok) << c.note << ": " << c.line;
+    EXPECT_EQ(reason, c.reason) << c.note << ": " << c.line;
+  }
+}
+
+TEST(ClfCorpus, EscapedQuoteRequestContentRecovered) {
+  const auto e = parse_clf_line(with_ts("\"GET /say\\\"hi\\\".html HTTP/1.0\" 200 7"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().method, "GET");
+  EXPECT_EQ(e.value().path, "/say\"hi\".html");  // unescaped
+  EXPECT_EQ(e.value().protocol, "HTTP/1.0");
+  EXPECT_EQ(e.value().status, 200);
+
+  const auto b = parse_clf_line(with_ts("\"GET /a\\\\b HTTP/1.0\" 200 7"));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().path, "/a\\b");
+
+  // Unknown escape pairs are preserved verbatim (Apache \t, \xhh, ...).
+  const auto t = parse_clf_line(with_ts("\"GET /a\\tb HTTP/1.0\" 200 7"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().path, "/a\\tb");
+}
+
+TEST(ClfCorpus, TimestampReferenceTable) {
+  const struct {
+    const char* text;
+    bool ok;
+  } cases[] = {
+      {"[28/Aug/1995:00:00:00 +0000]", true},
+      {"[29/Feb/2000:00:00:00 +0000]", true},   // 400-year leap rule
+      {"[31/Jan/2004:23:59:59 +0000]", true},
+      {"[30/Apr/2004:00:00:00 +0000]", true},
+      {"[01/Jan/0001:00:00:00 +0000]", true},   // far past still civil
+      {"[12/Jan/2004:08:30:00 -1459]", true},   // extreme but legal offset
+      {"[12/Jan/2004:08:30:00]", true},         // offset optional
+      {"[12/Jan/2004:08:30 +00]", false},       // too short
+      {"[29/Feb/2100:00:00:00 +0000]", false},  // 2100 is not a leap year
+      {"[31/Jun/2004:00:00:00 +0000]", false},
+      {"[31/Sep/2004:00:00:00 +0000]", false},
+      {"[31/Nov/2004:00:00:00 +0000]", false},
+      {"[12/Jan/2004:24:00:00 +0000]", false},
+      {"[12/Jan/2004:08:60:00 +0000]", false},
+      {"[12/Jan/2004:08:30:00 +1500]", false},  // beyond any real zone
+      {"[12/Jan/2004:08:30:00 +0060]", false},  // offset minute 60
+      {"[12-Jan-2004]", false},
+      {"", false},
+  };
+  for (const auto& c : cases)
+    EXPECT_EQ(parse_clf_timestamp(c.text).ok(), c.ok) << c.text;
+}
+
+TEST(ClfCorpus, RejectedOutOfRangeNeverWrapsSilently) {
+  // The old parser accepted day 32 and wrapped it into February — the two
+  // stamps below would have parsed 86400 s apart. Both must now reject.
+  EXPECT_FALSE(parse_clf_timestamp("[32/Jan/2004:00:00:00 +0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[33/Jan/2004:00:00:00 +0000]").ok());
+}
+
+TEST(ClfCorpus, RandomizedRoundTripWithHostileRequestStrings) {
+  // Paths drawn from a hostile alphabet (quotes, backslashes, percent
+  // escapes) must round-trip exactly: parse(to_clf_line(e)) == e.
+  const std::string alphabet = "abc/._-%20\"\\";
+  support::Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    LogEntry e;
+    e.timestamp = 1073865600.0 + std::floor(rng.uniform(0.0, 7 * 86400.0));
+    e.client = "10.0." + std::to_string(rng.below(256)) + "." +
+               std::to_string(rng.below(256));
+    e.method = rng.below(2) == 0 ? "GET" : "POST";
+    std::string path = "/";
+    const auto len = rng.below(24);
+    for (std::uint64_t i = 0; i < len; ++i)
+      path.push_back(alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))]);
+    e.path = path;
+    e.protocol = rng.below(4) == 0 ? "" : "HTTP/1.0";
+    e.status = 200;
+    e.bytes = rng.below(1 << 20);
+
+    const std::string line = to_clf_line(e);
+    const auto back = parse_clf_line(line);
+    ASSERT_TRUE(back.ok()) << line;
+    EXPECT_DOUBLE_EQ(back.value().timestamp, e.timestamp) << line;
+    EXPECT_EQ(back.value().client, e.client) << line;
+    EXPECT_EQ(back.value().method, e.method) << line;
+    EXPECT_EQ(back.value().path, e.path) << line;
+    EXPECT_EQ(back.value().protocol, e.protocol) << line;
+    EXPECT_EQ(back.value().bytes, e.bytes) << line;
+  }
+}
+
+}  // namespace
+}  // namespace fullweb::weblog

@@ -97,6 +97,25 @@ TEST_F(MergeFilesTest, UnreadableFileReportedNotFatal) {
   EXPECT_EQ(r.value().entries.size(), 1U);
   ASSERT_EQ(r.value().files.size(), 2U);
   EXPECT_EQ(r.value().files[1].parsed, 0U);
+  // Regression: an unopenable path must be flagged, not reported as a
+  // silently-empty parse (parsed=0 malformed=0 with no error).
+  EXPECT_TRUE(r.value().files[1].open_failed);
+  EXPECT_FALSE(r.value().files[1].error.empty());
+  EXPECT_FALSE(r.value().files[0].open_failed);
+  EXPECT_TRUE(r.value().files[0].error.empty());
+}
+
+TEST_F(MergeFilesTest, EmptyReadableFileIsNotAnOpenFailure) {
+  {
+    std::ofstream os("/tmp/fullweb_merge_empty.log");
+  }
+  paths_.push_back("/tmp/fullweb_merge_empty.log");
+  write_log("/tmp/fullweb_merge_d.log", {1000.0});
+  const auto r = merge_clf_files(paths_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().files.size(), 2U);
+  EXPECT_FALSE(r.value().files[0].open_failed);
+  EXPECT_EQ(r.value().files[0].parsed, 0U);
 }
 
 TEST_F(MergeFilesTest, AllUnreadableIsError) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "support/rng.h"
@@ -141,6 +143,27 @@ TEST(Sessionizer, ConservationInvariants) {
 
 TEST(Sessionizer, EmptyInput) {
   EXPECT_TRUE(sessionize({}).empty());
+}
+
+TEST(Sessionizer, RequestIndexCoversFullSizeT) {
+  // Regression: the index array was std::uint32_t, silently wrapping past
+  // 2^32 requests. A trace that large cannot run in a unit test, so pin
+  // the type: it must address the whole of size_t's range.
+  static_assert(std::is_same_v<RequestIndex, std::size_t>,
+                "sessionizer indices must not truncate large traces");
+  static_assert(sizeof(RequestIndex) >= sizeof(std::size_t));
+  SUCCEED();
+}
+
+TEST(Sessionizer, CanonicalOrderBreaksStartTiesByClient) {
+  // Equal start times order by client id — the total order shared with the
+  // streaming sessionizer (what makes the two paths bit-identical).
+  const std::vector<Request> rs = {req(10, 5), req(10, 1), req(10, 3)};
+  const auto sessions = sessionize(rs);
+  ASSERT_EQ(sessions.size(), 3U);
+  EXPECT_EQ(sessions[0].client, 1U);
+  EXPECT_EQ(sessions[1].client, 3U);
+  EXPECT_EQ(sessions[2].client, 5U);
 }
 
 TEST(Sessionizer, SingleRequestSessionHasZeroLength) {

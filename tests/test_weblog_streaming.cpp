@@ -1,0 +1,406 @@
+// Streaming ingest subsystem: chunked parallel CLF reader, incremental
+// sessionizer, and Dataset::from_clf_stream — pinned bit-identical to the
+// batch path at every thread count, with memory bounded by open sessions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/executor.h"
+#include "support/rng.h"
+#include "synth/generator.h"
+#include "weblog/clf.h"
+#include "weblog/clf_reader.h"
+#include "weblog/dataset.h"
+#include "weblog/merge.h"
+#include "weblog/streaming_sessionizer.h"
+
+namespace fullweb::weblog {
+namespace {
+
+bool same_request(const Request& a, const Request& b) {
+  return a.time == b.time && a.client == b.client && a.status == b.status &&
+         a.bytes == b.bytes;
+}
+
+bool same_session(const Session& a, const Session& b) {
+  return a.client == b.client && a.start == b.start && a.end == b.end &&
+         a.requests == b.requests && a.bytes == b.bytes;
+}
+
+/// Datasets must agree field-for-field (bit-identical tables).
+void expect_identical(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.requests().size(), b.requests().size());
+  for (std::size_t i = 0; i < a.requests().size(); ++i)
+    ASSERT_TRUE(same_request(a.requests()[i], b.requests()[i])) << "request " << i;
+  ASSERT_EQ(a.sessions().size(), b.sessions().size());
+  for (std::size_t i = 0; i < a.sessions().size(); ++i)
+    ASSERT_TRUE(same_session(a.sessions()[i], b.sessions()[i])) << "session " << i;
+  EXPECT_DOUBLE_EQ(a.t0(), b.t0());
+  EXPECT_DOUBLE_EQ(a.t1(), b.t1());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.distinct_clients(), b.distinct_clients());
+}
+
+class StreamingIngestTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : files_) std::remove(p.c_str());
+  }
+
+  std::string write_file(const std::string& name,
+                         const std::vector<std::string>& lines,
+                         const char* eol = "\n") {
+    const std::string path = "/tmp/fullweb_stream_" + name + ".log";
+    std::ofstream os(path, std::ios::binary);
+    for (const auto& l : lines) os << l << eol;
+    files_.push_back(path);
+    return path;
+  }
+
+  /// A quarter-day of synthetic ClarkNet traffic rendered as CLF text.
+  std::string write_synthetic(const std::string& name, double duration,
+                              double scale) {
+    support::Rng rng(42);
+    synth::GeneratorOptions gen;
+    gen.duration = duration;
+    gen.scale = scale;
+    auto workload =
+        synth::generate_workload(synth::ServerProfile::clarknet(), gen, rng);
+    EXPECT_TRUE(workload.ok());
+    support::Rng rng2(43);
+    std::vector<std::string> lines;
+    for (const auto& e : synth::to_log_entries(workload.value(), rng2))
+      lines.push_back(to_clf_line(e));
+    return write_file(name, lines);
+  }
+
+  std::vector<std::string> files_;
+};
+
+TEST_F(StreamingIngestTest, ReaderDeliversFileOrderAtAnyThreadCount) {
+  const std::string path = write_synthetic("order", 4 * 3600.0, 0.1);
+
+  auto read_all = [&](std::size_t threads, std::size_t chunk) {
+    support::Executor ex(threads);
+    ClfReaderOptions opts;
+    opts.chunk_bytes = chunk;
+    opts.executor = &ex;
+    std::vector<LogEntry> entries;
+    auto stats = read_clf_file(path, opts,
+                               [&](LogEntry&& e) { entries.push_back(std::move(e)); });
+    EXPECT_TRUE(stats.ok());
+    EXPECT_GT(stats.value().chunks, 1U);
+    EXPECT_EQ(stats.value().parsed, entries.size());
+    return entries;
+  };
+
+  const auto serial = read_all(1, 4096);
+  const auto parallel = read_all(8, 4096);
+  const auto parallel_big = read_all(8, 64 * 1024);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), parallel_big.size());
+  ASSERT_GT(serial.size(), 100U);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].client, parallel[i].client) << i;
+    ASSERT_EQ(serial[i].timestamp, parallel[i].timestamp) << i;
+    ASSERT_EQ(serial[i].bytes, parallel[i].bytes) << i;
+    ASSERT_EQ(serial[i].client, parallel_big[i].client) << i;
+  }
+}
+
+TEST_F(StreamingIngestTest, FromClfStreamBitIdenticalToBatch) {
+  const std::string path = write_synthetic("bitident", 6 * 3600.0, 0.15);
+
+  // Batch reference: parse the file in order, then from_entries.
+  std::ifstream is(path);
+  std::vector<LogEntry> entries;
+  parse_clf_stream(is, [&](LogEntry&& e) { entries.push_back(std::move(e)); });
+  auto batch = Dataset::from_entries("batch", entries);
+  ASSERT_TRUE(batch.ok());
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    support::Executor ex(threads);
+    StreamIngestOptions opts;
+    opts.reader.chunk_bytes = 8 * 1024;  // force many chunks
+    opts.reader.executor = &ex;
+    StreamIngestReport report;
+    const std::vector<std::string> paths = {path};
+    auto stream = Dataset::from_clf_stream("stream", paths, opts, &report);
+    ASSERT_TRUE(stream.ok()) << "threads=" << threads;
+    EXPECT_TRUE(report.sessionized_incrementally);
+    expect_identical(batch.value(), stream.value());
+  }
+}
+
+TEST_F(StreamingIngestTest, TraceLargerThanChunkBudgetStaysBounded) {
+  // 4000 requests, but clients arrive one after another and go idle: with a
+  // 60 s threshold at most 2 sessions are ever open, so the sessionizer's
+  // working set must stay O(open sessions) even though the trace is orders
+  // of magnitude larger than one chunk.
+  std::vector<std::string> lines;
+  LogEntry e;
+  e.method = "GET";
+  e.path = "/x";
+  e.protocol = "HTTP/1.0";
+  e.status = 200;
+  e.bytes = 10;
+  for (int c = 0; c < 400; ++c) {
+    e.client = "client" + std::to_string(c);
+    for (int i = 0; i < 10; ++i) {
+      e.timestamp = 1073865600.0 + c * 100.0 + i * 5.0;
+      lines.push_back(to_clf_line(e));
+    }
+  }
+  const std::string path = write_file("bounded", lines);
+
+  StreamIngestOptions opts;
+  opts.sessionizer.threshold_seconds = 60.0;
+  opts.reader.chunk_bytes = 4096;  // file is ~300 KB >> one chunk
+  StreamIngestReport report;
+  const std::vector<std::string> paths = {path};
+  auto ds = Dataset::from_clf_stream("bounded", paths, opts, &report);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(report.files.size(), 1U);
+  EXPECT_GT(report.files[0].chunks, 10U);
+  EXPECT_EQ(report.files[0].parsed, 4000U);
+  EXPECT_EQ(ds.value().sessions().size(), 400U);
+  EXPECT_TRUE(report.sessionized_incrementally);
+  // The bounded-memory claim: the trace exceeds the chunk budget many times
+  // over, yet at most two sessions (handover between consecutive clients)
+  // were ever simultaneously open.
+  EXPECT_LE(report.peak_open_sessions, 2U);
+}
+
+TEST_F(StreamingIngestTest, MalformedLinesCountedByReason) {
+  const std::string good =
+      "10.0.0.1 - - [12/Jan/2004:08:30:00 +0000] \"GET /a HTTP/1.0\" 200 1";
+  const std::string path = write_file(
+      "reasons",
+      {
+          good,
+          "short",                                                        // missing fields
+          "h - - not-a-stamp \"GET /\" 200 1",                            // bad timestamp
+          "h - - [32/Jan/2004:08:30:00 +0000] \"GET /\" 200 1",           // out of range
+          "h - - [12/Jan/2004:08:30:00 +0000] \"unterminated 200 1",      // bad request
+          "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" xx 1",            // bad status
+          "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 -7",          // bad bytes
+          good,
+      });
+
+  ClfReaderOptions opts;
+  std::size_t delivered = 0;
+  auto stats = read_clf_file(path, opts, [&](LogEntry&&) { ++delivered; });
+  ASSERT_TRUE(stats.ok());
+  const IngestStats& s = stats.value();
+  EXPECT_EQ(delivered, 2U);
+  EXPECT_EQ(s.parsed, 2U);
+  EXPECT_EQ(s.lines, 8U);
+  EXPECT_EQ(s.malformed, 6U);
+  auto count = [&](ClfParseReason r) {
+    return s.malformed_by_reason[static_cast<std::size_t>(r)];
+  };
+  EXPECT_EQ(count(ClfParseReason::kMissingFields), 1U);
+  EXPECT_EQ(count(ClfParseReason::kBadTimestamp), 2U);
+  EXPECT_EQ(count(ClfParseReason::kBadRequest), 1U);
+  EXPECT_EQ(count(ClfParseReason::kBadStatus), 1U);
+  EXPECT_EQ(count(ClfParseReason::kBadBytes), 1U);
+  EXPECT_FALSE(s.summary().empty());
+}
+
+TEST_F(StreamingIngestTest, UnsortedInputFallsBackToBatchSessionization) {
+  LogEntry e;
+  e.method = "GET";
+  e.path = "/";
+  e.status = 200;
+  e.bytes = 1;
+  std::vector<std::string> lines;
+  for (const double t : {100.0, 40.0, 70.0, 10.0, 130.0}) {
+    e.client = "c" + std::to_string(static_cast<int>(t) % 2);
+    e.timestamp = 1073865600.0 + t;
+    lines.push_back(to_clf_line(e));
+  }
+  const std::string path = write_file("unsorted", lines);
+
+  StreamIngestReport report;
+  const std::vector<std::string> paths = {path};
+  auto stream = Dataset::from_clf_stream("s", paths, {}, &report);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(report.sessionized_incrementally);
+
+  std::ifstream is(path);
+  std::vector<LogEntry> entries;
+  parse_clf_stream(is, [&](LogEntry&& ent) { entries.push_back(std::move(ent)); });
+  auto batch = Dataset::from_entries("b", entries);
+  ASSERT_TRUE(batch.ok());
+  expect_identical(batch.value(), stream.value());
+}
+
+TEST_F(StreamingIngestTest, OpenFailureRecordedPerFile) {
+  const std::string good = write_synthetic("openfail", 3600.0, 0.1);
+  const std::vector<std::string> paths = {"/nonexistent/dir/a.log", good};
+  StreamIngestReport report;
+  auto ds = Dataset::from_clf_stream("open", paths, {}, &report);
+  ASSERT_TRUE(ds.ok());  // one readable file suffices
+  ASSERT_EQ(report.files.size(), 2U);
+  EXPECT_TRUE(report.files[0].open_failed);
+  EXPECT_EQ(report.files[0].parsed, 0U);
+  EXPECT_FALSE(report.files[1].open_failed);
+  EXPECT_GT(report.files[1].parsed, 0U);
+
+  const std::vector<std::string> all_bad = {"/nope/x.log", "/nope/y.log"};
+  EXPECT_FALSE(Dataset::from_clf_stream("none", all_bad).ok());
+}
+
+TEST_F(StreamingIngestTest, MultiFileConcatenationMatchesSequentialBatch) {
+  const std::string a = write_synthetic("multi_a", 2 * 3600.0, 0.1);
+  // Second file continues after the first (replica merge is merge_clf_files'
+  // job; the stream path is the concatenation contract).
+  std::ifstream ia(a);
+  std::vector<LogEntry> entries;
+  parse_clf_stream(ia, [&](LogEntry&& e) { entries.push_back(std::move(e)); });
+  double last = entries.back().timestamp;
+  std::vector<std::string> lines;
+  LogEntry e;
+  e.method = "GET";
+  e.path = "/tail";
+  e.status = 200;
+  e.bytes = 77;
+  for (int i = 0; i < 500; ++i) {
+    e.client = "late" + std::to_string(i % 7);
+    e.timestamp = last + 10.0 + i;
+    lines.push_back(to_clf_line(e));
+    entries.push_back(e);
+  }
+  const std::string b = write_file("multi_b", lines);
+
+  auto batch = Dataset::from_entries("batch", entries);
+  ASSERT_TRUE(batch.ok());
+  support::Executor ex(4);
+  StreamIngestOptions opts;
+  opts.reader.chunk_bytes = 8 * 1024;
+  opts.reader.executor = &ex;
+  StreamIngestReport report;
+  const std::vector<std::string> paths = {a, b};
+  auto stream = Dataset::from_clf_stream("stream", paths, opts, &report);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_EQ(report.files.size(), 2U);
+  expect_identical(batch.value(), stream.value());
+}
+
+TEST_F(StreamingIngestTest, MissingTrailingNewlineAndCrlfHandled) {
+  const std::string line1 =
+      "10.0.0.1 - - [12/Jan/2004:08:30:00 +0000] \"GET /a HTTP/1.0\" 200 1";
+  const std::string line2 =
+      "10.0.0.2 - - [12/Jan/2004:08:30:05 +0000] \"GET /b HTTP/1.0\" 200 2";
+  const std::string path = "/tmp/fullweb_stream_nonl.log";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << line1 << "\r\n" << line2;  // CRLF + no trailing newline
+  }
+  files_.push_back(path);
+
+  std::vector<LogEntry> entries;
+  auto stats = read_clf_file(path, {},
+                             [&](LogEntry&& e) { entries.push_back(std::move(e)); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().parsed, 2U);
+  EXPECT_EQ(stats.value().malformed, 0U);
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[1].bytes, 2U);
+}
+
+// ---------------------------------------------------------------------------
+// StreamingSessionizer unit behavior.
+
+Request req(double time, std::uint32_t client, std::uint64_t bytes = 100) {
+  Request r;
+  r.time = time;
+  r.client = client;
+  r.bytes = bytes;
+  return r;
+}
+
+TEST(StreamingSessionizer, MatchesBatchOnRandomizedSortedTraces) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (const double threshold : {30.0, 300.0, 1800.0}) {
+      support::Rng rng(seed);
+      std::vector<Request> rs;
+      for (int i = 0; i < 4000; ++i)
+        rs.push_back(req(rng.uniform(0.0, 86400.0),
+                         static_cast<std::uint32_t>(rng.below(150)),
+                         rng.below(5000)));
+      std::sort(rs.begin(), rs.end(),
+                [](const Request& a, const Request& b) { return a.time < b.time; });
+
+      SessionizerOptions opts;
+      opts.threshold_seconds = threshold;
+      const auto batch = sessionize(rs, opts);
+
+      StreamingSessionizer ss(opts);
+      for (const auto& r : rs) ss.add(r);
+      EXPECT_FALSE(ss.saw_unsorted());
+      EXPECT_LE(ss.peak_open_sessions(), 150U);
+      const auto streamed = ss.finish();
+
+      ASSERT_EQ(batch.size(), streamed.size())
+          << "seed=" << seed << " threshold=" << threshold;
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        ASSERT_TRUE(same_session(batch[i], streamed[i]))
+            << "seed=" << seed << " threshold=" << threshold << " i=" << i;
+    }
+  }
+}
+
+TEST(StreamingSessionizer, TakeClosedDrainsWithoutChangingTheTable) {
+  support::Rng rng(9);
+  std::vector<Request> rs;
+  for (int i = 0; i < 2000; ++i)
+    rs.push_back(req(i * 10.0, static_cast<std::uint32_t>(rng.below(20))));
+
+  SessionizerOptions opts;
+  opts.threshold_seconds = 50.0;
+  const auto batch = sessionize(rs, opts);
+
+  StreamingSessionizer ss(opts);
+  std::vector<Session> drained;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    ss.add(rs[i]);
+    if (i % 100 == 0) {
+      for (auto& s : ss.take_closed()) drained.push_back(s);
+      EXPECT_LE(ss.open_sessions(), 20U);
+    }
+  }
+  for (auto& s : ss.finish()) drained.push_back(s);
+  std::sort(drained.begin(), drained.end(), session_order);
+  ASSERT_EQ(drained.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    ASSERT_TRUE(same_session(batch[i], drained[i])) << i;
+}
+
+TEST(StreamingSessionizer, FlagsOutOfOrderInput) {
+  StreamingSessionizer ss;
+  ss.add(req(100.0, 1));
+  ss.add(req(100.0, 2));  // equal times are fine
+  EXPECT_FALSE(ss.saw_unsorted());
+  ss.add(req(50.0, 1));
+  EXPECT_TRUE(ss.saw_unsorted());
+}
+
+TEST(StreamingSessionizer, PeakTracksSimultaneouslyOpenSessions) {
+  SessionizerOptions opts;
+  opts.threshold_seconds = 10.0;
+  StreamingSessionizer ss(opts);
+  for (std::uint32_t c = 0; c < 5; ++c) ss.add(req(0.0, c));
+  EXPECT_EQ(ss.open_sessions(), 5U);
+  ss.add(req(100.0, 99));  // everything idle-evicted, one new
+  EXPECT_EQ(ss.open_sessions(), 1U);
+  EXPECT_EQ(ss.peak_open_sessions(), 5U);
+  const auto table = ss.finish();
+  EXPECT_EQ(table.size(), 6U);
+}
+
+}  // namespace
+}  // namespace fullweb::weblog
