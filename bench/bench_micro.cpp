@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "lrd/abry_veitch.h"
+#include "lrd/estimator_suite.h"
+#include "lrd/rs.h"
 #include "lrd/variance_time.h"
 #include "lrd/whittle.h"
 #include "stats/acf.h"
@@ -21,6 +23,7 @@
 #include "stats/fft.h"
 #include "stats/kpss.h"
 #include "stats/periodogram.h"
+#include "support/executor.h"
 #include "support/rng.h"
 #include "tail/bootstrap.h"
 #include "timeseries/fgn.h"
@@ -194,6 +197,64 @@ void BM_AbryVeitchHurst(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AbryVeitchHurst)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RsHurst(benchmark::State& state) {
+  support::Rng rng(13);
+  auto fgn = timeseries::generate_fgn(
+      static_cast<std::size_t>(state.range(0)), 0.8, 1.0, rng);
+  for (auto _ : state) {
+    auto r = lrd::rs_hurst(fgn.value());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RsHurst)->Arg(1 << 18);
+
+/// WVU-scale reference series: one week of per-second samples, H = 0.8.
+/// Shared by the suite/sweep benches below (the acceptance series for the
+/// compute-sharing layer; see EXPERIMENTS.md "Perf baseline").
+const std::vector<double>& wvu_series() {
+  static const std::vector<double> xs = [] {
+    support::Rng rng(12);
+    auto r = timeseries::generate_fgn(604800, 0.8, 1.0, rng);
+    return r.ok() ? r.value() : std::vector<double>{};
+  }();
+  return xs;
+}
+
+/// Serial executor so the suite/sweep benches measure single-thread cost
+/// regardless of the host's core count.
+support::Executor& serial_executor() {
+  static support::Executor ex(1);
+  return ex;
+}
+
+/// Full five-estimator battery on the WVU-scale series at 1 thread.
+void BM_EstimatorSuite(benchmark::State& state) {
+  const auto& xs = wvu_series();
+  lrd::HurstSuiteOptions opts;
+  opts.executor = &serial_executor();
+  for (auto _ : state) {
+    auto r = lrd::hurst_suite(xs, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EstimatorSuite);
+
+/// Figure 7/8 m-aggregation validation sweep at 1 thread. Arg 0 = Whittle
+/// (Fig. 7), Arg 1 = Abry-Veitch (Fig. 8); the paper's level grid.
+void BM_AggregatedHurstSweep(benchmark::State& state) {
+  const auto& xs = wvu_series();
+  static constexpr std::size_t kLevels[] = {1, 2, 5, 10, 20, 50, 100, 200, 500};
+  const auto method = state.range(0) == 0 ? lrd::HurstMethod::kWhittle
+                                          : lrd::HurstMethod::kAbryVeitch;
+  lrd::HurstSuiteOptions opts;
+  opts.executor = &serial_executor();
+  for (auto _ : state) {
+    auto r = lrd::aggregated_hurst_sweep(xs, method, kLevels, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AggregatedHurstSweep)->Arg(0)->Arg(1);
 
 void BM_VarianceTimeHurst(benchmark::State& state) {
   support::Rng rng(6);

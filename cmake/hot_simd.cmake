@@ -1,0 +1,40 @@
+# Opt selected hot translation units into AVX2 code generation when the
+# build host supports it. The flags are chosen so results stay bit-identical
+# to the plain scalar build:
+#   -mno-fma / -ffp-contract=off  -- no fused multiply-add contraction, every
+#                                    operation rounds exactly like the scalar
+#                                    ISA sequence
+#   -mavx2                         -- wider registers only; IEEE semantics of
+#                                    packed mul/add/div match scalar ops
+#   -O3                            -- enables the loop/SLP vectorizers, which
+#                                    GCC's -O2 cost model keeps off for these
+#                                    kernels
+# Vectorization therefore changes throughput, never bits, and the golden
+# bit-pattern regression tests hold on both SIMD and scalar hosts.
+include(CheckCXXSourceRuns)
+
+set(FULLWEB_HOT_SIMD_FLAGS "")
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang" AND NOT CMAKE_CROSSCOMPILING)
+  set(CMAKE_REQUIRED_FLAGS "-mavx2")
+  check_cxx_source_runs("
+    int main() { return __builtin_cpu_supports(\"avx2\") ? 0 : 1; }
+  " FULLWEB_HOST_AVX2)
+  unset(CMAKE_REQUIRED_FLAGS)
+  if(FULLWEB_HOST_AVX2)
+    # -fno-trapping-math / -fno-math-errno drop FP-exception and errno side
+    # effects (never inspected here) so comparisons and selects if-convert;
+    # computed values are unaffected.
+    set(FULLWEB_HOT_SIMD_FLAGS -mavx2 -mno-fma -ffp-contract=off
+        -fno-trapping-math -fno-math-errno -O3)
+  endif()
+endif()
+
+# Usage: fullweb_hot_simd(<source> [<source>...]) inside the directory that
+# owns the sources. No-op when the host lacks AVX2 or the compiler is not
+# GCC/Clang.
+function(fullweb_hot_simd)
+  if(FULLWEB_HOT_SIMD_FLAGS)
+    set_source_files_properties(${ARGN} PROPERTIES
+      COMPILE_OPTIONS "${FULLWEB_HOT_SIMD_FLAGS}")
+  endif()
+endfunction()

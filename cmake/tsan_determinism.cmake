@@ -30,9 +30,13 @@ endif()
 # test_weblog_streaming drives the chunked parallel CLF reader on the
 # executor; test_weblog_corpus is serial but cheap and pins parser behaviour
 # the reader depends on, so both run under the same gate.
+# test_shared_kernels covers the compute-sharing layer (prefix moments,
+# aggregation pyramid, shared periodogram) including its 1-vs-8-thread
+# bit-identity checks, which only mean something under TSan.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
-  test_weblog_streaming test_weblog_corpus)
+  test_weblog_streaming test_weblog_corpus
+  test_shared_kernels)
 
 message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(

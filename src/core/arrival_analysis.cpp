@@ -1,6 +1,9 @@
 #include "core/arrival_analysis.h"
 
+#include <optional>
+
 #include "support/executor.h"
+#include "timeseries/pyramid.h"
 
 namespace fullweb::core {
 
@@ -26,22 +29,27 @@ Result<ArrivalAnalysis> analyze_arrivals(std::span<const double> counts,
   out.stationarity = std::move(st).value();
 
   // The stationary-series suite and the two Figure 7/8 sweeps all read the
-  // stationarized series.
+  // stationarized series. Both sweeps use the same aggregation levels, so
+  // one pyramid materializes each aggregated series once and the Whittle and
+  // Abry-Veitch sweeps share it.
+  std::optional<timeseries::AggregationPyramid> pyramid;
+  if (options.run_aggregation_sweep) {
+    pyramid.emplace(std::span<const double>(out.stationarity.series),
+                    options.aggregation_levels);
+  }
   support::TaskGroup group(ex);
   group.run([&] {
     out.hurst_stationary =
         lrd::hurst_suite(out.stationarity.series, options.hurst);
   });
-  if (options.run_aggregation_sweep) {
+  if (pyramid.has_value()) {
     group.run([&] {
       out.whittle_sweep = lrd::aggregated_hurst_sweep(
-          out.stationarity.series, lrd::HurstMethod::kWhittle,
-          options.aggregation_levels, options.hurst);
+          *pyramid, lrd::HurstMethod::kWhittle, options.hurst);
     });
     group.run([&] {
       out.abry_veitch_sweep = lrd::aggregated_hurst_sweep(
-          out.stationarity.series, lrd::HurstMethod::kAbryVeitch,
-          options.aggregation_levels, options.hurst);
+          *pyramid, lrd::HurstMethod::kAbryVeitch, options.hurst);
     });
   }
   group.wait();

@@ -43,8 +43,18 @@ Result<AbryVeitchResult> abry_veitch_hurst(std::span<const double> xs,
     if (d.size() < options.min_coeffs) break;
     const std::size_t usable = d.size() - std::min(boundary, d.size() / 2);
     const auto n_j = static_cast<double>(usable);
-    double energy = 0.0;
-    for (std::size_t k = 0; k < usable; ++k) energy += d[k] * d[k];
+    // Four-lane sum of squares with a fixed reduction tree: vectorizable and
+    // deterministic for any thread count.
+    double e0 = 0.0, e1 = 0.0, e2 = 0.0, e3 = 0.0;
+    std::size_t k = 0;
+    for (; k + 4 <= usable; k += 4) {
+      e0 += d[k] * d[k];
+      e1 += d[k + 1] * d[k + 1];
+      e2 += d[k + 2] * d[k + 2];
+      e3 += d[k + 3] * d[k + 3];
+    }
+    for (; k < usable; ++k) e0 += d[k] * d[k];
+    const double energy = (e0 + e2) + (e1 + e3);
     const double mu = energy / n_j;
     if (!(mu > 0.0)) continue;  // octave with all-zero details (constant input)
 

@@ -1,9 +1,12 @@
 #include "lrd/dfa.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
+#include "stats/prefix_moments.h"
 #include "stats/regression.h"
+#include "stats/vecmath.h"
 
 namespace fullweb::lrd {
 
@@ -12,48 +15,63 @@ using support::Result;
 
 namespace {
 
-/// Sum of squared residuals of an OLS line over profile[start .. start+n).
-/// Closed-form accumulation (no per-box allocation).
-double box_ssr_linear(std::span<const double> profile, std::size_t start,
-                      std::size_t n) {
-  // Regress y on t = 0..n-1.
-  const double nn = static_cast<double>(n);
-  double sy = 0, sty = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sy += profile[start + i];
-    sty += static_cast<double>(i) * profile[start + i];
-  }
-  const double st = nn * (nn - 1.0) / 2.0;
-  const double stt = nn * (nn - 1.0) * (2.0 * nn - 1.0) / 6.0;
-  const double denom = nn * stt - st * st;
-  if (denom <= 0.0) return 0.0;
-  const double slope = (nn * sty - st * sy) / denom;
-  const double intercept = (sy - slope * st) / nn;
+/// Per-box detrended SSR in O(1) from prefix moments of the profile.
+///
+/// Inside a box of size nb the fit regresses the profile on the discrete
+/// orthogonal polynomials P0 = 1, P1 = i - ibar, P2 = (i - ibar)^2 - A with
+/// ibar = (nb-1)/2 and A = (nb^2-1)/12 (uniform-weight Gram basis), so the
+/// projections decouple: SSR = sum q^2 - beta1^2 |P1|^2 - beta2^2 |P2|^2
+/// with q the box-mean-centered profile. sum q^2, sum i q and sum i^2 q all
+/// come from the moment structure; |P1|^2 and |P2|^2 are closed forms.
+struct BoxMoments {
+  double ssq = 0.0;   ///< sum q^2 (centered second moment)
+  double p1q = 0.0;   ///< sum P1 * q
+  double p2q = 0.0;   ///< sum P2 * q
+};
 
-  double ssr = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double r =
-        profile[start + i] - (intercept + slope * static_cast<double>(i));
-    ssr += r * r;
+BoxMoments box_moments(const stats::PrefixMoments& pm, std::size_t start,
+                       std::size_t nb, bool quadratic) {
+  BoxMoments bm;
+  const std::size_t end = start + nb;
+  const double fnb = static_cast<double>(nb);
+  const double fs = static_cast<double>(start);
+  const double ibar = 0.5 * (fnb - 1.0);
+  // Centered sums: q_t = v_t - delta with delta = (block mean - anchor).
+  const double s = pm.centered_sum(start, end);
+  const double delta = s / fnb;
+  bm.ssq = pm.block_sum_sq_dev(start, end);
+  // sum i*q from the global weighted prefix: sum (t - start)(v - delta).
+  const double w = pm.weighted_centered_sum(start, end);
+  const double sum_i = fnb * ibar;
+  const double iq = (w - fs * s) - delta * sum_i;
+  bm.p1q = iq - ibar * (s - fnb * delta);  // second term ~0; kept exact
+  if (quadratic) {
+    const double w2 = pm.weighted2_centered_sum(start, end);
+    const double sum_i2 = (fnb - 1.0) * fnb * (2.0 * fnb - 1.0) / 6.0;
+    const double i2q = (w2 - 2.0 * fs * w + fs * fs * s) - delta * sum_i2;
+    const double a = (fnb * fnb - 1.0) / 12.0;
+    const double sq = s - fnb * delta;  // sum q, ~0
+    bm.p2q = i2q - 2.0 * ibar * iq + (ibar * ibar - a) * sq;
   }
-  return ssr;
+  return bm;
 }
 
-/// Quadratic-detrended residual sum of squares over one box.
-double box_ssr_quadratic(std::span<const double> profile, std::size_t start,
-                         std::size_t n) {
-  std::vector<double> t(n), y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    t[i] = static_cast<double>(i);
-    y[i] = profile[start + i];
+double box_ssr(const stats::PrefixMoments& pm, std::size_t start,
+               std::size_t nb, bool quadratic) {
+  const BoxMoments bm = box_moments(pm, start, nb, quadratic);
+  const double fnb = static_cast<double>(nb);
+  const double p1_norm = fnb * (fnb * fnb - 1.0) / 12.0;  // sum P1^2
+  double ssr = bm.ssq;
+  if (p1_norm > 0.0) ssr -= bm.p1q * bm.p1q / p1_norm;
+  if (quadratic) {
+    // sum P2^2 = sum u^4 - nb A^2, u = i - ibar, A = (nb^2-1)/12.
+    const double a = (fnb * fnb - 1.0) / 12.0;
+    const double sum_u4 =
+        fnb * (fnb * fnb - 1.0) * (3.0 * fnb * fnb - 7.0) / 240.0;
+    const double p2_norm = sum_u4 - fnb * a * a;
+    if (p2_norm > 0.0) ssr -= bm.p2q * bm.p2q / p2_norm;
   }
-  const auto fit = stats::quadratic_fit(t, y);
-  double ssr = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double r = y[i] - (fit.c0 + fit.c1 * t[i] + fit.c2 * t[i] * t[i]);
-    ssr += r * r;
-  }
-  return ssr;
+  return ssr > 0.0 ? ssr : 0.0;
 }
 
 }  // namespace
@@ -63,48 +81,54 @@ Result<DfaPlot> dfa_plot(std::span<const double> xs, const DfaOptions& options) 
   if (n < options.min_box * options.min_boxes * 2)
     return Error::insufficient_data("dfa: series too short");
 
-  // Integrated, mean-centered profile.
-  double mean = 0.0;
-  for (double x : xs) mean += x;
-  mean /= static_cast<double>(n);
-  std::vector<double> profile(n);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    acc += xs[i] - mean;
-    profile[i] = acc;
-  }
+  // The integrated, mean-centered profile IS the centered cumsum of the
+  // series' prefix moments; box statistics then need the profile's own
+  // moment structure (with index weights for the polynomial fits).
+  const stats::PrefixMoments series_pm(xs);
+  const auto profile = series_pm.centered_cumsum().subspan(1);
+  const bool quadratic = options.order >= 2;
+  const stats::PrefixMoments pm(
+      profile, quadratic ? stats::PrefixMoments::Weighted::kQuadratic
+                         : stats::PrefixMoments::Weighted::kLinear);
 
-  // Log-spaced box sizes.
-  const double lo = static_cast<double>(options.min_box);
-  const double hi = static_cast<double>(n / options.min_boxes);
+  // Log-spaced box sizes, clamped into [min_box, n / min_boxes] (lround can
+  // otherwise drift just outside the grid at either end).
+  const std::size_t lo_sz = options.min_box;
+  const std::size_t hi_sz = std::max(lo_sz, n / options.min_boxes);
+  const auto lo = static_cast<double>(lo_sz);
+  const double hi = static_cast<double>(hi_sz);
   std::set<std::size_t> sizes;
   for (std::size_t i = 0; i < options.levels; ++i) {
     const double frac =
         options.levels > 1
             ? static_cast<double>(i) / static_cast<double>(options.levels - 1)
             : 0.0;
-    sizes.insert(
-        static_cast<std::size_t>(std::lround(lo * std::pow(hi / lo, frac))));
+    const auto raw = static_cast<std::size_t>(
+        std::lround(lo * std::pow(hi / lo, frac)));
+    sizes.insert(std::clamp(raw, lo_sz, hi_sz));
   }
 
-  DfaPlot plot;
+  std::vector<double> used_boxes, fluctuation;
   for (std::size_t box : sizes) {
     if (box < 4) continue;
     const std::size_t boxes = n / box;
     if (boxes < options.min_boxes) continue;
     double total_ssr = 0.0;
-    for (std::size_t b = 0; b < boxes; ++b) {
-      total_ssr += options.order >= 2 ? box_ssr_quadratic(profile, b * box, box)
-                                      : box_ssr_linear(profile, b * box, box);
-    }
+    for (std::size_t b = 0; b < boxes; ++b)
+      total_ssr += box_ssr(pm, b * box, box, quadratic);
     const double f =
         std::sqrt(total_ssr / static_cast<double>(boxes * box));
     if (!(f > 0.0)) continue;
-    plot.log10_n.push_back(std::log10(static_cast<double>(box)));
-    plot.log10_f.push_back(std::log10(f));
+    used_boxes.push_back(static_cast<double>(box));
+    fluctuation.push_back(f);
   }
-  if (plot.log10_n.size() < 3)
+  if (used_boxes.size() < 3)
     return Error::numeric("dfa: fewer than 3 usable box sizes");
+  DfaPlot plot;
+  plot.log10_n.resize(used_boxes.size());
+  plot.log10_f.resize(fluctuation.size());
+  stats::log10_batch(used_boxes, plot.log10_n);
+  stats::log10_batch(fluctuation, plot.log10_f);
   return plot;
 }
 

@@ -3,6 +3,8 @@
 #include <array>
 #include <optional>
 
+#include "stats/fft.h"
+#include "stats/prefix_moments.h"
 #include "support/executor.h"
 #include "timeseries/series.h"
 
@@ -55,23 +57,49 @@ support::Result<HurstEstimate> run_estimator(std::span<const double> xs,
 
 HurstSuiteResult hurst_suite(std::span<const double> xs,
                              const HurstSuiteOptions& options) {
+  // Shared inputs, built once before the fan-out: the prefix-moment
+  // structure feeds both time-domain estimators (variance-time block
+  // variances, R/S block moments and partial-sum walk) and the single
+  // power-of-two-truncated periodogram feeds both frequency-domain ones
+  // (GPH log-regression and Whittle likelihood). This removes the repeated
+  // per-estimator cumsum/FFT passes over the same series.
+  const stats::PrefixMoments pm(xs);
+  std::span<const double> input = xs;
+  if (!stats::is_pow2(input.size()) && input.size() > 1) {
+    std::size_t p = 1;
+    while (p * 2 <= input.size()) p *= 2;
+    input = input.subspan(0, p);
+  }
+  const stats::Periodogram pg = stats::periodogram(input);
+
   // Fixed battery order: fills the result slots concurrently, then collects
   // in this order so the output is identical to the old sequential code.
-  const std::array<HurstMethod, 5> battery = {
-      HurstMethod::kVarianceTime, HurstMethod::kRoverS,
-      HurstMethod::kPeriodogram, HurstMethod::kWhittle,
-      HurstMethod::kAbryVeitch};
-  std::array<std::optional<HurstEstimate>, battery.size()> slots;
-
+  std::array<std::optional<HurstEstimate>, 5> slots;
   support::Executor& ex = support::Executor::resolve(options.executor);
   support::TaskGroup group(ex);
-  for (std::size_t i = 0; i < battery.size(); ++i) {
-    if (battery[i] == HurstMethod::kWhittle && !options.run_whittle) continue;
-    group.run([&, i] {
-      if (auto r = run_estimator(xs, battery[i], options); r.ok())
-        slots[i] = r.value();
+  group.run([&] {
+    if (auto r = variance_time_hurst(pm, options.variance_time); r.ok())
+      slots[0] = r.value();
+  });
+  group.run([&] {
+    if (auto r = rs_hurst(pm, options.rs); r.ok()) slots[1] = r.value();
+  });
+  group.run([&] {
+    if (auto r = periodogram_hurst_pg(pg, options.periodogram); r.ok())
+      slots[2] = r.value();
+  });
+  // The sample-count policy lives here because the shared periodogram no
+  // longer carries the original series length.
+  if (options.run_whittle && xs.size() >= options.whittle.min_samples) {
+    group.run([&] {
+      if (auto r = whittle_hurst_pg(pg, options.whittle); r.ok())
+        slots[3] = r.value().estimate;
     });
   }
+  group.run([&] {
+    if (auto r = abry_veitch_hurst(xs, options.abry_veitch); r.ok())
+      slots[4] = r.value().estimate;
+  });
   group.wait();
 
   HurstSuiteResult out;
@@ -80,15 +108,18 @@ HurstSuiteResult hurst_suite(std::span<const double> xs,
   return out;
 }
 
-std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
-    std::span<const double> xs, HurstMethod method,
-    std::span<const std::size_t> levels, const HurstSuiteOptions& options) {
+namespace {
+
+std::vector<AggregatedHurstPoint> sweep_over_pyramid(
+    const timeseries::AggregationPyramid& pyramid,
+    std::span<const std::size_t> levels, HurstMethod method,
+    const HurstSuiteOptions& options) {
   std::vector<std::optional<AggregatedHurstPoint>> slots(levels.size());
   support::Executor& ex = support::Executor::resolve(options.executor);
   ex.parallel_for(0, levels.size(), [&](std::size_t i) {
     const std::size_t m = levels[i];
     if (m == 0) return;
-    const auto agg = timeseries::aggregate(xs, m);
+    const auto agg = pyramid.level(m);
     if (auto est = run_estimator(agg, method, options); est.ok())
       slots[i] = AggregatedHurstPoint{m, est.value()};
   });
@@ -97,6 +128,24 @@ std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
   for (const auto& slot : slots)
     if (slot.has_value()) out.push_back(*slot);
   return out;
+}
+
+}  // namespace
+
+std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
+    std::span<const double> xs, HurstMethod method,
+    std::span<const std::size_t> levels, const HurstSuiteOptions& options) {
+  // The pyramid materializes every aggregated series once (cascading even
+  // multiples from coarser levels), instead of one fresh O(n) aggregation
+  // pass per level per method.
+  const timeseries::AggregationPyramid pyramid(xs, levels);
+  return sweep_over_pyramid(pyramid, levels, method, options);
+}
+
+std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
+    const timeseries::AggregationPyramid& pyramid, HurstMethod method,
+    const HurstSuiteOptions& options) {
+  return sweep_over_pyramid(pyramid, pyramid.levels(), method, options);
 }
 
 }  // namespace fullweb::lrd

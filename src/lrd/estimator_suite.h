@@ -18,6 +18,7 @@
 #include "lrd/variance_time.h"
 #include "lrd/whittle.h"
 #include "support/result.h"
+#include "timeseries/pyramid.h"
 
 namespace fullweb::support {
 class Executor;
@@ -67,5 +68,13 @@ struct AggregatedHurstPoint {
 [[nodiscard]] std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
     std::span<const double> xs, HurstMethod method,
     std::span<const std::size_t> levels, const HurstSuiteOptions& options = {});
+
+/// Same sweep over a prebuilt aggregation pyramid, so several sweeps (e.g.
+/// Figures 7 and 8 on one trace) share the aggregated series instead of
+/// recomputing them per method. Levels come from the pyramid (sorted,
+/// deduplicated, zeros dropped).
+[[nodiscard]] std::vector<AggregatedHurstPoint> aggregated_hurst_sweep(
+    const timeseries::AggregationPyramid& pyramid, HurstMethod method,
+    const HurstSuiteOptions& options = {});
 
 }  // namespace fullweb::lrd

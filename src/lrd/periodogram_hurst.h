@@ -9,6 +9,7 @@
 #include <span>
 
 #include "lrd/hurst.h"
+#include "stats/periodogram.h"
 #include "support/result.h"
 
 namespace fullweb::lrd {
@@ -20,5 +21,11 @@ struct PeriodogramHurstOptions {
 
 [[nodiscard]] support::Result<HurstEstimate> periodogram_hurst(
     std::span<const double> xs, const PeriodogramHurstOptions& options = {});
+
+/// Same, against a prebuilt periodogram (shared across the estimator suite
+/// with the Whittle estimator, which uses the identical power-of-two
+/// truncated transform).
+[[nodiscard]] support::Result<HurstEstimate> periodogram_hurst_pg(
+    const stats::Periodogram& pg, const PeriodogramHurstOptions& options = {});
 
 }  // namespace fullweb::lrd

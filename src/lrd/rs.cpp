@@ -4,7 +4,9 @@
 #include <cmath>
 #include <set>
 
+#include "stats/descriptive.h"
 #include "stats/regression.h"
+#include "stats/vecmath.h"
 
 namespace fullweb::lrd {
 
@@ -13,51 +15,56 @@ using support::Result;
 
 namespace {
 
-/// R/S statistic of one block; returns 0 when the block is constant
-/// (S == 0), which callers skip.
-double rs_statistic(std::span<const double> block) {
-  const std::size_t n = block.size();
-  double mean = 0.0;
-  for (double x : block) mean += x;
-  mean /= static_cast<double>(n);
-
-  double w = 0.0;
-  double w_min = 0.0;
-  double w_max = 0.0;
-  double ss = 0.0;
-  for (double x : block) {
-    const double d = x - mean;
-    w += d;
-    w_min = std::min(w_min, w);
-    w_max = std::max(w_max, w);
-    ss += d * d;
-  }
-  const double s = std::sqrt(ss / static_cast<double>(n));
+/// R/S statistic of the block [start, start + size) from the shared prefix
+/// moments: S^2 is an O(1) moment query and the centered partial-sum walk
+///   W_k = sum_{t <= k in block} (x_t - block mean)
+///       = (C[start+k+1] - C[start]) - (k+1) * (block mean - anchor)
+/// reads the global centered cumsum instead of re-deriving it per block.
+/// Returns 0 when the block is constant (S == 0), which callers skip.
+double rs_statistic(const stats::PrefixMoments& pm, std::size_t start,
+                    std::size_t size) {
+  const double s2 = pm.block_sum_sq_dev(start, start + size) /
+                    static_cast<double>(size);
+  const double s = std::sqrt(s2);
   if (!(s > 0.0)) return 0.0;
+
+  const auto cum = pm.centered_cumsum();
+  const double base = cum[start];
+  const double step =
+      (cum[start + size] - base) / static_cast<double>(size);
+  double w_min = 0.0, w_max = 0.0;
+  stats::minmax_prefix_walk(cum.subspan(start + 1, size), base, step, w_min,
+                            w_max);
   return (w_max - w_min) / s;
 }
 
 }  // namespace
 
-Result<RsPlot> rs_plot(std::span<const double> xs, const RsOptions& options) {
-  const std::size_t n = xs.size();
+Result<RsPlot> rs_plot(const stats::PrefixMoments& pm, const RsOptions& options) {
+  const std::size_t n = pm.size();
   if (n < options.min_block_size * options.min_blocks)
     return Error::insufficient_data("rs_hurst: series too short");
 
   // Log-spaced block sizes between min_block_size and n / min_blocks.
-  const auto lo = static_cast<double>(options.min_block_size);
-  const double hi = static_cast<double>(n / options.min_blocks);
+  // lround can collide or land outside the range (rounding above hi at the
+  // top of the grid, or below lo for degenerate grids), so clamp every size
+  // into [lo, hi]; the set dedupes collisions.
+  const std::size_t lo_sz = options.min_block_size;
+  const std::size_t hi_sz = std::max(lo_sz, n / options.min_blocks);
+  const auto lo = static_cast<double>(lo_sz);
+  const double hi = static_cast<double>(hi_sz);
   std::set<std::size_t> sizes;
   for (std::size_t i = 0; i < options.levels; ++i) {
     const double frac = options.levels > 1
                             ? static_cast<double>(i) /
                                   static_cast<double>(options.levels - 1)
                             : 0.0;
-    sizes.insert(static_cast<std::size_t>(
-        std::lround(lo * std::pow(hi / lo, frac))));
+    const auto raw = static_cast<std::size_t>(
+        std::lround(lo * std::pow(hi / lo, frac)));
+    sizes.insert(std::clamp(raw, lo_sz, hi_sz));
   }
 
-  RsPlot plot;
+  std::vector<double> used_sizes, mean_rs;
   for (std::size_t size : sizes) {
     if (size < 2) continue;
     const std::size_t blocks = n / size;
@@ -65,25 +72,37 @@ Result<RsPlot> rs_plot(std::span<const double> xs, const RsOptions& options) {
     double sum = 0.0;
     std::size_t used = 0;
     for (std::size_t b = 0; b < blocks; ++b) {
-      const double rs = rs_statistic(xs.subspan(b * size, size));
+      const double rs = rs_statistic(pm, b * size, size);
       if (rs > 0.0) {
         sum += rs;
         ++used;
       }
     }
     if (used == 0) continue;
-    plot.log10_n.push_back(std::log10(static_cast<double>(size)));
-    plot.log10_rs.push_back(std::log10(sum / static_cast<double>(used)));
+    used_sizes.push_back(static_cast<double>(size));
+    mean_rs.push_back(sum / static_cast<double>(used));
   }
-  if (plot.log10_n.size() < 3)
+  if (used_sizes.size() < 3)
     return Error::numeric("rs_hurst: fewer than 3 usable block sizes");
+  RsPlot plot;
+  plot.log10_n.resize(used_sizes.size());
+  plot.log10_rs.resize(mean_rs.size());
+  stats::log10_batch(used_sizes, plot.log10_n);
+  stats::log10_batch(mean_rs, plot.log10_rs);
   return plot;
 }
 
-Result<HurstEstimate> rs_hurst(std::span<const double> xs, const RsOptions& options) {
-  auto plot = rs_plot(xs, options);
-  if (!plot) return plot.error();
+Result<RsPlot> rs_plot(std::span<const double> xs, const RsOptions& options) {
+  if (xs.size() < options.min_block_size * options.min_blocks)
+    return Error::insufficient_data("rs_hurst: series too short");
+  const stats::PrefixMoments pm(xs);
+  return rs_plot(pm, options);
+}
 
+namespace {
+
+Result<HurstEstimate> fit_rs(Result<RsPlot> plot) {
+  if (!plot) return plot.error();
   const auto fit = stats::ols(plot.value().log10_n, plot.value().log10_rs);
   HurstEstimate est;
   est.method = HurstMethod::kRoverS;
@@ -91,6 +110,18 @@ Result<HurstEstimate> rs_hurst(std::span<const double> xs, const RsOptions& opti
   est.ci95_halfwidth = 1.96 * fit.stderr_slope;
   est.r_squared = fit.r_squared;
   return est;
+}
+
+}  // namespace
+
+Result<HurstEstimate> rs_hurst(std::span<const double> xs,
+                               const RsOptions& options) {
+  return fit_rs(rs_plot(xs, options));
+}
+
+Result<HurstEstimate> rs_hurst(const stats::PrefixMoments& pm,
+                               const RsOptions& options) {
+  return fit_rs(rs_plot(pm, options));
 }
 
 }  // namespace fullweb::lrd

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lrd/hurst.h"
+#include "stats/prefix_moments.h"
 #include "support/result.h"
 
 namespace fullweb::lrd {
@@ -24,6 +25,11 @@ struct RsOptions {
 
 [[nodiscard]] support::Result<HurstEstimate> rs_hurst(std::span<const double> xs,
                                                       const RsOptions& options = {});
+/// Same, against a prebuilt prefix-moment structure (shared across the
+/// estimator suite): block mean and S come from O(1) moment queries and the
+/// cumulative-deviation walk reads the shared centered cumsum.
+[[nodiscard]] support::Result<HurstEstimate> rs_hurst(
+    const stats::PrefixMoments& pm, const RsOptions& options = {});
 
 /// The pox-plot points (log10 n, log10 mean R/S).
 struct RsPlot {
@@ -31,6 +37,8 @@ struct RsPlot {
   std::vector<double> log10_rs;
 };
 [[nodiscard]] support::Result<RsPlot> rs_plot(std::span<const double> xs,
+                                              const RsOptions& options = {});
+[[nodiscard]] support::Result<RsPlot> rs_plot(const stats::PrefixMoments& pm,
                                               const RsOptions& options = {});
 
 }  // namespace fullweb::lrd

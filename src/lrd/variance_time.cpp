@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "stats/descriptive.h"
 #include "stats/regression.h"
+#include "stats/vecmath.h"
 #include "timeseries/series.h"
 
 namespace fullweb::lrd {
@@ -11,31 +11,42 @@ namespace fullweb::lrd {
 using support::Error;
 using support::Result;
 
+Result<VarianceTimePlot> variance_time_plot(const stats::PrefixMoments& pm,
+                                            const VarianceTimeOptions& options) {
+  if (pm.size() < 2 * options.min_blocks)
+    return Error::insufficient_data("variance_time: series too short");
+
+  const auto levels =
+      timeseries::log_spaced_levels(pm.size(), options.levels, options.min_blocks);
+  VarianceTimePlot plot;
+  std::vector<double> ms, vars;
+  for (std::size_t m : levels) {
+    const double v = pm.aggregated_variance(m);
+    if (!(v > 0.0)) continue;  // constant at this level; skip the point
+    ms.push_back(static_cast<double>(m));
+    vars.push_back(v);
+  }
+  if (ms.size() < 3)
+    return Error::numeric("variance_time: fewer than 3 usable aggregation levels");
+  plot.log10_m.resize(ms.size());
+  plot.log10_var.resize(vars.size());
+  stats::log10_batch(ms, plot.log10_m);
+  stats::log10_batch(vars, plot.log10_var);
+  return plot;
+}
+
 Result<VarianceTimePlot> variance_time_plot(std::span<const double> xs,
                                             const VarianceTimeOptions& options) {
   if (xs.size() < 2 * options.min_blocks)
     return Error::insufficient_data("variance_time: series too short");
-
-  const auto levels =
-      timeseries::log_spaced_levels(xs.size(), options.levels, options.min_blocks);
-  VarianceTimePlot plot;
-  for (std::size_t m : levels) {
-    const auto agg = timeseries::aggregate(xs, m);
-    const double v = stats::variance_population(agg);
-    if (!(v > 0.0)) continue;  // constant at this level; skip the point
-    plot.log10_m.push_back(std::log10(static_cast<double>(m)));
-    plot.log10_var.push_back(std::log10(v));
-  }
-  if (plot.log10_m.size() < 3)
-    return Error::numeric("variance_time: fewer than 3 usable aggregation levels");
-  return plot;
+  const stats::PrefixMoments pm(xs);
+  return variance_time_plot(pm, options);
 }
 
-Result<HurstEstimate> variance_time_hurst(std::span<const double> xs,
-                                          const VarianceTimeOptions& options) {
-  auto plot = variance_time_plot(xs, options);
-  if (!plot) return plot.error();
+namespace {
 
+Result<HurstEstimate> fit_vt(Result<VarianceTimePlot> plot) {
+  if (!plot) return plot.error();
   const auto fit = stats::ols(plot.value().log10_m, plot.value().log10_var);
   HurstEstimate est;
   est.method = HurstMethod::kVarianceTime;
@@ -43,6 +54,18 @@ Result<HurstEstimate> variance_time_hurst(std::span<const double> xs,
   est.ci95_halfwidth = 1.96 * fit.stderr_slope / 2.0;
   est.r_squared = fit.r_squared;
   return est;
+}
+
+}  // namespace
+
+Result<HurstEstimate> variance_time_hurst(std::span<const double> xs,
+                                          const VarianceTimeOptions& options) {
+  return fit_vt(variance_time_plot(xs, options));
+}
+
+Result<HurstEstimate> variance_time_hurst(const stats::PrefixMoments& pm,
+                                          const VarianceTimeOptions& options) {
+  return fit_vt(variance_time_plot(pm, options));
 }
 
 }  // namespace fullweb::lrd

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lrd/hurst.h"
+#include "stats/prefix_moments.h"
 #include "support/result.h"
 
 namespace fullweb::lrd {
@@ -25,6 +26,11 @@ struct VarianceTimeOptions {
 [[nodiscard]] support::Result<HurstEstimate> variance_time_hurst(
     std::span<const double> xs, const VarianceTimeOptions& options = {});
 
+/// Same, against a prebuilt prefix-moment structure (shared across the
+/// estimator suite); no per-level aggregate is materialized.
+[[nodiscard]] support::Result<HurstEstimate> variance_time_hurst(
+    const stats::PrefixMoments& pm, const VarianceTimeOptions& options = {});
+
 /// The raw variance-time plot points (log10 m, log10 Var(X^(m))) — used by
 /// diagnostics and the figure benches.
 struct VarianceTimePlot {
@@ -33,5 +39,7 @@ struct VarianceTimePlot {
 };
 [[nodiscard]] support::Result<VarianceTimePlot> variance_time_plot(
     std::span<const double> xs, const VarianceTimeOptions& options = {});
+[[nodiscard]] support::Result<VarianceTimePlot> variance_time_plot(
+    const stats::PrefixMoments& pm, const VarianceTimeOptions& options = {});
 
 }  // namespace fullweb::lrd

@@ -10,9 +10,11 @@
 // References: Fox & Taqqu (1986); Taqqu & Teverovsky (1998); Paxson (1997).
 #pragma once
 
+#include <array>
 #include <span>
 
 #include "lrd/hurst.h"
+#include "stats/periodogram.h"
 #include "support/result.h"
 
 namespace fullweb::lrd {
@@ -40,7 +42,43 @@ struct WhittleResult {
 /// Exposed for tests and for the aggregation bench diagnostics.
 [[nodiscard]] double fgn_spectral_density(double lambda, double hurst) noexcept;
 
+namespace detail {
+
+/// Exact aliasing bracket B(lambda; H) of the fGn density: Paxson's 3-term
+/// sum plus the Euler-Maclaurin correction, so that
+///   f*(lambda; H) = scale * (0.5 * sinc_term * lambda^{-2H-1} +
+///                            2 * sin^2(lambda/2) * B(lambda; H)).
+/// Exposed for the interpolation-accuracy tests.
+[[nodiscard]] double fgn_alias_sum(double lambda, double hurst) noexcept;
+
+/// Chebyshev interpolant of fgn_alias_sum(., hurst) on [0, pi]. B is
+/// analytic there (nearest singularity lambda = 2*pi), so 24 nodes reach
+/// relative error far below the 1e-4 accuracy of the Paxson bracket itself;
+/// evaluation is a short Clenshaw recurrence instead of ~10 pow/exp calls.
+class AliasChebyshev {
+ public:
+  static constexpr std::size_t kNodes = 18;
+
+  explicit AliasChebyshev(double hurst) noexcept;
+
+  [[nodiscard]] double operator()(double lambda) const noexcept;
+  /// Batched Clenshaw evaluation (independent recurrences, 4 per step).
+  void eval_batch(std::span<const double> lambda,
+                  std::span<double> out) const noexcept;
+
+ private:
+  std::array<double, kNodes> coef_{};
+};
+
+}  // namespace detail
+
 [[nodiscard]] support::Result<WhittleResult> whittle_hurst(
     std::span<const double> xs, const WhittleOptions& options = {});
+
+/// Same, against a prebuilt periodogram (shared across the estimator suite).
+/// The caller is responsible for the min_samples policy; the periodogram
+/// should come from a power-of-two-truncated series as whittle_hurst does.
+[[nodiscard]] support::Result<WhittleResult> whittle_hurst_pg(
+    const stats::Periodogram& pg, const WhittleOptions& options = {});
 
 }  // namespace fullweb::lrd

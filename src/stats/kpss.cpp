@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "stats/descriptive.h"
+#include "stats/prefix_moments.h"
 #include "stats/regression.h"
 
 namespace fullweb::stats {
@@ -33,6 +35,37 @@ double interpolate_p(double stat, const double* crit) {
   return 0.01;
 }
 
+/// Four-lane sum of squares of xs (the partial-sum numerator kernel).
+double sum_sq4(std::span<const double> xs) noexcept {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t t = 0;
+  const double* p = xs.data();
+  for (; t + 4 <= xs.size(); t += 4) {
+    s0 += p[t] * p[t];
+    s1 += p[t + 1] * p[t + 1];
+    s2 += p[t + 2] * p[t + 2];
+    s3 += p[t + 3] * p[t + 3];
+  }
+  for (; t < xs.size(); ++t) s0 += p[t] * p[t];
+  return (s0 + s2) + (s1 + s3);
+}
+
+/// Four-lane lagged dot product sum_t e[t] * e[t - s].
+double lagged_dot4(std::span<const double> e, std::size_t s) noexcept {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  const double* p = e.data();
+  const std::size_t n = e.size();
+  std::size_t t = s;
+  for (; t + 4 <= n; t += 4) {
+    a0 += p[t] * p[t - s];
+    a1 += p[t + 1] * p[t + 1 - s];
+    a2 += p[t + 2] * p[t + 2 - s];
+    a3 += p[t + 3] * p[t + 3 - s];
+  }
+  for (; t < n; ++t) a0 += p[t] * p[t - s];
+  return (a0 + a2) + (a1 + a3);
+}
+
 }  // namespace
 
 Result<KpssResult> kpss_test(std::span<const double> xs, KpssNull null_hypothesis,
@@ -40,12 +73,13 @@ Result<KpssResult> kpss_test(std::span<const double> xs, KpssNull null_hypothesi
   const std::size_t n = xs.size();
   if (n < 10) return Error::insufficient_data("kpss_test: need n >= 10");
 
-  // Residuals under the null: demean (level) or detrend (trend).
+  // Residuals under the null: demean (level) or detrend (trend). The level
+  // path demeans against the compensated mean; either way the residuals'
+  // partial sums S_t come from the PrefixMoments centered cumsum (the
+  // detrended residuals have ~zero mean, so centering is a no-op there).
   std::vector<double> e(n);
   if (null_hypothesis == KpssNull::kLevel) {
-    double m = 0.0;
-    for (double x : xs) m += x;
-    m /= static_cast<double>(n);
+    const double m = compensated_mean(xs);
     for (std::size_t t = 0; t < n; ++t) e[t] = xs[t] - m;
   } else {
     std::vector<double> tt(n);
@@ -53,14 +87,13 @@ Result<KpssResult> kpss_test(std::span<const double> xs, KpssNull null_hypothesi
     const LinearFit fit = ols(tt, xs);
     for (std::size_t t = 0; t < n; ++t) e[t] = xs[t] - fit.predict(tt[t]);
   }
+  const PrefixMoments pm(e);
 
-  // Partial-sum statistic numerator: n^-2 * sum_t S_t^2.
-  double sum_s2 = 0.0;
-  double s_t = 0.0;
-  for (std::size_t t = 0; t < n; ++t) {
-    s_t += e[t];
-    sum_s2 += s_t * s_t;
-  }
+  // Partial-sum statistic numerator: n^-2 * sum_t S_t^2, with
+  // S_t = sum_{u <= t} e_u = centered_prefix(t + 1) + (t + 1) * mean(e);
+  // mean(e) is ~0 by construction, so use the centered prefix directly
+  // (each partial sum is compensated instead of drifting).
+  const double sum_s2 = sum_sq4(pm.centered_cumsum().subspan(1));
   const double nn = static_cast<double>(n);
   const double numerator = sum_s2 / (nn * nn);
 
@@ -73,14 +106,10 @@ Result<KpssResult> kpss_test(std::span<const double> xs, KpssNull null_hypothesi
   }
   l = std::min(l, n - 1);
 
-  double s2 = 0.0;
-  for (std::size_t t = 0; t < n; ++t) s2 += e[t] * e[t];
-  s2 /= nn;
+  double s2 = pm.block_sum_sq_dev(0, n) / nn;
   for (std::size_t s = 1; s <= l; ++s) {
     const double w = 1.0 - static_cast<double>(s) / static_cast<double>(l + 1);
-    double gamma = 0.0;
-    for (std::size_t t = s; t < n; ++t) gamma += e[t] * e[t - s];
-    s2 += 2.0 * w * gamma / nn;
+    s2 += 2.0 * w * lagged_dot4(e, s) / nn;
   }
   if (!(s2 > 0.0))
     return Error::numeric("kpss_test: zero long-run variance (constant series)");

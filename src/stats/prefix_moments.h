@@ -1,0 +1,115 @@
+// Compensated prefix moments: the shared compute layer behind the
+// block/aggregation-based statistics (variance-time, R/S, KPSS, DFA,
+// aggregated_variances).
+//
+// One O(n) pass builds Neumaier-compensated prefix sums of the
+// anchor-centered series v_t = x_t - anchor (anchor = compensated mean) and
+// of v_t^2; every block mean, block variance, partial sum and
+// cumulative-deviation walk afterwards is an O(1) lookup. Centering first
+// keeps block variances stable when the mean dominates the fluctuations
+// (per-second counts with a large offset), which is exactly where naive
+// one-pass prefix variance formulas collapse. Optional weighted prefixes
+// (sum t*v_t, sum t^2*v_t) serve DFA's per-box polynomial fits.
+//
+// Consumers treat a PrefixMoments as an immutable read-only view builder:
+// it does NOT copy or alias the input after construction, all state lives
+// in owned vectors, and concurrent reads are safe (no mutation).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fullweb::stats {
+
+class PrefixMoments {
+ public:
+  /// Highest-order index-weighted prefix to materialize alongside the plain
+  /// moments: kNone for block mean/variance queries only, kLinear adds
+  /// sum t*v_t (linear detrending), kQuadratic adds sum t^2*v_t.
+  enum class Weighted { kNone, kLinear, kQuadratic };
+
+  PrefixMoments() = default;
+  explicit PrefixMoments(std::span<const double> xs,
+                         Weighted weighted = Weighted::kNone);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  /// Compensated mean of the whole series (0 when empty).
+  [[nodiscard]] double anchor() const noexcept { return anchor_; }
+
+  /// Sum of x_t over [i, j). Requires i <= j <= size().
+  [[nodiscard]] double sum(std::size_t i, std::size_t j) const noexcept {
+    assert(i <= j && j <= n_);
+    return (cum_[j] - cum_[i]) +
+           static_cast<double>(j - i) * anchor_;
+  }
+  /// Sum of the centered values v_t = x_t - anchor over [i, j).
+  [[nodiscard]] double centered_sum(std::size_t i, std::size_t j) const noexcept {
+    assert(i <= j && j <= n_);
+    return cum_[j] - cum_[i];
+  }
+  /// Mean over [i, j). Requires i < j.
+  [[nodiscard]] double block_mean(std::size_t i, std::size_t j) const noexcept {
+    assert(i < j && j <= n_);
+    return (cum_[j] - cum_[i]) / static_cast<double>(j - i) + anchor_;
+  }
+  /// Sum of squared deviations from the block's own mean over [i, j),
+  /// clamped to >= 0 (cancellation can otherwise leave a tiny negative).
+  [[nodiscard]] double block_sum_sq_dev(std::size_t i,
+                                        std::size_t j) const noexcept {
+    assert(i <= j && j <= n_);
+    if (j == i) return 0.0;
+    const double s = cum_[j] - cum_[i];
+    const double s2 = cum2_[j] - cum2_[i];
+    const double ssd = s2 - s * s / static_cast<double>(j - i);
+    return ssd > 0.0 ? ssd : 0.0;
+  }
+  /// Population variance over [i, j) (divides by the block length).
+  [[nodiscard]] double block_variance(std::size_t i,
+                                      std::size_t j) const noexcept {
+    if (j == i) return 0.0;
+    return block_sum_sq_dev(i, j) / static_cast<double>(j - i);
+  }
+
+  /// Centered prefix sum C_k = sum_{t < k} v_t; C_0 = 0, C_n ~= 0. Equal to
+  /// the KPSS partial sum S_k of the demeaned series and to the DFA profile
+  /// (profile[t] = centered_prefix(t + 1)).
+  [[nodiscard]] double centered_prefix(std::size_t k) const noexcept {
+    assert(k <= n_);
+    return cum_[k];
+  }
+  /// The whole centered cumulative-sum array, length size() + 1 ([0] = 0):
+  /// feeds minmax_prefix_walk and serves as a zero-copy DFA profile.
+  [[nodiscard]] std::span<const double> centered_cumsum() const noexcept {
+    return cum_;
+  }
+
+  /// Sum of t * v_t over [i, j) (global index t). Requires kLinear+.
+  [[nodiscard]] double weighted_centered_sum(std::size_t i,
+                                             std::size_t j) const noexcept {
+    assert(i <= j && j <= n_ && !wcum_.empty());
+    return wcum_[j] - wcum_[i];
+  }
+  /// Sum of t^2 * v_t over [i, j). Requires kQuadratic.
+  [[nodiscard]] double weighted2_centered_sum(std::size_t i,
+                                              std::size_t j) const noexcept {
+    assert(i <= j && j <= n_ && !w2cum_.empty());
+    return w2cum_[j] - w2cum_[i];
+  }
+
+  /// Population variance of the m-aggregated series (block means of
+  /// consecutive size-m blocks, trailing partial block dropped) — the
+  /// variance-time plot's per-level ingredient, O(n / m) per level.
+  [[nodiscard]] double aggregated_variance(std::size_t m) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double anchor_ = 0.0;
+  std::vector<double> cum_;    ///< prefix sums of v_t, length n + 1
+  std::vector<double> cum2_;   ///< prefix sums of v_t^2, length n + 1
+  std::vector<double> wcum_;   ///< prefix sums of t * v_t (optional)
+  std::vector<double> w2cum_;  ///< prefix sums of t^2 * v_t (optional)
+};
+
+}  // namespace fullweb::stats

@@ -1,0 +1,148 @@
+#include "stats/vecmath.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace fullweb::stats {
+
+namespace {
+
+// Rational minimax coefficients after Cephes (Moshier), double precision.
+
+// exp: e^r = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)) on |r| <= ln2/2.
+constexpr double kExpP0 = 1.26177193074810590878e-4;
+constexpr double kExpP1 = 3.02994407707441961300e-2;
+constexpr double kExpP2 = 9.99999999999999999910e-1;
+constexpr double kExpQ0 = 3.00198505138664455042e-6;
+constexpr double kExpQ1 = 2.52448340349684104192e-3;
+constexpr double kExpQ2 = 2.27265548208155028766e-1;
+constexpr double kExpQ3 = 2.00000000000000000005e0;
+constexpr double kLog2E = 1.4426950408889634073599;
+constexpr double kLn2Hi = 6.93145751953125e-1;
+constexpr double kLn2Lo = 1.42860682030941723212e-6;
+constexpr double kExpOverflow = 709.782712893383996843;
+constexpr double kExpUnderflow = -708.396418532264106224;
+
+// log: log(1+x) = x - x^2/2 + x^3 P(x)/Q(x) on [sqrt(1/2)-1, sqrt(2)-1].
+constexpr double kLogP0 = 1.01875663804580931796e-4;
+constexpr double kLogP1 = 4.97494994976747001425e-1;
+constexpr double kLogP2 = 4.70579119878881725854e0;
+constexpr double kLogP3 = 1.44989225341610930846e1;
+constexpr double kLogP4 = 1.79368678507819816313e1;
+constexpr double kLogP5 = 7.70838733755885391666e0;
+constexpr double kLogQ0 = 1.12873587189167450590e1;
+constexpr double kLogQ1 = 4.52279145837532221105e1;
+constexpr double kLogQ2 = 8.29875266912776603211e1;
+constexpr double kLogQ3 = 7.11544750618563894466e1;
+constexpr double kLogQ4 = 2.31251620126765340583e1;
+constexpr double kLogC1 = 0.693359375;                    // ln2 hi
+constexpr double kLogC2 = -2.121944400546905827679e-4;    // ln2 lo
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+/// Core e^x for finite x already clamped into the non-saturating range.
+inline double exp_core(double x) noexcept {
+  // r = x - n ln2 with n = floor(x log2(e) + 1/2), |r| <= ln2/2.
+  const double t = kLog2E * x + 0.5;
+  auto n = static_cast<int>(t);          // truncation toward zero...
+  n -= static_cast<int>(t < static_cast<double>(n));  // ...fixed up to floor
+  const double fn = static_cast<double>(n);
+  double r = x - fn * kLn2Hi;
+  r -= fn * kLn2Lo;
+
+  const double rr = r * r;
+  const double px = r * ((kExpP0 * rr + kExpP1) * rr + kExpP2);
+  const double qx = ((kExpQ0 * rr + kExpQ1) * rr + kExpQ2) * rr + kExpQ3;
+  const double e = 1.0 + 2.0 * px / (qx - px);
+
+  // 2^n in two factors so n = +-1024 (one past the normal exponent range
+  // after rounding) stays exact without an inf/denormal intermediate.
+  const int n1 = n / 2;
+  const int n2 = n - n1;
+  const double s1 =
+      std::bit_cast<double>(static_cast<std::uint64_t>(1023 + n1) << 52);
+  const double s2 =
+      std::bit_cast<double>(static_cast<std::uint64_t>(1023 + n2) << 52);
+  return e * s1 * s2;
+}
+
+/// Core log(x) for positive normal finite x.
+inline double log_core(double x) noexcept {
+  // frexp via bits: x = m * 2^e with m in [0.5, 1).
+  const auto u = std::bit_cast<std::uint64_t>(x);
+  int e = static_cast<int>((u >> 52) & 0x7ffU) - 1022;
+  double m = std::bit_cast<double>((u & 0x000fffffffffffffULL) |
+                                   0x3fe0000000000000ULL);
+  const bool low = m < kSqrtHalf;
+  e -= static_cast<int>(low);
+  m = low ? 2.0 * m - 1.0 : m - 1.0;
+
+  const double z = m * m;
+  const double p =
+      ((((kLogP0 * m + kLogP1) * m + kLogP2) * m + kLogP3) * m + kLogP4) * m +
+      kLogP5;
+  const double q =
+      ((((m + kLogQ0) * m + kLogQ1) * m + kLogQ2) * m + kLogQ3) * m + kLogQ4;
+  const double fe = static_cast<double>(e);
+  double y = m * (z * p / q);
+  y += fe * kLogC2;
+  y -= 0.5 * z;
+  return m + y + fe * kLogC1;
+}
+
+inline bool log_fast_path(double x) noexcept {
+  // Positive, normal, finite: exponent field in [1, 2046) and sign clear.
+  const auto u = std::bit_cast<std::uint64_t>(x);
+  const auto exp_field = (u >> 52) & 0xfffU;  // sign folded into bit 11
+  return exp_field - 1 < 2045U;
+}
+
+}  // namespace
+
+double vm_exp(double x) noexcept {
+  if (x != x) return x;                       // NaN
+  if (x > kExpOverflow) return HUGE_VAL;
+  if (x < kExpUnderflow) return 0.0;
+  return exp_core(x);
+}
+
+double vm_log(double x) noexcept {
+  if (!log_fast_path(x)) return std::log(x);  // <= 0, denormal, inf, NaN
+  return log_core(x);
+}
+
+void exp_batch(std::span<const double> xs, std::span<double> out) noexcept {
+  assert(out.size() == xs.size());
+  // A cheap vectorized scan decides between the branch-free core loop (the
+  // common case: every input in the non-saturating range, which is what the
+  // hot callers feed) and the scalar loop that handles saturation and NaN.
+  // The scan runs before any write so in-place calls stay correct, and the
+  // fast loop computes exactly what vm_exp computes for in-range inputs.
+  const std::size_t n = xs.size();
+  unsigned special = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = xs[i];
+    // !(x >= lo) is true for both underflow and NaN.
+    special |= static_cast<unsigned>(!(x >= kExpUnderflow)) |
+               static_cast<unsigned>(x > kExpOverflow);
+  }
+  if (!special) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = exp_core(xs[i]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = vm_exp(xs[i]);
+  }
+}
+
+void log_batch(std::span<const double> xs, std::span<double> out) noexcept {
+  assert(out.size() == xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = vm_log(xs[i]);
+}
+
+void log10_batch(std::span<const double> xs, std::span<double> out) noexcept {
+  assert(out.size() == xs.size());
+  constexpr double kLog10E = 0.43429448190325182765;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = vm_log(xs[i]) * kLog10E;
+}
+
+}  // namespace fullweb::stats

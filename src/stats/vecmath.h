@@ -1,0 +1,30 @@
+// Deterministic batch exp/log kernels for the spectral hot loops.
+//
+// The Whittle objective spends nearly all of its time in exp/log over long
+// arrays; libm calls there are both the scalar bottleneck and a portability
+// hazard for the golden bit-pattern gate (different libms round the last
+// bit differently). These kernels use fixed Cephes-style rational
+// approximations (~1-2 ulp) with branch-free range reduction, so results
+// are bit-identical across platforms and the loops pipeline/vectorize.
+// Scalar forms are exposed for tests and one-off use; the *_batch forms
+// accept out.size() == xs.size() and allow in-place operation (out == xs).
+//
+// Domain notes: vm_exp saturates to 0 / +inf outside [-708.39, 709.78] and
+// propagates NaN; vm_log falls back to std::log for non-positive, denormal
+// or non-finite inputs (the hot paths only feed it positive normals).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fullweb::stats {
+
+[[nodiscard]] double vm_exp(double x) noexcept;
+[[nodiscard]] double vm_log(double x) noexcept;
+
+void exp_batch(std::span<const double> xs, std::span<double> out) noexcept;
+void log_batch(std::span<const double> xs, std::span<double> out) noexcept;
+/// log10 via vm_log * log10(e); plot-assembly accuracy (~2 ulp).
+void log10_batch(std::span<const double> xs, std::span<double> out) noexcept;
+
+}  // namespace fullweb::stats

@@ -1,0 +1,14 @@
+// timeseries-facing name for the shared prefix-moment layer.
+//
+// The class itself lives in stats (stats::kpss_test consumes it and the
+// stats library sits below timeseries in the link order); aggregation-side
+// code refers to it as timeseries::PrefixMoments.
+#pragma once
+
+#include "stats/prefix_moments.h"
+
+namespace fullweb::timeseries {
+
+using stats::PrefixMoments;
+
+}  // namespace fullweb::timeseries

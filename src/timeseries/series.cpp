@@ -6,6 +6,7 @@
 #include <set>
 
 #include "stats/descriptive.h"
+#include "stats/prefix_moments.h"
 
 namespace fullweb::timeseries {
 
@@ -29,22 +30,18 @@ std::vector<double> aggregate(std::span<const double> xs, std::size_t m) {
   if (m == 1) return {xs.begin(), xs.end()};
   const std::size_t blocks = xs.size() / m;
   std::vector<double> out(blocks);
-  for (std::size_t k = 0; k < blocks; ++k) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < m; ++i) sum += xs[k * m + i];
-    out[k] = sum / static_cast<double>(m);
-  }
+  stats::block_means(xs.first(blocks * m), m, out);
   return out;
 }
 
 std::vector<double> aggregated_variances(std::span<const double> xs,
                                          std::span<const std::size_t> levels) {
+  // One O(n) prefix-moment build; each level is then O(n/m) block-mean
+  // lookups instead of a fresh O(n) aggregate + variance pass.
+  const stats::PrefixMoments pm(xs);
   std::vector<double> vars;
   vars.reserve(levels.size());
-  for (std::size_t m : levels) {
-    const auto agg = aggregate(xs, m);
-    vars.push_back(stats::variance_population(agg));
-  }
+  for (std::size_t m : levels) vars.push_back(pm.aggregated_variance(m));
   return vars;
 }
 

@@ -54,7 +54,34 @@ WaveletDecomposition dwt(std::span<const double> xs, WaveletKind kind,
     std::vector<double> next(half, 0.0);
     std::vector<double> detail(half, 0.0);
     const std::size_t n = approx.size();
-    for (std::size_t k = 0; k < half; ++k) {
+    // The periodic wrap only matters for the last few outputs (2k + t >= n
+    // needs 2k > n - flen), so the bulk of each level runs with direct
+    // indexing — the per-tap modulo was the hot spot of the whole transform.
+    // Accumulation order per output is identical to the wrapped loop.
+    const std::size_t safe = (n - flen) / 2 + 1;
+    const double* src = approx.data();
+    if (flen == 4) {
+      const double h0 = f.h[0], h1 = f.h[1], h2 = f.h[2], h3 = f.h[3];
+      const double g0 = f.g[0], g1 = f.g[1], g2 = f.g[2], g3 = f.g[3];
+      for (std::size_t k = 0; k < safe; ++k) {
+        const double* p = src + 2 * k;
+        next[k] = ((h0 * p[0] + h1 * p[1]) + h2 * p[2]) + h3 * p[3];
+        detail[k] = ((g0 * p[0] + g1 * p[1]) + g2 * p[2]) + g3 * p[3];
+      }
+    } else {
+      for (std::size_t k = 0; k < safe; ++k) {
+        const double* p = src + 2 * k;
+        double a = 0.0;
+        double d = 0.0;
+        for (std::size_t t = 0; t < flen; ++t) {
+          a += f.h[t] * p[t];
+          d += f.g[t] * p[t];
+        }
+        next[k] = a;
+        detail[k] = d;
+      }
+    }
+    for (std::size_t k = safe; k < half; ++k) {
       double a = 0.0;
       double d = 0.0;
       for (std::size_t t = 0; t < flen; ++t) {

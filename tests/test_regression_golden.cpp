@@ -32,7 +32,7 @@ constexpr std::uint64_t kFgn0 = 0x3fed34f2d75e6ff7ULL;   // 0.91271345199811449
 constexpr std::uint64_t kFgn1 = 0x3fed3c49a52fbf4aULL;   // 0.91360933554640522
 constexpr std::uint64_t kFgn31 = 0x3fd87e919fb3fcb8ULL;  // 0.38272514911654865
 constexpr std::uint64_t kFgn63 = 0xbfba6d9737241640ULL;  // -0.10323472114767984
-constexpr std::uint64_t kWhittleH = 0x3fe9b1e6390e0625ULL;    // 0.80296622413169827
+constexpr std::uint64_t kWhittleH = 0x3fe9b20b6eca457cULL;    // 0.80298396719642500
 constexpr std::uint64_t kCiEstimate = 0x3ff67221eea3b287ULL;  // 1.4028643915036427
 constexpr std::uint64_t kCiLo = 0x3ff3ab2fa05ef95dULL;        // 1.2292934669963735
 constexpr std::uint64_t kCiHi = 0x3ff97192bdfe1a63ULL;        // 1.5902278348527481

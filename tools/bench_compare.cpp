@@ -5,8 +5,10 @@
 //
 // Matches benchmarks by name, compares the chosen per-iteration time metric,
 // and prints one row per benchmark with the ratio new/old. Exits 1 when any
-// benchmark regressed by more than the threshold (default +10%), so a CI
-// regression gate is:
+// benchmark regressed by more than the threshold (default +10%) or when a
+// baseline benchmark is missing from the new run (a rename or a silently
+// dropped bench must not shrink the gate); benchmarks only present in the
+// new run are informational. A CI regression gate is:
 //
 //   ./bench/bench_micro --benchmark_out=new.json --benchmark_out_format=json
 //   ./tools/bench_compare BENCH_micro.json new.json
@@ -303,11 +305,16 @@ int main(int argc, char** argv) {
               "new (ns)", "ratio", "verdict");
   int regressions = 0;
   int compared = 0;
+  int missing = 0;
   for (const auto& [name, base] : baseline) {
     const auto it = fresh.find(name);
     if (it == fresh.end()) {
+      // A baseline key the new run never produced means the benchmark was
+      // renamed or silently dropped — fail loudly instead of letting the
+      // gate shrink to whatever still matches.
       std::printf("%-40s %14.0f %14s %8s  MISSING in new run\n", name.c_str(),
                   base.time, "-", "-");
+      ++missing;
       continue;
     }
     ++compared;
@@ -328,7 +335,8 @@ int main(int argc, char** argv) {
                   result.time, "-");
   }
 
-  std::printf("\n%d/%d benchmarks within %.0f%%; %d regression(s)\n",
-              compared - regressions, compared, threshold * 100.0, regressions);
-  return regressions > 0 ? 1 : 0;
+  std::printf("\n%d/%d benchmarks within %.0f%%; %d regression(s), %d missing\n",
+              compared - regressions, compared, threshold * 100.0, regressions,
+              missing);
+  return regressions > 0 || missing > 0 ? 1 : 0;
 }
