@@ -33,10 +33,13 @@ endif()
 # test_shared_kernels covers the compute-sharing layer (prefix moments,
 # aggregation pyramid, shared periodogram) including its 1-vs-8-thread
 # bit-identity checks, which only mean something under TSan.
+# test_validation runs the Monte Carlo replicate runner's 1-vs-N-thread
+# bit-identity checks; test_support_workspace pins the thread_local arena
+# isolation — both are claims that only TSan can actually falsify.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
   test_weblog_streaming test_weblog_corpus
-  test_shared_kernels)
+  test_shared_kernels test_validation test_support_workspace)
 
 message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(

@@ -43,6 +43,12 @@ struct HurstEstimate {
   [[nodiscard]] double ci_high() const noexcept {
     return ci95_halfwidth ? h + *ci95_halfwidth : h;
   }
+  /// Whether the 95% CI contains `true_h`. False when the method provides
+  /// no CI — callers measuring coverage must check ci95_halfwidth first.
+  [[nodiscard]] bool ci_covers(double true_h) const noexcept {
+    return ci95_halfwidth && h - *ci95_halfwidth <= true_h &&
+           true_h <= h + *ci95_halfwidth;
+  }
 };
 
 }  // namespace fullweb::lrd

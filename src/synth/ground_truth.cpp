@@ -1,0 +1,100 @@
+#include "synth/ground_truth.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/distributions.h"
+#include "timeseries/fgn.h"
+
+namespace fullweb::synth {
+
+support::Result<std::vector<double>> draw_fgn(const FgnTruth& truth,
+                                              support::Rng& rng) {
+  return timeseries::generate_fgn(truth.n, truth.hurst, truth.sigma, rng);
+}
+
+std::vector<double> draw_pareto(const ParetoTruth& truth, support::Rng& rng) {
+  const stats::Pareto p(truth.alpha, truth.k);
+  std::vector<double> xs(truth.n);
+  for (auto& x : xs) x = p.sample(rng);
+  return xs;
+}
+
+std::vector<double> draw_lognormal(const LognormalTruth& truth,
+                                   support::Rng& rng) {
+  const stats::Lognormal ln(truth.mu, truth.sigma);
+  std::vector<double> xs(truth.n);
+  for (auto& x : xs) x = ln.sample(rng);
+  return xs;
+}
+
+std::vector<double> draw_poisson_arrivals(const PoissonArrivalsTruth& truth,
+                                          support::Rng& rng) {
+  std::vector<double> times;
+  times.reserve(
+      static_cast<std::size_t>((truth.t1 - truth.t0) * truth.rate * 1.1) + 16);
+  double t = truth.t0;
+  while (true) {
+    t += -std::log(rng.uniform_pos()) / truth.rate;
+    if (t >= truth.t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> draw_contaminated_arrivals(
+    const ContaminatedArrivalsTruth& truth, support::Rng& rng) {
+  const double span = truth.t1 - truth.t0;
+  // Thinning (Lewis & Shedler): simulate at the peak rate, keep each event
+  // with probability r(t)/r_max. The acceptance draw happens for every
+  // candidate, so the variate count per candidate is fixed.
+  const double r_max = truth.base_rate *
+      (1.0 + std::max(0.0, truth.trend_fraction) +
+       std::abs(truth.cycle_amplitude));
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(span * truth.base_rate * 1.2) + 16);
+  double t = truth.t0;
+  while (true) {
+    t += -std::log(rng.uniform_pos()) / r_max;
+    if (t >= truth.t1) break;
+    const double u = (t - truth.t0) / span;
+    const double rate = truth.base_rate *
+        (1.0 + truth.trend_fraction * u +
+         truth.cycle_amplitude *
+             std::sin(2.0 * std::numbers::pi * u * span / truth.cycle_period));
+    const double accept = rng.uniform();
+    if (accept * r_max < rate) times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> draw_stationary_series(const StationarySeriesTruth& truth,
+                                           support::Rng& rng) {
+  std::vector<double> xs(truth.n);
+  if (truth.n == 0) return xs;
+  const double phi = truth.ar1;
+  const double innovation_sigma =
+      truth.sigma * std::sqrt(std::max(0.0, 1.0 - phi * phi));
+  xs[0] = truth.sigma * rng.normal();  // stationary marginal: no burn-in
+  for (std::size_t t = 1; t < truth.n; ++t)
+    xs[t] = phi * xs[t - 1] + innovation_sigma * rng.normal();
+  return xs;
+}
+
+std::vector<double> draw_trend_diurnal_series(
+    const TrendDiurnalSeriesTruth& truth, support::Rng& rng) {
+  std::vector<double> xs(truth.n);
+  if (truth.n == 0) return xs;
+  const double denom = static_cast<double>(truth.n);
+  for (std::size_t t = 0; t < truth.n; ++t) {
+    const double u = static_cast<double>(t) / denom;
+    xs[t] = truth.sigma *
+                (rng.normal() + truth.trend_per_n * u +
+                 truth.cycle_amplitude *
+                     std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                              truth.cycle_period));
+  }
+  return xs;
+}
+
+}  // namespace fullweb::synth

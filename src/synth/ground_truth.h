@@ -1,0 +1,128 @@
+// Ground-truth process generators for the statistical self-validation
+// harness (src/validation).
+//
+// Each generator draws from a process whose data-generating parameters are
+// *declared up front* in an options struct, so a Monte Carlo calibration run
+// can compare what an estimator recovered against what was actually put in:
+// fGn with known H for the Hurst suite, Pareto/lognormal with known
+// alpha/(mu, sigma) for the tail estimators and the curvature
+// discrimination, homogeneous Poisson arrivals for the Paxson-Floyd size
+// check, and trend+diurnal contaminated variants for the power checks that
+// mirror the paper's §4.1 detrending argument.
+//
+// All generators take an explicit support::Rng, draw a deterministic number
+// of variates for fixed parameters, and are pure functions of (parameters,
+// rng state) — the properties the replicate runner relies on for
+// bit-identical fan-out across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace fullweb::synth {
+
+// ---------------------------------------------------------------------------
+// Long-range dependent series (Hurst recovery).
+
+struct FgnTruth {
+  std::size_t n = 8192;
+  double hurst = 0.7;   ///< the parameter every estimator must recover
+  double sigma = 1.0;
+};
+
+/// Exact fGn via the cached Davies-Harte circulant generator
+/// (timeseries::generate_fgn). Errors only on invalid parameters.
+[[nodiscard]] support::Result<std::vector<double>> draw_fgn(
+    const FgnTruth& truth, support::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Heavy-tailed samples (tail recovery / curvature discrimination).
+
+struct ParetoTruth {
+  std::size_t n = 20000;
+  double alpha = 1.5;   ///< tail index to recover
+  double k = 1.0;       ///< location (minimum)
+};
+
+[[nodiscard]] std::vector<double> draw_pareto(const ParetoTruth& truth,
+                                              support::Rng& rng);
+
+struct LognormalTruth {
+  std::size_t n = 20000;
+  double mu = 0.0;
+  double sigma = 1.5;   ///< curvature grows with sigma; no true power tail
+};
+
+[[nodiscard]] std::vector<double> draw_lognormal(const LognormalTruth& truth,
+                                                 support::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Arrival processes (Poisson battery size/power).
+
+struct PoissonArrivalsTruth {
+  double t0 = 0.0;
+  double t1 = 4.0 * 3600.0;  ///< the paper's 4-hour analysis window
+  double rate = 1.0;         ///< events per second
+};
+
+/// Homogeneous Poisson arrival times in [t0, t1), sorted ascending — the
+/// null the Paxson-Floyd battery must NOT reject (size check).
+[[nodiscard]] std::vector<double> draw_poisson_arrivals(
+    const PoissonArrivalsTruth& truth, support::Rng& rng);
+
+struct ContaminatedArrivalsTruth {
+  double t0 = 0.0;
+  double t1 = 4.0 * 3600.0;
+  double base_rate = 1.0;       ///< mean rate, events per second
+  double trend_fraction = 1.0;  ///< rate climbs by this fraction of base over
+                                ///< the window (the paper's "slight trend",
+                                ///< exaggerated to a detectable level)
+  double cycle_amplitude = 0.9; ///< sinusoidal modulation, fraction of base
+  /// Seconds per cycle. The piecewise battery tests each sub-interval
+  /// separately, so rate variation slower than the sub-interval length is
+  /// (by design) invisible to it; the power check uses a cycle matching the
+  /// 10-minute sub-interval so the modulation lands *inside* each interval.
+  double cycle_period = 600.0;
+};
+
+/// Inhomogeneous Poisson arrivals with rate
+///   r(t) = base * (1 + trend_fraction * u + cycle_amplitude * sin(2 pi u T / P))
+/// where u = (t - t0)/(t1 - t0), drawn by thinning — inter-arrivals are
+/// neither exponential nor independent within sub-intervals, so the battery
+/// should reject (power check).
+[[nodiscard]] std::vector<double> draw_contaminated_arrivals(
+    const ContaminatedArrivalsTruth& truth, support::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Level-stationary and contaminated series (KPSS size/power).
+
+struct StationarySeriesTruth {
+  std::size_t n = 2048;
+  double ar1 = 0.0;     ///< AR(1) coefficient; 0 = white noise
+  double sigma = 1.0;
+};
+
+/// Stationary Gaussian AR(1) around level 0: the KPSS null (size check).
+/// The first sample is drawn from the stationary marginal so there is no
+/// burn-in transient.
+[[nodiscard]] std::vector<double> draw_stationary_series(
+    const StationarySeriesTruth& truth, support::Rng& rng);
+
+struct TrendDiurnalSeriesTruth {
+  std::size_t n = 2048;
+  double sigma = 1.0;
+  double trend_per_n = 4.0;     ///< total drift over the window, in sigmas
+  double cycle_amplitude = 2.0; ///< sinusoid amplitude, in sigmas
+  double cycle_period = 256.0;  ///< samples per cycle
+};
+
+/// White noise plus linear trend plus sinusoid — the §4.1 non-stationarity
+/// the KPSS test must detect (power check) and whose removal restores the
+/// null.
+[[nodiscard]] std::vector<double> draw_trend_diurnal_series(
+    const TrendDiurnalSeriesTruth& truth, support::Rng& rng);
+
+}  // namespace fullweb::synth

@@ -45,7 +45,7 @@ Result<HillPlot> hill_plot(std::span<const double> xs, const HillOptions& option
   for (std::size_t k = 1; k <= k_max; ++k) {
     sum_log += std::log(sorted[k - 1]);
     const double h = sum_log / static_cast<double>(k) - std::log(sorted[k]);
-    if (!(h > 0.0)) {
+    if (!(h > kHillTieEpsilon)) {
       // Ties at the top of the sample: H = 0 means alpha undefined here.
       plot.k.push_back(k);
       plot.alpha.push_back(std::numeric_limits<double>::quiet_NaN());

@@ -32,6 +32,13 @@ struct HillPlot {
   std::vector<double> alpha;    ///< alpha_{k,n}
 };
 
+/// Tie threshold on the Hill statistic H_{k,n}. A run of equal values at the
+/// top of the sample makes H exactly zero in real arithmetic, but the
+/// floating-point recursion can leave a residue of a few ulps — which would
+/// invert to an astronomically large alpha instead of the NaN tie flag. Real
+/// tail signal has H ~ 1/alpha >> this.
+inline constexpr double kHillTieEpsilon = 1e-12;
+
 struct HillEstimate {
   double alpha = 0.0;           ///< mean of alpha over the stable window
   std::size_t k_low = 0;        ///< stable window bounds (inclusive)

@@ -1,0 +1,33 @@
+#include "validation/gates.h"
+
+#include <cmath>
+
+namespace fullweb::validation {
+
+GateCheck make_gate(std::string name, double observed, double lo, double hi) {
+  GateCheck g;
+  g.name = std::move(name);
+  g.observed = observed;
+  g.lo = lo;
+  g.hi = hi;
+  g.pass = std::isfinite(observed) && observed >= lo && observed <= hi;
+  return g;
+}
+
+double proportion_slack(double p, std::size_t replicates) {
+  if (replicates == 0) return 1.0;
+  return 3.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(replicates));
+}
+
+double mean_slack(double sd, std::size_t replicates) {
+  if (replicates == 0) return sd;
+  return 3.0 * sd / std::sqrt(static_cast<double>(replicates));
+}
+
+bool all_pass(const std::vector<GateCheck>& gates) {
+  for (const auto& g : gates)
+    if (!g.pass) return false;
+  return true;
+}
+
+}  // namespace fullweb::validation

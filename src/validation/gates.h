@@ -1,0 +1,41 @@
+// Calibration gates: named pass/fail checks over Monte Carlo summaries.
+//
+// A gate is an acceptance interval for one observed statistic. Intervals
+// combine a *documented model band* (how far a correct implementation may
+// sit from the ideal value — estimator bias, CI under-coverage on finite
+// samples) with *Monte Carlo slack* (3 binomial/normal standard errors at
+// the replicate count actually run), so the same gate definitions hold for
+// the reduced-replicate smoke profile and the full profile without ever
+// passing a broken estimator at full replication.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fullweb::validation {
+
+struct GateCheck {
+  std::string name;     ///< e.g. "hurst/bias/whittle/H=0.70"
+  double observed = 0.0;
+  double lo = 0.0;      ///< acceptance interval (inclusive)
+  double hi = 0.0;
+  bool pass = false;
+};
+
+/// Build a gate, evaluating pass = lo <= observed <= hi. NaN never passes.
+[[nodiscard]] GateCheck make_gate(std::string name, double observed, double lo,
+                                  double hi);
+
+/// 3-sigma Monte Carlo slack for an observed proportion near `p` at
+/// `replicates` draws: 3 * sqrt(p (1-p) / R).
+[[nodiscard]] double proportion_slack(double p, std::size_t replicates);
+
+/// 3-sigma slack for a Monte Carlo *mean* whose per-replicate standard
+/// deviation was observed as `sd`: 3 * sd / sqrt(R).
+[[nodiscard]] double mean_slack(double sd, std::size_t replicates);
+
+/// All pass?
+[[nodiscard]] bool all_pass(const std::vector<GateCheck>& gates);
+
+}  // namespace fullweb::validation

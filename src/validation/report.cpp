@@ -1,0 +1,254 @@
+#include "validation/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+
+#include "support/json.h"
+
+namespace fullweb::validation {
+
+using support::JsonValue;
+using support::JsonWriter;
+
+namespace {
+
+void write_gates(JsonWriter& w, const std::vector<GateCheck>& gates) {
+  w.key("gates");
+  w.begin_array();
+  for (const auto& g : gates) {
+    w.begin_object();
+    w.field("name", g.name);
+    w.field("observed", g.observed);
+    w.field("lo", g.lo);
+    w.field("hi", g.hi);
+    w.field("pass", g.pass);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_hurst(JsonWriter& w, const HurstScenarioResult& hurst) {
+  w.key("hurst");
+  w.begin_object();
+  w.key("config");
+  w.begin_object();
+  w.field("n", hurst.config.n);
+  w.field("replicates", hurst.config.replicates);
+  w.field("coverage_nominal", hurst.config.coverage_nominal);
+  w.end_object();
+  w.key("cells");
+  w.begin_array();
+  for (const auto& c : hurst.cells) {
+    w.begin_object();
+    w.field("estimator", c.estimator);
+    w.field("true_h", c.true_h);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("mean_h", c.mean_h);
+    w.field("bias", c.bias);
+    w.field("sd", c.sd);
+    w.field("rmse", c.rmse);
+    if (c.coverage.has_value()) w.field("coverage", *c.coverage);
+    if (c.mean_ci_halfwidth.has_value())
+      w.field("mean_ci_halfwidth", *c.mean_ci_halfwidth);
+    w.end_object();
+  }
+  w.end_array();
+  write_gates(w, hurst.gates);
+  w.end_object();
+}
+
+void write_tail(JsonWriter& w, const TailScenarioResult& tail) {
+  w.key("tail");
+  w.begin_object();
+  w.key("config");
+  w.begin_object();
+  w.field("n", tail.config.n);
+  w.field("replicates", tail.config.replicates);
+  w.field("curvature_n", tail.config.curvature_n);
+  w.field("curvature_replicates", tail.config.curvature_replicates);
+  w.field("curvature_mc_replicates", tail.config.curvature_mc_replicates);
+  w.field("curvature_pareto_alpha", tail.config.curvature_pareto_alpha);
+  w.field("curvature_lognormal_sigma", tail.config.curvature_lognormal_sigma);
+  w.end_object();
+  w.key("cells");
+  w.begin_array();
+  for (const auto& c : tail.cells) {
+    w.begin_object();
+    w.field("estimator", c.estimator);
+    w.field("true_alpha", c.true_alpha);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("mean_alpha", c.mean_alpha);
+    w.field("bias", c.bias);
+    w.field("rel_bias", c.rel_bias);
+    w.field("sd", c.sd);
+    w.field("rmse", c.rmse);
+    if (c.stabilized_rate.has_value())
+      w.field("stabilized_rate", *c.stabilized_rate);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("curvature_cells");
+  w.begin_array();
+  for (const auto& c : tail.curvature_cells) {
+    w.begin_object();
+    w.field("truth", c.truth);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("classified_pareto", c.classified_pareto);
+    w.field("correct_rate", c.correct_rate);
+    w.end_object();
+  }
+  w.end_array();
+  write_gates(w, tail.gates);
+  w.end_object();
+}
+
+void write_tests(JsonWriter& w, const TestsScenarioResult& tests) {
+  w.key("tests");
+  w.begin_object();
+  w.key("config");
+  w.begin_object();
+  w.field("replicates", tests.config.replicates);
+  w.field("poisson_interval_seconds", tests.config.poisson_interval_seconds);
+  w.field("poisson_nominal_size", tests.config.poisson_nominal_size);
+  w.field("poisson_min_power", tests.config.poisson_min_power);
+  w.field("kpss_n", tests.config.kpss_null.n);
+  w.field("kpss_level", tests.config.kpss_level);
+  w.field("kpss_min_power", tests.config.kpss_min_power);
+  w.end_object();
+  w.key("cells");
+  w.begin_array();
+  for (const auto& c : tests.cells) {
+    w.begin_object();
+    w.field("test", c.test);
+    w.field("hypothesis", c.hypothesis);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("rejections", c.rejections);
+    w.field("rejection_rate", c.rejection_rate);
+    w.end_object();
+  }
+  w.end_array();
+  write_gates(w, tests.gates);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const ValidationReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "fullweb-validation-v1");
+  w.field("profile", to_string(report.profile));
+  w.field("seed", static_cast<std::size_t>(report.seed));
+  w.field("pass", report.pass());
+  w.field("failed_gates", report.failed_gates());
+  w.field("total_gates", report.all_gates().size());
+  write_hurst(w, report.hurst);
+  write_tail(w, report.tail);
+  write_tests(w, report.tests);
+  w.end_object();
+  return std::move(w).str();
+}
+
+support::Status write_report(const ValidationReport& report,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    return support::Error::invalid_argument("cannot open for writing: " + path);
+  out << report_to_json(report);
+  out.close();
+  if (!out)
+    return support::Error::invalid_argument("write failed: " + path);
+  return {};
+}
+
+namespace {
+
+/// Depth-first flatten of a JSON document into path -> leaf. Objects use
+/// dotted keys, arrays bracketed indices; only leaves land in the map.
+void flatten(const JsonValue& value, const std::string& path,
+             std::map<std::string, JsonValue>& out) {
+  if (const auto* obj = value.object()) {
+    for (const auto& [key, child] : *obj)
+      flatten(child, path.empty() ? key : path + "." + key, out);
+    return;
+  }
+  if (const auto* arr = value.array()) {
+    for (std::size_t i = 0; i < arr->size(); ++i)
+      flatten((*arr)[i], path + "[" + std::to_string(i) + "]", out);
+    return;
+  }
+  out[path] = value;
+}
+
+std::string leaf_to_string(const JsonValue& v) {
+  if (auto n = v.number()) return support::json_format_double(*n);
+  if (auto s = v.string()) return *s;
+  if (auto b = v.boolean()) return *b ? "true" : "false";
+  return "null";
+}
+
+}  // namespace
+
+support::Result<DriftReport> check_against_baseline(
+    const std::string& baseline_text, const std::string& fresh_text,
+    double rel_tol, double abs_tol) {
+  const auto baseline_doc = support::json_parse(baseline_text);
+  if (!baseline_doc)
+    return support::Error::parse("baseline report: malformed JSON");
+  const auto fresh_doc = support::json_parse(fresh_text);
+  if (!fresh_doc) return support::Error::parse("fresh report: malformed JSON");
+
+  std::map<std::string, JsonValue> baseline, fresh;
+  flatten(*baseline_doc, "", baseline);
+  flatten(*fresh_doc, "", fresh);
+
+  DriftReport report;
+  for (const auto& [path, base_value] : baseline) {
+    const auto it = fresh.find(path);
+    if (it == fresh.end()) {
+      ++report.missing;
+      report.findings.push_back(
+          {path, "missing", "baseline=" + leaf_to_string(base_value)});
+      continue;
+    }
+    ++report.compared;
+    const JsonValue& new_value = it->second;
+    const std::string detail = "baseline=" + leaf_to_string(base_value) +
+                               " new=" + leaf_to_string(new_value);
+    const auto base_num = base_value.number();
+    const auto new_num = new_value.number();
+    if (base_num.has_value() != new_num.has_value() ||
+        base_value.v.index() != new_value.v.index()) {
+      ++report.drifted;
+      report.findings.push_back({path, "type-changed", detail});
+      continue;
+    }
+    if (base_num.has_value()) {
+      const double a = *base_num, b = *new_num;
+      const double tol = abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+      if (!(std::abs(a - b) <= tol)) {
+        ++report.drifted;
+        report.findings.push_back({path, "drifted", detail});
+      }
+      continue;
+    }
+    if (leaf_to_string(base_value) != leaf_to_string(new_value)) {
+      ++report.drifted;
+      report.findings.push_back({path, "drifted", detail});
+    }
+  }
+  for (const auto& [path, new_value] : fresh) {
+    if (baseline.find(path) == baseline.end())
+      report.findings.push_back(
+          {path, "new", "new=" + leaf_to_string(new_value)});
+  }
+  return report;
+}
+
+}  // namespace fullweb::validation

@@ -1,0 +1,197 @@
+// Scenario specifications and results for the Monte Carlo self-validation
+// harness.
+//
+// Three scenario families, mirroring the statistical layers the paper's
+// conclusions rest on:
+//   1. Hurst recovery — fGn with known H; every estimator must land inside
+//      its documented bias band, and the Whittle / Abry-Veitch 95% CIs must
+//      actually cover at close to nominal rate.
+//   2. Tail recovery — Pareto(alpha) samples for Hill/LLCD slope recovery,
+//      plus Pareto-vs-lognormal discrimination by the Downey curvature test.
+//   3. Size/power — the Paxson-Floyd Poisson battery and the KPSS test must
+//      keep their false-positive rate near nominal on true Poisson /
+//      stationary input and reliably detect trend+diurnal contamination
+//      (the paper's §4.1 detrending argument).
+//
+// Replicate counts come in two profiles: kSmoke (seconds, wired into tier-1
+// ctest under the `statistical` label) and kFull (the >= 200-replicate run
+// behind the committed calibration tables; `selftest_full` target).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lrd/hurst.h"
+#include "synth/ground_truth.h"
+#include "validation/gates.h"
+
+namespace fullweb::support {
+class Executor;
+}
+
+namespace fullweb::validation {
+
+enum class Profile { kSmoke, kFull };
+
+[[nodiscard]] std::string to_string(Profile profile);
+
+/// Documented acceptance band for the *mean* recovery error mean(Ĥ) - H of
+/// one estimator at one true H (before Monte Carlo slack is added). The
+/// bands are calibrated from the full-profile run recorded in EXPERIMENTS.md
+/// and encode each estimator's known finite-sample bias at n = 8192: the
+/// regression-based estimators (variance-time, R/S) carry real bias —
+/// R/S upward at H = 0.5, variance-time downward at high H — while
+/// Whittle / Abry-Veitch must sit within a few hundredths of truth.
+struct BiasBand {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] BiasBand hurst_bias_band(lrd::HurstMethod method, double h);
+
+// ---------------------------------------------------------------------------
+// Scenario 1: Hurst recovery on fGn.
+
+struct HurstScenarioConfig {
+  std::vector<double> h_values = {0.5, 0.6, 0.7, 0.8, 0.9};
+  std::size_t n = 8192;           ///< series length per replicate
+  std::size_t replicates = 256;   ///< per H value
+  double coverage_nominal = 0.95;
+};
+
+/// Model slack on CI coverage before MC slack, per (method, true H):
+/// finite-sample CIs from the observed Fisher information (Whittle) hold
+/// close to nominal everywhere, while the Abry-Veitch weighted
+/// log-regression CI under-covers increasingly as H -> 1 because its
+/// halfwidth ignores the estimator's growing upward bias (measured coverage
+/// 0.94 at H = 0.5 down to 0.79 at H = 0.9 in the full-profile run; see
+/// DESIGN.md §5.9 and EXPERIMENTS.md). Only Whittle and Abry-Veitch carry a
+/// coverage gate.
+[[nodiscard]] double hurst_coverage_band(lrd::HurstMethod method, double h);
+
+/// One (estimator, true H) cell of the calibration table.
+struct HurstCell {
+  std::string estimator;
+  double true_h = 0.0;
+  std::size_t replicates = 0;  ///< successful estimates
+  std::size_t failures = 0;
+  double mean_h = 0.0;
+  double bias = 0.0;           ///< mean_h - true_h
+  double sd = 0.0;             ///< across-replicate standard deviation
+  double rmse = 0.0;
+  /// CI methods (Whittle, Abry-Veitch) only:
+  std::optional<double> coverage;           ///< fraction of CIs covering H
+  std::optional<double> mean_ci_halfwidth;
+};
+
+struct HurstScenarioResult {
+  HurstScenarioConfig config;
+  std::vector<HurstCell> cells;     ///< estimator-major, H-minor order
+  std::vector<GateCheck> gates;
+};
+
+[[nodiscard]] HurstScenarioResult run_hurst_scenario(
+    const HurstScenarioConfig& config, support::Rng scenario_rng,
+    support::Executor& executor);
+
+// ---------------------------------------------------------------------------
+// Scenario 2: tail-index recovery and curvature discrimination.
+
+struct TailScenarioConfig {
+  std::vector<double> alphas = {0.8, 1.2, 1.6, 2.0};
+  std::size_t n = 20000;          ///< sample size per replicate
+  std::size_t replicates = 200;   ///< per alpha
+  /// Acceptance band on mean relative recovery error (mean(â) - a)/a.
+  double hill_rel_band = 0.10;
+  double llcd_rel_band = 0.15;    ///< LLCD regression is the coarser tool
+  /// Hill must stabilize (not report NS) on true Pareto data at least this
+  /// often.
+  double min_hill_stabilized_rate = 0.90;
+
+  // Curvature discrimination (Pareto vs lognormal classification):
+  std::size_t curvature_n = 2000;
+  std::size_t curvature_replicates = 96;      ///< per class
+  std::size_t curvature_mc_replicates = 99;   ///< inner Monte Carlo draws
+  double curvature_pareto_alpha = 1.2;
+  double curvature_lognormal_mu = 0.0;
+  double curvature_lognormal_sigma = 1.5;
+  double min_classification_rate = 0.90;
+};
+
+struct TailCell {
+  std::string estimator;          ///< "hill" | "llcd"
+  double true_alpha = 0.0;
+  std::size_t replicates = 0;
+  std::size_t failures = 0;
+  double mean_alpha = 0.0;
+  double bias = 0.0;
+  double rel_bias = 0.0;
+  double sd = 0.0;
+  double rmse = 0.0;
+  std::optional<double> stabilized_rate;  ///< Hill only
+};
+
+struct CurvatureClassCell {
+  std::string truth;              ///< "pareto" | "lognormal"
+  std::size_t replicates = 0;
+  std::size_t failures = 0;
+  std::size_t classified_pareto = 0;
+  double correct_rate = 0.0;
+};
+
+struct TailScenarioResult {
+  TailScenarioConfig config;
+  std::vector<TailCell> cells;
+  std::vector<CurvatureClassCell> curvature_cells;
+  std::vector<GateCheck> gates;
+};
+
+[[nodiscard]] TailScenarioResult run_tail_scenario(
+    const TailScenarioConfig& config, support::Rng scenario_rng,
+    support::Executor& executor);
+
+// ---------------------------------------------------------------------------
+// Scenario 3: size and power of the Poisson battery and the KPSS test.
+
+struct TestsScenarioConfig {
+  std::size_t replicates = 200;  ///< per (test, hypothesis) pair
+
+  synth::PoissonArrivalsTruth poisson_null;        ///< homogeneous arrivals
+  synth::ContaminatedArrivalsTruth poisson_alt;    ///< trend + cycle rate
+  double poisson_interval_seconds = 600.0;         ///< 10-minute sub-intervals
+  /// Nominal size of the combined battery verdict (documented, not derived:
+  /// three meta-tests at 5%/5%/2x2.5% reject independently under the null,
+  /// but the discrete binomial point-probability tests are conservative; the
+  /// measured full-profile size is recorded in EXPERIMENTS.md). The gate is
+  /// observed size <= 2 x nominal + MC slack.
+  double poisson_nominal_size = 0.10;
+  double poisson_min_power = 0.90;
+
+  synth::StationarySeriesTruth kpss_null;
+  synth::TrendDiurnalSeriesTruth kpss_alt;
+  double kpss_level = 0.05;        ///< per-test level of the 5% critical value
+  double kpss_min_power = 0.95;
+};
+
+struct SizePowerCell {
+  std::string test;        ///< "poisson" | "kpss"
+  std::string hypothesis;  ///< "null" | "contaminated"
+  std::size_t replicates = 0;
+  std::size_t failures = 0;   ///< battery could not run (insufficient data)
+  std::size_t rejections = 0;
+  double rejection_rate = 0.0;
+};
+
+struct TestsScenarioResult {
+  TestsScenarioConfig config;
+  std::vector<SizePowerCell> cells;
+  std::vector<GateCheck> gates;
+};
+
+[[nodiscard]] TestsScenarioResult run_tests_scenario(
+    const TestsScenarioConfig& config, support::Rng scenario_rng,
+    support::Executor& executor);
+
+}  // namespace fullweb::validation

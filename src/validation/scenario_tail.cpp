@@ -1,0 +1,226 @@
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+
+#include "support/executor.h"
+#include "tail/curvature.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
+#include "validation/montecarlo.h"
+#include "validation/scenario.h"
+
+namespace fullweb::validation {
+
+namespace {
+
+struct TailReplicateOutcome {
+  std::optional<double> hill_alpha;   ///< absent = estimator error
+  bool hill_stabilized = false;
+  std::optional<double> llcd_alpha;
+};
+
+struct CurvatureReplicateOutcome {
+  bool ok = false;
+  bool classified_pareto = false;
+};
+
+struct Accum {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double sum_sq_err = 0.0;  ///< against the true alpha
+};
+
+void fill_cell(TailCell& cell, const Accum& acc, std::size_t total) {
+  cell.replicates = acc.count;
+  cell.failures = total - acc.count;
+  if (acc.count == 0) return;
+  const auto n = static_cast<double>(acc.count);
+  cell.mean_alpha = acc.sum / n;
+  cell.bias = cell.mean_alpha - cell.true_alpha;
+  cell.rel_bias = cell.bias / cell.true_alpha;
+  cell.rmse = std::sqrt(acc.sum_sq_err / n);
+  cell.sd = std::sqrt(std::max(0.0, acc.sum_sq_err / n - cell.bias * cell.bias));
+}
+
+std::string gate_name(const char* what, const char* estimator, double alpha) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "tail/%s/%s/alpha=%.2f", what, estimator,
+                alpha);
+  return buf;
+}
+
+/// Two-sided classification: the model whose Monte Carlo p-value is larger
+/// explains the observed LLCD curvature better. Ties (both tests failing or
+/// equal p) count as misclassification via `ok = false`.
+CurvatureReplicateOutcome classify_curvature(std::span<const double> xs,
+                                             std::size_t mc_replicates,
+                                             support::Rng& rng) {
+  CurvatureReplicateOutcome out;
+  tail::CurvatureOptions opts;
+  opts.replicates = mc_replicates;
+  opts.model = tail::TailModel::kPareto;
+  const auto pareto = tail::curvature_test(xs, rng, opts);
+  opts.model = tail::TailModel::kLognormal;
+  const auto lognormal = tail::curvature_test(xs, rng, opts);
+  if (!pareto.ok() || !lognormal.ok()) return out;
+  out.ok = true;
+  out.classified_pareto =
+      pareto.value().p_value >= lognormal.value().p_value;
+  return out;
+}
+
+}  // namespace
+
+TailScenarioResult run_tail_scenario(const TailScenarioConfig& config,
+                                     support::Rng scenario_rng,
+                                     support::Executor& executor) {
+  TailScenarioResult result;
+  result.config = config;
+
+  const std::size_t reps = config.replicates;
+
+  // ---- Slope recovery on Pareto(alpha) samples.
+  {
+    support::RngSplitter streams(scenario_rng, 0);
+    const std::size_t total = config.alphas.size() * reps;
+    const auto outcomes = monte_carlo<TailReplicateOutcome>(
+        total, streams, executor, [&](std::size_t index, support::Rng& rng) {
+          TailReplicateOutcome out;
+          synth::ParetoTruth truth;
+          truth.n = config.n;
+          truth.alpha = config.alphas[index / reps];
+          const auto xs = synth::draw_pareto(truth, rng);
+          if (const auto hill = tail::hill_estimate(xs); hill.ok()) {
+            out.hill_alpha = hill.value().alpha;
+            out.hill_stabilized = hill.value().stabilized;
+          }
+          if (const auto llcd = tail::llcd_fit(xs); llcd.ok())
+            out.llcd_alpha = llcd.value().alpha;
+          return out;
+        });
+
+    for (std::size_t ai = 0; ai < config.alphas.size(); ++ai) {
+      const double alpha = config.alphas[ai];
+      Accum hill_acc, llcd_acc;
+      std::size_t stabilized = 0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto& rep = outcomes[ai * reps + r];
+        if (rep.hill_alpha.has_value()) {
+          ++hill_acc.count;
+          hill_acc.sum += *rep.hill_alpha;
+          hill_acc.sum_sq_err += (*rep.hill_alpha - alpha) * (*rep.hill_alpha - alpha);
+          if (rep.hill_stabilized) ++stabilized;
+        }
+        if (rep.llcd_alpha.has_value()) {
+          ++llcd_acc.count;
+          llcd_acc.sum += *rep.llcd_alpha;
+          llcd_acc.sum_sq_err += (*rep.llcd_alpha - alpha) * (*rep.llcd_alpha - alpha);
+        }
+      }
+
+      TailCell hill_cell;
+      hill_cell.estimator = "hill";
+      hill_cell.true_alpha = alpha;
+      fill_cell(hill_cell, hill_acc, reps);
+      hill_cell.stabilized_rate =
+          hill_acc.count > 0
+              ? static_cast<double>(stabilized) / static_cast<double>(hill_acc.count)
+              : 0.0;
+
+      TailCell llcd_cell;
+      llcd_cell.estimator = "llcd";
+      llcd_cell.true_alpha = alpha;
+      fill_cell(llcd_cell, llcd_acc, reps);
+
+      const double hill_slack =
+          mean_slack(hill_cell.sd, hill_cell.replicates) / alpha;
+      result.gates.push_back(make_gate(gate_name("rel_bias", "hill", alpha),
+                                       hill_cell.rel_bias,
+                                       -config.hill_rel_band - hill_slack,
+                                       config.hill_rel_band + hill_slack));
+      const double llcd_slack =
+          mean_slack(llcd_cell.sd, llcd_cell.replicates) / alpha;
+      result.gates.push_back(make_gate(gate_name("rel_bias", "llcd", alpha),
+                                       llcd_cell.rel_bias,
+                                       -config.llcd_rel_band - llcd_slack,
+                                       config.llcd_rel_band + llcd_slack));
+      const double stab_slack = proportion_slack(
+          config.min_hill_stabilized_rate, hill_cell.replicates);
+      result.gates.push_back(
+          make_gate(gate_name("stabilized", "hill", alpha),
+                    hill_cell.stabilized_rate.value_or(0.0),
+                    config.min_hill_stabilized_rate - stab_slack, 1.0));
+      result.gates.push_back(make_gate(
+          gate_name("failures", "hill", alpha),
+          static_cast<double>(hill_cell.failures), 0.0, 0.0));
+      result.gates.push_back(make_gate(
+          gate_name("failures", "llcd", alpha),
+          static_cast<double>(llcd_cell.failures), 0.0, 0.0));
+
+      result.cells.push_back(std::move(hill_cell));
+      result.cells.push_back(std::move(llcd_cell));
+    }
+  }
+
+  // ---- Curvature discrimination: Pareto vs lognormal classification.
+  {
+    support::RngSplitter streams(scenario_rng, 0);
+    const std::size_t per_class = config.curvature_replicates;
+    const auto outcomes = monte_carlo<CurvatureReplicateOutcome>(
+        2 * per_class, streams, executor,
+        [&](std::size_t index, support::Rng& rng) {
+          const bool truth_pareto = index < per_class;
+          std::vector<double> xs;
+          if (truth_pareto) {
+            synth::ParetoTruth truth;
+            truth.n = config.curvature_n;
+            truth.alpha = config.curvature_pareto_alpha;
+            xs = synth::draw_pareto(truth, rng);
+          } else {
+            synth::LognormalTruth truth;
+            truth.n = config.curvature_n;
+            truth.mu = config.curvature_lognormal_mu;
+            truth.sigma = config.curvature_lognormal_sigma;
+            xs = synth::draw_lognormal(truth, rng);
+          }
+          return classify_curvature(xs, config.curvature_mc_replicates, rng);
+        });
+
+    for (int cls = 0; cls < 2; ++cls) {
+      const bool truth_pareto = cls == 0;
+      CurvatureClassCell cell;
+      cell.truth = truth_pareto ? "pareto" : "lognormal";
+      std::size_t correct = 0;
+      for (std::size_t r = 0; r < per_class; ++r) {
+        const auto& rep = outcomes[static_cast<std::size_t>(cls) * per_class + r];
+        if (!rep.ok) {
+          ++cell.failures;
+          continue;
+        }
+        ++cell.replicates;
+        if (rep.classified_pareto) ++cell.classified_pareto;
+        if (rep.classified_pareto == truth_pareto) ++correct;
+      }
+      cell.correct_rate =
+          cell.replicates > 0
+              ? static_cast<double>(correct) / static_cast<double>(cell.replicates)
+              : 0.0;
+      const double slack =
+          proportion_slack(config.min_classification_rate, cell.replicates);
+      char name[96];
+      std::snprintf(name, sizeof name, "tail/classification/%s",
+                    cell.truth.c_str());
+      result.gates.push_back(make_gate(
+          name, cell.correct_rate, config.min_classification_rate - slack, 1.0));
+      std::snprintf(name, sizeof name, "tail/classification_failures/%s",
+                    cell.truth.c_str());
+      result.gates.push_back(make_gate(
+          name, static_cast<double>(cell.failures), 0.0, 0.0));
+      result.curvature_cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace fullweb::validation

@@ -1,0 +1,145 @@
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "poisson/poisson_test.h"
+#include "stats/kpss.h"
+#include "support/executor.h"
+#include "validation/montecarlo.h"
+#include "validation/scenario.h"
+
+namespace fullweb::validation {
+
+namespace {
+
+struct RejectionOutcome {
+  bool ran = false;
+  bool rejected = false;
+};
+
+SizePowerCell summarize(const char* test, const char* hypothesis,
+                        const std::vector<RejectionOutcome>& outcomes) {
+  SizePowerCell cell;
+  cell.test = test;
+  cell.hypothesis = hypothesis;
+  for (const auto& rep : outcomes) {
+    if (!rep.ran) {
+      ++cell.failures;
+      continue;
+    }
+    ++cell.replicates;
+    if (rep.rejected) ++cell.rejections;
+  }
+  cell.rejection_rate =
+      cell.replicates > 0
+          ? static_cast<double>(cell.rejections) / static_cast<double>(cell.replicates)
+          : 0.0;
+  return cell;
+}
+
+/// Quantize arrival times to the 1-second log granularity the battery is
+/// designed around; the battery's own spreading undoes it (§4.2: the paper
+/// shows the verdict is insensitive to the spreading choice).
+std::vector<double> quantize_seconds(std::vector<double> times) {
+  for (double& t : times) t = std::floor(t);
+  return times;
+}
+
+}  // namespace
+
+TestsScenarioResult run_tests_scenario(const TestsScenarioConfig& config,
+                                       support::Rng scenario_rng,
+                                       support::Executor& executor) {
+  TestsScenarioResult result;
+  result.config = config;
+  const std::size_t reps = config.replicates;
+
+  poisson::PoissonTestOptions popts;
+  popts.interval_seconds = config.poisson_interval_seconds;
+
+  // ---- Paxson-Floyd battery: size on homogeneous Poisson, power on
+  // trend+cycle modulated arrivals.
+  for (int hyp = 0; hyp < 2; ++hyp) {
+    const bool null_case = hyp == 0;
+    support::RngSplitter streams(scenario_rng, 0);
+    const auto outcomes = monte_carlo<RejectionOutcome>(
+        reps, streams, executor, [&](std::size_t, support::Rng& rng) {
+          RejectionOutcome out;
+          std::vector<double> times;
+          double t0 = 0.0, t1 = 0.0;
+          if (null_case) {
+            times = synth::draw_poisson_arrivals(config.poisson_null, rng);
+            t0 = config.poisson_null.t0;
+            t1 = config.poisson_null.t1;
+          } else {
+            times = synth::draw_contaminated_arrivals(config.poisson_alt, rng);
+            t0 = config.poisson_alt.t0;
+            t1 = config.poisson_alt.t1;
+          }
+          times = quantize_seconds(std::move(times));
+          const auto verdict =
+              poisson::test_poisson_arrivals(times, t0, t1, popts, rng);
+          if (!verdict.ok()) return out;
+          out.ran = true;
+          out.rejected = !verdict.value().poisson();
+          return out;
+        });
+    auto cell =
+        summarize("poisson", null_case ? "null" : "contaminated", outcomes);
+    if (null_case) {
+      const double slack =
+          proportion_slack(config.poisson_nominal_size, cell.replicates);
+      result.gates.push_back(make_gate("tests/poisson/size",
+                                       cell.rejection_rate, 0.0,
+                                       2.0 * config.poisson_nominal_size + slack));
+    } else {
+      const double slack =
+          proportion_slack(config.poisson_min_power, cell.replicates);
+      result.gates.push_back(make_gate("tests/poisson/power",
+                                       cell.rejection_rate,
+                                       config.poisson_min_power - slack, 1.0));
+    }
+    result.gates.push_back(make_gate(
+        std::string("tests/poisson/failures/") + cell.hypothesis,
+        static_cast<double>(cell.failures), 0.0, 0.0));
+    result.cells.push_back(std::move(cell));
+  }
+
+  // ---- KPSS: size on a stationary series, power on trend+diurnal
+  // contamination (the §4.1 detrending argument).
+  for (int hyp = 0; hyp < 2; ++hyp) {
+    const bool null_case = hyp == 0;
+    support::RngSplitter streams(scenario_rng, 0);
+    const auto outcomes = monte_carlo<RejectionOutcome>(
+        reps, streams, executor, [&](std::size_t, support::Rng& rng) {
+          RejectionOutcome out;
+          const std::vector<double> xs =
+              null_case
+                  ? synth::draw_stationary_series(config.kpss_null, rng)
+                  : synth::draw_trend_diurnal_series(config.kpss_alt, rng);
+          const auto kpss = stats::kpss_test(xs, stats::KpssNull::kLevel);
+          if (!kpss.ok()) return out;
+          out.ran = true;
+          out.rejected = !kpss.value().stationary_at_5pct();
+          return out;
+        });
+    auto cell = summarize("kpss", null_case ? "null" : "contaminated", outcomes);
+    if (null_case) {
+      const double slack = proportion_slack(config.kpss_level, cell.replicates);
+      result.gates.push_back(make_gate("tests/kpss/size", cell.rejection_rate,
+                                       0.0, 2.0 * config.kpss_level + slack));
+    } else {
+      const double slack =
+          proportion_slack(config.kpss_min_power, cell.replicates);
+      result.gates.push_back(make_gate("tests/kpss/power", cell.rejection_rate,
+                                       config.kpss_min_power - slack, 1.0));
+    }
+    result.gates.push_back(make_gate(
+        std::string("tests/kpss/failures/") + cell.hypothesis,
+        static_cast<double>(cell.failures), 0.0, 0.0));
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace fullweb::validation

@@ -1,0 +1,69 @@
+#include "validation/selftest.h"
+
+#include "support/executor.h"
+
+namespace fullweb::validation {
+
+std::string to_string(Profile profile) {
+  return profile == Profile::kFull ? "full" : "smoke";
+}
+
+HurstScenarioConfig hurst_config(Profile profile) {
+  HurstScenarioConfig config;
+  // n stays at 8192 in both profiles: the bias bands are calibrated at this
+  // length and finite-sample bias depends on it.
+  config.replicates = profile == Profile::kFull ? 256 : 48;
+  return config;
+}
+
+TailScenarioConfig tail_config(Profile profile) {
+  TailScenarioConfig config;
+  config.replicates = profile == Profile::kFull ? 200 : 32;
+  config.curvature_replicates = profile == Profile::kFull ? 96 : 16;
+  return config;
+}
+
+TestsScenarioConfig tests_config(Profile profile) {
+  TestsScenarioConfig config;
+  config.replicates = profile == Profile::kFull ? 200 : 32;
+  return config;
+}
+
+std::vector<const GateCheck*> ValidationReport::all_gates() const {
+  std::vector<const GateCheck*> gates;
+  for (const auto& g : hurst.gates) gates.push_back(&g);
+  for (const auto& g : tail.gates) gates.push_back(&g);
+  for (const auto& g : tests.gates) gates.push_back(&g);
+  return gates;
+}
+
+std::size_t ValidationReport::failed_gates() const {
+  std::size_t failed = 0;
+  for (const auto* g : all_gates())
+    if (!g->pass) ++failed;
+  return failed;
+}
+
+ValidationReport run_selftest(const SelftestOptions& options) {
+  ValidationReport report;
+  report.profile = options.profile;
+  report.seed = options.seed;
+
+  support::Executor& executor = support::Executor::resolve(options.executor);
+
+  // Level-1 splitter: each scenario's stream owns room for a full level-0
+  // replicate splitter of its own, so adding replicates to one scenario can
+  // never shift another scenario's draws.
+  support::Rng root(options.seed);
+  support::RngSplitter scenarios(root, 1);
+
+  report.hurst = run_hurst_scenario(hurst_config(options.profile),
+                                    scenarios.stream(0), executor);
+  report.tail = run_tail_scenario(tail_config(options.profile),
+                                  scenarios.stream(1), executor);
+  report.tests = run_tests_scenario(tests_config(options.profile),
+                                    scenarios.stream(2), executor);
+  return report;
+}
+
+}  // namespace fullweb::validation

@@ -1,0 +1,49 @@
+// Orchestration of the full self-validation run: scenario configs per
+// profile, deterministic RNG layout, and the top-level report object.
+//
+// RNG layout: one level-1 RngSplitter over the seed hands each scenario its
+// own stream; scenarios re-split their stream at level 0 into replicate
+// leaves. Replicate results are collected by index, so the entire report is
+// a pure function of (profile, seed) — bit-identical at any thread count,
+// which the selftest CLI's --check-determinism mode and the committed
+// baseline drift gate both rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "validation/scenario.h"
+
+namespace fullweb::validation {
+
+struct SelftestOptions {
+  Profile profile = Profile::kSmoke;
+  /// Keep below 2^53 so the seed survives the JSON number round-trip.
+  std::uint64_t seed = 0x5eedf011;
+  /// Null = the global pool.
+  support::Executor* executor = nullptr;
+};
+
+/// Per-profile scenario configurations (replicate counts and, for the
+/// curvature discrimination, class sizes; ground-truth parameters and gate
+/// bands are profile-invariant so the smoke profile checks the same
+/// contracts with wider Monte Carlo slack).
+[[nodiscard]] HurstScenarioConfig hurst_config(Profile profile);
+[[nodiscard]] TailScenarioConfig tail_config(Profile profile);
+[[nodiscard]] TestsScenarioConfig tests_config(Profile profile);
+
+struct ValidationReport {
+  Profile profile = Profile::kSmoke;
+  std::uint64_t seed = 0;
+  HurstScenarioResult hurst;
+  TailScenarioResult tail;
+  TestsScenarioResult tests;
+
+  /// Every gate across all scenarios, in report order.
+  [[nodiscard]] std::vector<const GateCheck*> all_gates() const;
+  [[nodiscard]] std::size_t failed_gates() const;
+  [[nodiscard]] bool pass() const { return failed_gates() == 0; }
+};
+
+[[nodiscard]] ValidationReport run_selftest(const SelftestOptions& options);
+
+}  // namespace fullweb::validation

@@ -129,8 +129,9 @@ HillPlot full_sort_hill_plot(std::span<const double> xs,
     sum_log += std::log(sorted[k - 1]);
     const double h = sum_log / static_cast<double>(k) - std::log(sorted[k]);
     plot.k.push_back(k);
-    plot.alpha.push_back(h > 0.0 ? 1.0 / h
-                                 : std::numeric_limits<double>::quiet_NaN());
+    plot.alpha.push_back(h > kHillTieEpsilon
+                             ? 1.0 / h
+                             : std::numeric_limits<double>::quiet_NaN());
   }
   return plot;
 }

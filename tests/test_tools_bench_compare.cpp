@@ -1,0 +1,115 @@
+// Tests for the bench_compare comparison library (tools/bench_compare_lib.h):
+// the regression-gate semantics the CI perf check depends on — malformed
+// input rejection, unit normalization, threshold verdicts, and the
+// missing-baseline-key-fails rule.
+#include "bench_compare_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using namespace fullweb::benchcmp;
+
+std::string bench_doc(const std::string& rows) {
+  return "{\"context\": {\"date\": \"x\"}, \"benchmarks\": [" + rows + "]}";
+}
+
+TEST(BenchCompareParse, MalformedJsonIsAnError) {
+  const auto r = parse_results("{\"benchmarks\": [", "cpu_time");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("malformed"), std::string::npos);
+}
+
+TEST(BenchCompareParse, MissingBenchmarksArrayIsAnError) {
+  EXPECT_FALSE(parse_results("{}", "cpu_time").ok());
+  EXPECT_FALSE(parse_results("{\"benchmarks\": 7}", "cpu_time").ok());
+  EXPECT_FALSE(parse_results("[1,2,3]", "cpu_time").ok());
+}
+
+TEST(BenchCompareParse, ReadsMetricWithUnitNormalization) {
+  const auto r = parse_results(
+      bench_doc(R"(
+        {"name": "bm_ns", "cpu_time": 250.0, "time_unit": "ns"},
+        {"name": "bm_us", "cpu_time": 2.0,   "time_unit": "us"},
+        {"name": "bm_ms", "cpu_time": 3.0,   "time_unit": "ms"},
+        {"name": "bm_s",  "cpu_time": 4.0,   "time_unit": "s"})"),
+      "cpu_time");
+  ASSERT_TRUE(r.ok());
+  const BenchMap& m = r.value();
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.at("bm_ns").time, 250.0);
+  EXPECT_DOUBLE_EQ(m.at("bm_us").time, 2000.0);
+  EXPECT_DOUBLE_EQ(m.at("bm_ms").time, 3e6);
+  EXPECT_DOUBLE_EQ(m.at("bm_s").time, 4e9);
+}
+
+TEST(BenchCompareParse, FallsBackToRealTimeAndSkipsAggregates) {
+  const auto r = parse_results(
+      bench_doc(R"(
+        {"name": "bm_plain", "real_time": 100.0, "time_unit": "ns"},
+        {"name": "bm_plain_mean", "aggregate_name": "mean",
+         "cpu_time": 101.0, "time_unit": "ns"},
+        {"name": "bm_no_time"})"),
+      "cpu_time");
+  ASSERT_TRUE(r.ok());
+  const BenchMap& m = r.value();
+  ASSERT_EQ(m.size(), 1u);  // aggregate and time-less rows skipped
+  EXPECT_DOUBLE_EQ(m.at("bm_plain").time, 100.0);
+}
+
+TEST(BenchCompareCompare, ThresholdSeparatesOkImprovedRegression) {
+  BenchMap base{{"a", {100.0, 0.0}}, {"b", {100.0, 0.0}}, {"c", {100.0, 0.0}}};
+  BenchMap fresh{{"a", {105.0, 0.0}},   // +5%: within threshold
+                 {"b", {80.0, 0.0}},    // -20%: improved
+                 {"c", {125.0, 0.0}}};  // +25%: regression
+  const CompareReport report = compare(base, fresh, 0.10);
+  EXPECT_EQ(report.compared, 3);
+  EXPECT_EQ(report.regressions, 1);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_TRUE(report.failed());
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_EQ(report.rows[0].verdict, Verdict::kOk);          // "a"
+  EXPECT_EQ(report.rows[1].verdict, Verdict::kImproved);    // "b"
+  EXPECT_EQ(report.rows[2].verdict, Verdict::kRegression);  // "c"
+}
+
+TEST(BenchCompareCompare, MissingBaselineKeyFailsTheGate) {
+  BenchMap base{{"kept", {100.0, 0.0}}, {"renamed", {100.0, 0.0}}};
+  BenchMap fresh{{"kept", {100.0, 0.0}}, {"renamed_v2", {50.0, 0.0}}};
+  const CompareReport report = compare(base, fresh, 0.10);
+  EXPECT_EQ(report.missing, 1);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_TRUE(report.failed());  // a dropped bench must not shrink the gate
+  // The fresh-only benchmark is reported informationally, not as a failure.
+  bool saw_new = false;
+  for (const auto& row : report.rows)
+    if (row.name == "renamed_v2") saw_new = row.verdict == Verdict::kNew;
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchCompareCompare, IdenticalRunsPass) {
+  BenchMap base{{"a", {100.0, 0.0}}, {"b", {5.5, 0.0}}};
+  const CompareReport report = compare(base, base, 0.10);
+  EXPECT_EQ(report.compared, 2);
+  EXPECT_FALSE(report.failed());
+  for (const auto& row : report.rows) EXPECT_EQ(row.verdict, Verdict::kOk);
+}
+
+TEST(BenchCompareLoad, UnreadablePathIsAnError) {
+  const auto r = load_results("/nonexistent/bench.json", "cpu_time");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cannot open"), std::string::npos);
+}
+
+TEST(BenchCompareRender, MentionsRegressionsAndMissing) {
+  BenchMap base{{"a", {100.0, 0.0}}, {"gone", {1.0, 0.0}}};
+  BenchMap fresh{{"a", {150.0, 0.0}}};
+  const std::string table = render(compare(base, fresh, 0.10), 0.10);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("MISSING"), std::string::npos);
+  EXPECT_NE(table.find("1 regression(s), 1 missing"), std::string::npos);
+}
+
+}  // namespace

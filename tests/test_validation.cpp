@@ -1,0 +1,234 @@
+// Tests for the self-validation harness plumbing (src/validation): the
+// Monte Carlo replicate runner's thread-count invariance, gate semantics,
+// baseline drift detection, and a micro scenario run exercising the full
+// fan-out path deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/executor.h"
+#include "support/rng.h"
+#include "validation/gates.h"
+#include "validation/montecarlo.h"
+#include "validation/report.h"
+#include "validation/scenario.h"
+
+namespace {
+
+using namespace fullweb;
+using namespace fullweb::validation;
+
+// ---------------------------------------------------------------------------
+// monte_carlo
+
+std::vector<double> draw_replicates(std::size_t reps, std::size_t threads) {
+  support::Rng parent(20260806);
+  support::RngSplitter streams(parent, 0);
+  support::Executor executor(threads);
+  return monte_carlo<double>(reps, streams, executor,
+                             [](std::size_t, support::Rng& rng) {
+                               double acc = 0.0;
+                               for (int i = 0; i < 100; ++i) acc += rng.normal();
+                               return acc;
+                             });
+}
+
+TEST(MonteCarlo, BitIdenticalAcrossThreadCounts) {
+  const auto serial = draw_replicates(64, 1);
+  const auto parallel4 = draw_replicates(64, 4);
+  const auto parallel8 = draw_replicates(64, 8);
+  ASSERT_EQ(serial.size(), 64u);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel8);
+}
+
+TEST(MonteCarlo, ReplicatesAreDistinct) {
+  const auto xs = draw_replicates(32, 2);
+  for (std::size_t a = 0; a < xs.size(); ++a)
+    for (std::size_t b = a + 1; b < xs.size(); ++b)
+      EXPECT_NE(xs[a], xs[b]);
+}
+
+TEST(MonteCarlo, ResultsIndexedByReplicateNotCompletionOrder) {
+  support::Rng parent(7);
+  support::RngSplitter streams(parent, 0);
+  support::Executor executor(4);
+  const auto ids = monte_carlo<std::size_t>(
+      128, streams, executor,
+      [](std::size_t b, support::Rng&) { return b; });
+  for (std::size_t b = 0; b < ids.size(); ++b) EXPECT_EQ(ids[b], b);
+}
+
+// ---------------------------------------------------------------------------
+// Gates
+
+TEST(Gates, IntervalIsInclusiveAndNanNeverPasses) {
+  EXPECT_TRUE(make_gate("g", 0.5, 0.0, 1.0).pass);
+  EXPECT_TRUE(make_gate("g", 0.0, 0.0, 1.0).pass);
+  EXPECT_TRUE(make_gate("g", 1.0, 0.0, 1.0).pass);
+  EXPECT_FALSE(make_gate("g", -0.001, 0.0, 1.0).pass);
+  EXPECT_FALSE(make_gate("g", 1.001, 0.0, 1.0).pass);
+  EXPECT_FALSE(
+      make_gate("g", std::numeric_limits<double>::quiet_NaN(), 0.0, 1.0).pass);
+  EXPECT_FALSE(
+      make_gate("g", std::numeric_limits<double>::infinity(), 0.0, 1.0).pass);
+}
+
+TEST(Gates, SlackShrinksWithReplicates) {
+  EXPECT_NEAR(proportion_slack(0.5, 100), 3.0 * 0.05, 1e-12);
+  EXPECT_GT(proportion_slack(0.95, 48), proportion_slack(0.95, 256));
+  EXPECT_NEAR(mean_slack(2.0, 400), 3.0 * 2.0 / 20.0, 1e-12);
+  EXPECT_GT(mean_slack(1.0, 10), mean_slack(1.0, 1000));
+}
+
+TEST(Gates, AllPass) {
+  std::vector<GateCheck> gates{make_gate("a", 0.5, 0.0, 1.0),
+                               make_gate("b", 0.5, 0.0, 1.0)};
+  EXPECT_TRUE(all_pass(gates));
+  gates.push_back(make_gate("c", 2.0, 0.0, 1.0));
+  EXPECT_FALSE(all_pass(gates));
+}
+
+// ---------------------------------------------------------------------------
+// Baseline drift detection
+
+const char* kBaselineDoc = R"({
+  "schema": "fullweb-validation-v1",
+  "pass": true,
+  "hurst": {"cells": [{"bias": 0.01, "estimator": "Whittle"}]}
+})";
+
+TEST(DriftCheck, IdenticalDocumentsPass) {
+  const auto r = check_against_baseline(kBaselineDoc, kBaselineDoc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().failed());
+  EXPECT_EQ(r.value().drifted, 0u);
+  EXPECT_EQ(r.value().missing, 0u);
+  EXPECT_GT(r.value().compared, 0u);
+}
+
+TEST(DriftCheck, NumericDriftBeyondToleranceFails) {
+  const std::string fresh = R"({
+    "schema": "fullweb-validation-v1",
+    "pass": true,
+    "hurst": {"cells": [{"bias": 0.02, "estimator": "Whittle"}]}
+  })";
+  const auto r = check_against_baseline(kBaselineDoc, fresh);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().failed());
+  ASSERT_EQ(r.value().drifted, 1u);
+  EXPECT_EQ(r.value().findings[0].path, "hurst.cells[0].bias");
+}
+
+TEST(DriftCheck, DriftWithinTolerancePasses) {
+  const std::string fresh = R"({
+    "schema": "fullweb-validation-v1",
+    "pass": true,
+    "hurst": {"cells": [{"bias": 0.010000001, "estimator": "Whittle"}]}
+  })";
+  const auto r = check_against_baseline(kBaselineDoc, fresh, 1e-3, 1e-6);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().failed());
+}
+
+TEST(DriftCheck, MissingBaselineLeafFailsNewLeafDoesNot) {
+  const std::string missing_bias = R"({
+    "schema": "fullweb-validation-v1",
+    "pass": true,
+    "hurst": {"cells": [{"estimator": "Whittle"}]}
+  })";
+  const auto gone = check_against_baseline(kBaselineDoc, missing_bias);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone.value().failed());
+  EXPECT_EQ(gone.value().missing, 1u);
+
+  const std::string extra = R"({
+    "schema": "fullweb-validation-v1",
+    "pass": true,
+    "extra_metric": 7.0,
+    "hurst": {"cells": [{"bias": 0.01, "estimator": "Whittle"}]}
+  })";
+  const auto added = check_against_baseline(kBaselineDoc, extra);
+  ASSERT_TRUE(added.ok());
+  EXPECT_FALSE(added.value().failed());  // fresh-only leaves are informational
+  bool saw_new = false;
+  for (const auto& f : added.value().findings)
+    if (f.kind == "new" && f.path == "extra_metric") saw_new = true;
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(DriftCheck, TypeChangeIsDrift) {
+  const std::string fresh = R"({
+    "schema": "fullweb-validation-v1",
+    "pass": "yes",
+    "hurst": {"cells": [{"bias": 0.01, "estimator": "Whittle"}]}
+  })";
+  const auto r = check_against_baseline(kBaselineDoc, fresh);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().failed());
+}
+
+TEST(DriftCheck, MalformedDocumentIsAnError) {
+  EXPECT_FALSE(check_against_baseline("{", kBaselineDoc).ok());
+  EXPECT_FALSE(check_against_baseline(kBaselineDoc, "not json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Micro scenario run: tiny replicate counts through the real fan-out path.
+// Gate verdicts at this scale are meaningless; what must hold is structure
+// and bit-identical aggregation across thread counts.
+
+TestsScenarioResult micro_tests_scenario(std::size_t threads) {
+  TestsScenarioConfig config;
+  config.replicates = 4;
+  config.poisson_null.t1 = 1800.0;
+  config.poisson_alt.t1 = 1800.0;
+  config.kpss_null.n = 256;
+  config.kpss_alt.n = 256;
+  support::Executor executor(threads);
+  return run_tests_scenario(config, support::Rng(99), executor);
+}
+
+TEST(Scenario, MicroTestsScenarioIsThreadCountInvariant) {
+  const auto serial = micro_tests_scenario(1);
+  const auto parallel = micro_tests_scenario(4);
+  ASSERT_EQ(serial.cells.size(), 4u);  // poisson/kpss x null/contaminated
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].test, parallel.cells[i].test);
+    EXPECT_EQ(serial.cells[i].rejections, parallel.cells[i].rejections);
+    EXPECT_EQ(serial.cells[i].failures, parallel.cells[i].failures);
+    EXPECT_EQ(serial.cells[i].rejection_rate, parallel.cells[i].rejection_rate);
+  }
+  ASSERT_EQ(serial.gates.size(), parallel.gates.size());
+  for (std::size_t i = 0; i < serial.gates.size(); ++i) {
+    EXPECT_EQ(serial.gates[i].name, parallel.gates[i].name);
+    EXPECT_EQ(serial.gates[i].observed, parallel.gates[i].observed);
+  }
+}
+
+TEST(Scenario, HurstBandsCoverTheGrid) {
+  // Every (method, H) the scenario gates on must have a sane documented band.
+  for (auto method :
+       {lrd::HurstMethod::kVarianceTime, lrd::HurstMethod::kRoverS,
+        lrd::HurstMethod::kPeriodogram, lrd::HurstMethod::kWhittle,
+        lrd::HurstMethod::kAbryVeitch}) {
+    for (double h : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+      const BiasBand band = hurst_bias_band(method, h);
+      EXPECT_LT(band.lo, band.hi);
+      EXPECT_LE(std::abs(band.lo), 0.2);
+      EXPECT_LE(std::abs(band.hi), 0.2);
+    }
+  }
+  for (double h : {0.5, 0.6, 0.7, 0.8, 0.9}) {
+    EXPECT_GT(hurst_coverage_band(lrd::HurstMethod::kWhittle, h), 0.0);
+    const double av = hurst_coverage_band(lrd::HurstMethod::kAbryVeitch, h);
+    EXPECT_GT(av, 0.0);
+    EXPECT_LT(av, 0.25);  // under-coverage beyond this is a defect, not a band
+  }
+}
+
+}  // namespace

@@ -13,260 +13,15 @@
 //   ./bench/bench_micro --benchmark_out=new.json --benchmark_out_format=json
 //   ./tools/bench_compare BENCH_micro.json new.json
 //
-// The parser accepts the subset of JSON google-benchmark and
-// bench_parallel_scaling emit (objects, arrays, strings, numbers, bools,
-// null); it ignores fields it does not know.
-#include <cctype>
-#include <cmath>
+// The comparison and parsing logic lives in bench_compare_lib (unit-tested
+// by test_tools_bench_compare); this file is only flag handling.
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <variant>
 #include <vector>
 
+#include "bench_compare_lib.h"
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal recursive-descent JSON reader.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  [[nodiscard]] const JsonObject* object() const {
-    auto p = std::get_if<std::shared_ptr<JsonObject>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] const JsonArray* array() const {
-    auto p = std::get_if<std::shared_ptr<JsonArray>>(&v);
-    return p ? p->get() : nullptr;
-  }
-  [[nodiscard]] std::optional<double> number() const {
-    auto p = std::get_if<double>(&v);
-    if (p) return *p;
-    return std::nullopt;
-  }
-  [[nodiscard]] std::optional<std::string> string() const {
-    auto p = std::get_if<std::string>(&v);
-    if (p) return *p;
-    return std::nullopt;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  std::optional<JsonValue> parse() {
-    auto value = parse_value();
-    skip_ws();
-    if (!value || pos_ != text_.size()) return std::nullopt;
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
-      ++pos_;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(const char* word) {
-    const std::size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<JsonValue> parse_value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return std::nullopt;
-    const char c = text_[pos_];
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      auto s = parse_string();
-      if (!s) return std::nullopt;
-      return JsonValue{*s};
-    }
-    if (literal("true")) return JsonValue{true};
-    if (literal("false")) return JsonValue{false};
-    if (literal("null")) return JsonValue{nullptr};
-    return parse_number();
-  }
-
-  std::optional<JsonValue> parse_object() {
-    if (!consume('{')) return std::nullopt;
-    auto obj = std::make_shared<JsonObject>();
-    skip_ws();
-    if (consume('}')) return JsonValue{obj};
-    while (true) {
-      skip_ws();
-      auto key = parse_string();
-      if (!key || !consume(':')) return std::nullopt;
-      auto value = parse_value();
-      if (!value) return std::nullopt;
-      (*obj)[*key] = *value;
-      if (consume(',')) continue;
-      if (consume('}')) return JsonValue{obj};
-      return std::nullopt;
-    }
-  }
-
-  std::optional<JsonValue> parse_array() {
-    if (!consume('[')) return std::nullopt;
-    auto arr = std::make_shared<JsonArray>();
-    skip_ws();
-    if (consume(']')) return JsonValue{arr};
-    while (true) {
-      auto value = parse_value();
-      if (!value) return std::nullopt;
-      arr->push_back(*value);
-      if (consume(',')) continue;
-      if (consume(']')) return JsonValue{arr};
-      return std::nullopt;
-    }
-  }
-
-  std::optional<std::string> parse_string() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
-    ++pos_;
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'n': out.push_back('\n'); break;
-          case 'r': out.push_back('\r'); break;
-          case 't': out.push_back('\t'); break;
-          case 'u':  // keep the raw escape; names never need code points
-            if (pos_ + 4 > text_.size()) return std::nullopt;
-            out += "\\u" + text_.substr(pos_, 4);
-            pos_ += 4;
-            break;
-          default: return std::nullopt;
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::optional<JsonValue> parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+'))
-      ++pos_;
-    if (pos_ == start) return std::nullopt;
-    try {
-      return JsonValue{std::stod(text_.substr(start, pos_ - start))};
-    } catch (...) {
-      return std::nullopt;
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-
-struct BenchResult {
-  double time = 0.0;  ///< chosen metric, ns/op
-  double items_per_second = 0.0;
-};
-
-/// Extract name -> result from a google-benchmark-shaped document. Aggregate
-/// rows (mean/median/stddev from --benchmark_repetitions) are skipped so a
-/// repeated run still matches a plain baseline.
-std::map<std::string, BenchResult> load_results(const std::string& path,
-                                                const std::string& metric) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  JsonParser parser(buffer.str());
-  const auto doc = parser.parse();
-  const JsonObject* root = doc ? doc->object() : nullptr;
-  const JsonArray* benchmarks = nullptr;
-  if (root != nullptr) {
-    if (auto it = root->find("benchmarks"); it != root->end())
-      benchmarks = it->second.array();
-  }
-  if (benchmarks == nullptr) {
-    std::fprintf(stderr, "bench_compare: %s has no \"benchmarks\" array\n",
-                 path.c_str());
-    std::exit(2);
-  }
-
-  std::map<std::string, BenchResult> out;
-  for (const JsonValue& entry : *benchmarks) {
-    const JsonObject* bench = entry.object();
-    if (bench == nullptr) continue;
-    auto field = [&](const char* key) -> std::optional<double> {
-      auto it = bench->find(key);
-      if (it == bench->end()) return std::nullopt;
-      return it->second.number();
-    };
-    auto sfield = [&](const char* key) -> std::string {
-      auto it = bench->find(key);
-      if (it == bench->end()) return {};
-      return it->second.string().value_or("");
-    };
-    const std::string name = sfield("name");
-    if (name.empty()) continue;
-    if (!sfield("aggregate_name").empty()) continue;
-    auto time = field(metric.c_str());
-    if (!time) time = field("real_time");
-    if (!time) continue;
-    double ns = *time;
-    const std::string unit = sfield("time_unit");
-    if (unit == "us") ns *= 1e3;
-    else if (unit == "ms") ns *= 1e6;
-    else if (unit == "s") ns *= 1e9;
-    BenchResult r;
-    r.time = ns;
-    r.items_per_second = field("items_per_second").value_or(0.0);
-    out[name] = r;
-  }
-  return out;
-}
 
 void usage() {
   std::fprintf(stderr,
@@ -298,45 +53,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto baseline = load_results(positional[0], metric);
-  const auto fresh = load_results(positional[1], metric);
-
-  std::printf("%-40s %14s %14s %8s  %s\n", "benchmark", "base (ns)",
-              "new (ns)", "ratio", "verdict");
-  int regressions = 0;
-  int compared = 0;
-  int missing = 0;
-  for (const auto& [name, base] : baseline) {
-    const auto it = fresh.find(name);
-    if (it == fresh.end()) {
-      // A baseline key the new run never produced means the benchmark was
-      // renamed or silently dropped — fail loudly instead of letting the
-      // gate shrink to whatever still matches.
-      std::printf("%-40s %14.0f %14s %8s  MISSING in new run\n", name.c_str(),
-                  base.time, "-", "-");
-      ++missing;
-      continue;
-    }
-    ++compared;
-    const double ratio = it->second.time / base.time;
-    const char* verdict = "ok";
-    if (ratio > 1.0 + threshold) {
-      verdict = "REGRESSION";
-      ++regressions;
-    } else if (ratio < 1.0 - threshold) {
-      verdict = "improved";
-    }
-    std::printf("%-40s %14.0f %14.0f %7.3fx  %s\n", name.c_str(), base.time,
-                it->second.time, ratio, verdict);
+  const auto baseline = fullweb::benchcmp::load_results(positional[0], metric);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.error().message.c_str());
+    return 2;
   }
-  for (const auto& [name, result] : fresh) {
-    if (baseline.find(name) == baseline.end())
-      std::printf("%-40s %14s %14.0f %8s  new benchmark\n", name.c_str(), "-",
-                  result.time, "-");
+  if (baseline.value().empty()) {
+    // A baseline with zero usable rows (wrong --metric, empty array) would
+    // make every comparison vacuously pass — refuse instead.
+    std::fprintf(stderr,
+                 "bench_compare: no usable benchmarks in %s for metric %s\n",
+                 positional[0].c_str(), metric.c_str());
+    return 2;
+  }
+  const auto fresh = fullweb::benchcmp::load_results(positional[1], metric);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "%s\n", fresh.error().message.c_str());
+    return 2;
   }
 
-  std::printf("\n%d/%d benchmarks within %.0f%%; %d regression(s), %d missing\n",
-              compared - regressions, compared, threshold * 100.0, regressions,
-              missing);
-  return regressions > 0 || missing > 0 ? 1 : 0;
+  const auto report =
+      fullweb::benchcmp::compare(baseline.value(), fresh.value(), threshold);
+  std::fputs(fullweb::benchcmp::render(report, threshold).c_str(), stdout);
+  return report.failed() ? 1 : 0;
 }

@@ -1,0 +1,69 @@
+// Benchmark-comparison logic behind the bench_compare CLI, extracted so the
+// regression-gate semantics (missing baseline key = failure, threshold
+// verdicts, unit normalization) are unit-testable instead of living only in
+// a main().
+//
+// Matches benchmarks by name between two google-benchmark JSON documents,
+// compares the chosen per-iteration time metric, and classifies each row.
+// A baseline key absent from the new run is a hard failure: a rename or a
+// silently dropped bench must not shrink the gate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace fullweb::benchcmp {
+
+struct BenchResult {
+  double time = 0.0;  ///< chosen metric, normalized to ns/op
+  double items_per_second = 0.0;
+};
+
+using BenchMap = std::map<std::string, BenchResult>;
+
+/// Parse a google-benchmark-shaped JSON document (the string contents, not a
+/// path). Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+/// are skipped so a repeated run still matches a plain baseline. Entries
+/// missing both `metric` and the "real_time" fallback are skipped. Errors on
+/// malformed JSON or a document without a "benchmarks" array.
+[[nodiscard]] support::Result<BenchMap> parse_results(const std::string& text,
+                                                      const std::string& metric);
+
+/// parse_results over a file's contents; errors when the file cannot be read.
+[[nodiscard]] support::Result<BenchMap> load_results(const std::string& path,
+                                                     const std::string& metric);
+
+enum class Verdict { kOk, kImproved, kRegression, kMissing, kNew };
+
+struct CompareRow {
+  std::string name;
+  double base_time = 0.0;  ///< ns; 0 when verdict == kNew
+  double new_time = 0.0;   ///< ns; 0 when verdict == kMissing
+  double ratio = 0.0;      ///< new/base; 0 when either side is absent
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareReport {
+  std::vector<CompareRow> rows;  ///< baseline order, then new-only benchmarks
+  int compared = 0;
+  int regressions = 0;
+  int missing = 0;
+
+  /// The CLI exit policy: nonzero when the gate must fail.
+  [[nodiscard]] bool failed() const noexcept {
+    return regressions > 0 || missing > 0;
+  }
+};
+
+/// Compare two result maps with a relative regression threshold
+/// (0.10 = +10% is the CLI default).
+[[nodiscard]] CompareReport compare(const BenchMap& baseline,
+                                    const BenchMap& fresh, double threshold);
+
+/// Render the report as the classic bench_compare table.
+[[nodiscard]] std::string render(const CompareReport& report, double threshold);
+
+}  // namespace fullweb::benchcmp
