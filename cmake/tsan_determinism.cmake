@@ -36,10 +36,14 @@ endif()
 # test_validation runs the Monte Carlo replicate runner's 1-vs-N-thread
 # bit-identity checks; test_support_workspace pins the thread_local arena
 # isolation — both are claims that only TSan can actually falsify.
+# test_kernel_determinism does the same for the parallelized fit kernels
+# (curvature Monte Carlo, wavelet transform, chunked periodogram), and
+# test_support_timing exercises the cross-thread StageTimings sink.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
   test_weblog_streaming test_weblog_corpus
-  test_shared_kernels test_validation test_support_workspace)
+  test_shared_kernels test_validation test_support_workspace
+  test_kernel_determinism test_support_timing)
 
 message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(

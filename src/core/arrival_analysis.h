@@ -13,6 +13,10 @@
 #include "lrd/estimator_suite.h"
 #include "support/result.h"
 
+namespace fullweb::support {
+class StageTimings;
+}
+
 namespace fullweb::core {
 
 struct ArrivalAnalysisOptions {
@@ -25,6 +29,9 @@ struct ArrivalAnalysisOptions {
   bool run_aggregation_sweep = true;
   std::vector<std::size_t> aggregation_levels = {1,  2,  5,  10,  20,
                                                  50, 100, 200, 500, 1000};
+  /// Optional per-stage observer, forwarded into the stationarization and
+  /// Hurst-suite sub-stages (null = off; see support/timing.h).
+  support::StageTimings* timings = nullptr;
 };
 
 struct ArrivalAnalysis {

@@ -55,14 +55,17 @@ void run_battery(PoissonBattery& battery, const std::vector<double>& event_times
     PoissonBattery::Cell PoissonBattery::*cell;
     double interval_seconds;
     poisson::SpreadMode spread;
+    const char* name;
   };
   const std::array<Config, 4> configs = {{
-      {&PoissonBattery::hourly_uniform, 3600.0, poisson::SpreadMode::kUniform},
+      {&PoissonBattery::hourly_uniform, 3600.0, poisson::SpreadMode::kUniform,
+       "hourly uniform"},
       {&PoissonBattery::hourly_deterministic, 3600.0,
-       poisson::SpreadMode::kDeterministic},
-      {&PoissonBattery::tenmin_uniform, 600.0, poisson::SpreadMode::kUniform},
+       poisson::SpreadMode::kDeterministic, "hourly deterministic"},
+      {&PoissonBattery::tenmin_uniform, 600.0, poisson::SpreadMode::kUniform,
+       "tenmin uniform"},
       {&PoissonBattery::tenmin_deterministic, 600.0,
-       poisson::SpreadMode::kDeterministic},
+       poisson::SpreadMode::kDeterministic, "tenmin deterministic"},
   }};
 
   // Level 0: the four config streams are leaves, consumed whole by
@@ -75,6 +78,7 @@ void run_battery(PoissonBattery& battery, const std::vector<double>& event_times
   for (std::size_t i = 0; i < configs.size(); ++i) {
     group.run([&, i] {
       const Config& cfg = configs[i];
+      support::StageTimer t(options.timings, cfg.name);
       poisson::PoissonTestOptions popts = options.poisson;
       popts.interval_seconds = cfg.interval_seconds;
       popts.spread = cfg.spread;
@@ -107,15 +111,18 @@ void run_tails(IntervalTails& tails, const weblog::Dataset& dataset,
 
   support::TaskGroup group(ex);
   group.run([&] {
+    support::StageTimer t(options.timings, "session lengths");
     const auto lengths = dataset.session_lengths(interval.t0, interval.t1);
     tails.sessions = lengths.size();
     tails.length = analyze_tail(lengths, metric_rngs[0], options.tails);
   });
   group.run([&] {
+    support::StageTimer t(options.timings, "session requests");
     const auto counts = dataset.session_request_counts(interval.t0, interval.t1);
     tails.requests = analyze_tail(counts, metric_rngs[1], options.tails);
   });
   group.run([&] {
+    support::StageTimer t(options.timings, "session bytes");
     const auto bytes = dataset.session_byte_counts(interval.t0, interval.t1);
     tails.bytes = analyze_tail(bytes, metric_rngs[2], options.tails);
   });
@@ -133,6 +140,8 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
   if (opts.arrivals.hurst.executor == nullptr)
     opts.arrivals.hurst.executor = opts.executor;
   if (opts.tails.executor == nullptr) opts.tails.executor = opts.executor;
+  if (opts.arrivals.timings == nullptr) opts.arrivals.timings = opts.timings;
+  if (opts.tails.timings == nullptr) opts.tails.timings = opts.timings;
   support::Executor& ex = support::Executor::resolve(opts.executor);
 
   // Fixed substream ids per branch — the assignment depends only on the
@@ -148,12 +157,6 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
   model.total_sessions = dataset.sessions().size();
   model.mb_transferred =
       static_cast<double>(dataset.total_bytes()) / (1024.0 * 1024.0);
-
-  // Inputs shared across branches, materialized before the fan-out.
-  const auto requests_per_second = dataset.requests_per_second();
-  const auto sessions_per_second = dataset.sessions_per_second();
-  const auto request_times = dataset.request_times();
-  const auto session_times = dataset.session_start_times();
 
   // Interval selection is cheap and deterministic; do it up front so the
   // task graph below is static.
@@ -185,49 +188,20 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
     model.interval_tails[work.load];
   }
 
-  // §4.1 / §5.1.1 / §4.2 / §5.1.2 / §5.2 / errors — the Figure 1 fan-out.
+  // §4.1 / §5.1.1 / §4.2 / §5.1.2 / §5.2 / errors — the Figure 1 fan-out,
+  // submitted critical-path-first. The week-scale tail job covers every
+  // session of the trace and dominates the fit, so it goes on the pool
+  // before anything else queues; the arrival analyses (the next-longest
+  // chains) follow, and the short per-interval work fills the remaining
+  // slack. Submission order only changes who runs when — every branch
+  // writes its own slot with its own pinned substream, so the fit stays
+  // bit-identical.
   support::Result<ArrivalAnalysis> req_arrivals =
       support::Error::invalid_argument("request-arrival analysis did not run");
   support::Result<ArrivalAnalysis> sess_arrivals =
       support::Error::invalid_argument("session-arrival analysis did not run");
 
   support::TaskGroup group(ex);
-  group.run([&] {
-    support::StageTimer t(opts.timings, "request arrivals (s4.1)");
-    req_arrivals = analyze_arrivals(requests_per_second, opts.arrivals);
-  });
-  group.run([&] {
-    // Session series follow the paper's §5.1.1 flow: process only when KPSS
-    // rejects (NASA-Pub2's sparse session series is stationary as-is, and
-    // seasonal-differencing a near-white sparse series over-differences it).
-    support::StageTimer t(opts.timings, "session arrivals (s5.1)");
-    auto session_opts = opts.arrivals;
-    session_opts.stationary.only_if_nonstationary = true;
-    sess_arrivals = analyze_arrivals(sessions_per_second, session_opts);
-  });
-
-  for (const auto& work : load_work) {
-    if (opts.run_poisson) {
-      group.run([&, rng_stream = streams.stream(work.stream_base)] {
-        support::StageTimer t(opts.timings,
-                              "poisson requests " + to_string(work.load));
-        run_battery(model.request_poisson[work.load], request_times,
-                    work.interval, opts, ex, rng_stream);
-      });
-      group.run([&, rng_stream = streams.stream(work.stream_base + 1)] {
-        support::StageTimer t(opts.timings,
-                              "poisson sessions " + to_string(work.load));
-        run_battery(model.session_poisson[work.load], session_times,
-                    work.interval, opts, ex, rng_stream);
-      });
-    }
-    group.run([&, rng_stream = streams.stream(work.stream_base + 2)] {
-      support::StageTimer t(opts.timings, "tails " + to_string(work.load));
-      run_tails(model.interval_tails[work.load], dataset, work.interval, opts,
-                ex, rng_stream);
-    });
-  }
-
   group.run([&, rng_stream = streams.stream(kWeekStream)] {
     support::StageTimer t(opts.timings, "tails Week");
     weblog::Interval week;
@@ -238,6 +212,63 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
     run_tails(model.week_tails, dataset, week, opts, ex, rng_stream);
   });
 
+  // Inputs shared across branches materialize as pool tasks overlapping the
+  // week job; each consumer blocks only on the buffer it reads (get() helps
+  // run queued tasks instead of idling, so a waiting branch costs nothing).
+  std::vector<double> requests_per_second, sessions_per_second;
+  std::vector<double> request_times, session_times;
+  support::Future<void> rps_ready =
+      ex.async([&] { requests_per_second = dataset.requests_per_second(); });
+  support::Future<void> sps_ready =
+      ex.async([&] { sessions_per_second = dataset.sessions_per_second(); });
+  support::Future<void> req_times_ready, sess_times_ready;
+  if (opts.run_poisson) {
+    req_times_ready =
+        ex.async([&] { request_times = dataset.request_times(); });
+    sess_times_ready =
+        ex.async([&] { session_times = dataset.session_start_times(); });
+  }
+
+  group.run([&] {
+    support::StageTimer t(opts.timings, "request arrivals (s4.1)");
+    rps_ready.get();
+    req_arrivals = analyze_arrivals(requests_per_second, opts.arrivals);
+  });
+  group.run([&] {
+    // Session series follow the paper's §5.1.1 flow: process only when KPSS
+    // rejects (NASA-Pub2's sparse session series is stationary as-is, and
+    // seasonal-differencing a near-white sparse series over-differences it).
+    support::StageTimer t(opts.timings, "session arrivals (s5.1)");
+    auto session_opts = opts.arrivals;
+    session_opts.stationary.only_if_nonstationary = true;
+    sps_ready.get();
+    sess_arrivals = analyze_arrivals(sessions_per_second, session_opts);
+  });
+
+  for (const auto& work : load_work) {
+    group.run([&, rng_stream = streams.stream(work.stream_base + 2)] {
+      support::StageTimer t(opts.timings, "tails " + to_string(work.load));
+      run_tails(model.interval_tails[work.load], dataset, work.interval, opts,
+                ex, rng_stream);
+    });
+    if (opts.run_poisson) {
+      group.run([&, rng_stream = streams.stream(work.stream_base)] {
+        support::StageTimer t(opts.timings,
+                              "poisson requests " + to_string(work.load));
+        req_times_ready.get();
+        run_battery(model.request_poisson[work.load], request_times,
+                    work.interval, opts, ex, rng_stream);
+      });
+      group.run([&, rng_stream = streams.stream(work.stream_base + 1)] {
+        support::StageTimer t(opts.timings,
+                              "poisson sessions " + to_string(work.load));
+        sess_times_ready.get();
+        run_battery(model.session_poisson[work.load], session_times,
+                    work.interval, opts, ex, rng_stream);
+      });
+    }
+  }
+
   if (opts.run_error_analysis) {
     group.run([&] {
       support::StageTimer t(opts.timings, "error analysis");
@@ -246,6 +277,13 @@ Result<FullWebModel> fit_fullweb_model(const weblog::Dataset& dataset,
     });
   }
 
+  // Drain the producers from this thread before waiting on the group: a
+  // task exception unwinding out of wait() must never leave a
+  // materialization task queued with references to the locals above.
+  rps_ready.get();
+  sps_ready.get();
+  if (req_times_ready.valid()) req_times_ready.get();
+  if (sess_times_ready.valid()) sess_times_ready.get();
   group.wait();
 
   if (!req_arrivals) return req_arrivals.error();

@@ -1,5 +1,11 @@
 #include "core/stationary.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "stats/periodogram.h"
+#include "support/executor.h"
+#include "support/timing.h"
 #include "timeseries/detrend.h"
 #include "timeseries/seasonal.h"
 
@@ -8,11 +14,74 @@ namespace fullweb::core {
 using support::Error;
 using support::Result;
 
+namespace {
+
+/// The detrend -> periodogram -> period/strength chain (§4.1 steps 1-2,
+/// before any removal). One periodogram serves both the dominant-period
+/// scan and the strength diagnostic; they used to pay a full-series FFT
+/// each.
+struct SeasonalScan {
+  timeseries::TrendFit trend;
+  std::optional<std::size_t> period;
+  double strength = 0.0;
+};
+
+SeasonalScan scan_seasonality(std::span<const double> xs,
+                              const StationaryOptions& options,
+                              support::Executor& ex) {
+  SeasonalScan scan;
+  scan.trend = timeseries::detrend_linear(xs, /*keep_mean=*/true);
+  const auto& working = scan.trend.residual;
+  if (working.size() >= 2 * options.max_period) {
+    // The full-series FFT dominates this stage; chunk it on the pool. The
+    // width annotation mirrors the FFT's ~16k-element chunk granularity.
+    support::StageTimer t(
+        options.timings, "scan periodogram", support::StageTimings::Kind::kPhase,
+        std::max<double>(1.0, static_cast<double>(working.size()) / 32768.0));
+    const auto pg = stats::periodogram(working, &ex);
+    if (auto period = timeseries::detect_period(pg, options.min_period,
+                                                options.max_period);
+        period.ok()) {
+      scan.period = period.value();
+      scan.strength =
+          timeseries::seasonal_strength(pg, working.size(), *scan.period);
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
 Result<StationaryReport> make_stationary(std::span<const double> xs,
                                          const StationaryOptions& options) {
   StationaryReport report;
+  support::Executor& ex = support::Executor::resolve(options.executor);
 
-  auto raw = stats::kpss_test(xs, stats::KpssNull::kLevel, options.kpss_lag);
+  // The raw KPSS and the seasonality scan are independent reads of the
+  // input, and the scan carries the full-series FFT that dominates this
+  // stage, so a parallel pool overlaps them. With only_if_nonstationary the
+  // scan is speculative — a stationary verdict discards it — which is the
+  // right trade on the nonstationary week-scale series this pipeline exists
+  // for. Every value below is a pure function of the input, so the report
+  // is identical at any thread count.
+  std::optional<SeasonalScan> scan;
+  Result<stats::KpssResult> raw =
+      Error::invalid_argument("make_stationary: kpss did not run");
+  if (ex.serial()) {
+    support::StageTimer t(options.timings, "kpss (raw)");
+    raw = stats::kpss_test(xs, stats::KpssNull::kLevel, options.kpss_lag);
+  } else {
+    support::TaskGroup group(ex);
+    group.run([&] {
+      support::StageTimer t(options.timings, "kpss (raw)");
+      raw = stats::kpss_test(xs, stats::KpssNull::kLevel, options.kpss_lag);
+    });
+    group.run([&] {
+      support::StageTimer t(options.timings, "seasonal scan");
+      scan = scan_seasonality(xs, options, ex);
+    });
+    group.wait();
+  }
   if (!raw) return raw.error();
   report.kpss_raw = raw.value();
   report.was_stationary = report.kpss_raw.stationary_at_5pct();
@@ -20,35 +89,40 @@ Result<StationaryReport> make_stationary(std::span<const double> xs,
   if (report.was_stationary && options.only_if_nonstationary) {
     report.series.assign(xs.begin(), xs.end());
     report.kpss_stationary = report.kpss_raw;
-    return report;
+    return report;  // any speculative scan is discarded
+  }
+
+  if (!scan.has_value()) {
+    // Recorded as a task even on the serial path: a parallel pool overlaps
+    // this scan with the raw KPSS above, and span trees are captured from
+    // serial runs.
+    support::StageTimer t(options.timings, "seasonal scan");
+    scan = scan_seasonality(xs, options, ex);
   }
 
   // 1. Trend: least-squares estimate, removed (mean level preserved).
-  auto trend = timeseries::detrend_linear(xs, /*keep_mean=*/true);
   report.trend_removed = true;
-  report.trend_slope = trend.fit.slope;
-  report.relative_drift = trend.relative_drift;
-  std::vector<double> working = std::move(trend.residual);
+  report.trend_slope = scan->trend.fit.slope;
+  report.relative_drift = scan->trend.relative_drift;
+  std::vector<double> working = std::move(scan->trend.residual);
 
-  // 2. Periodicity: detect via periodogram, remove when the series is long
-  //    enough to resolve it.
-  if (working.size() >= 2 * options.max_period) {
-    auto period = timeseries::detect_period(working, options.min_period,
-                                            options.max_period);
-    if (period.ok()) {
-      report.period = period.value();
-      report.seasonal_strength =
-          timeseries::seasonal_strength(working, report.period);
-      if (options.seasonal_method == SeasonalMethod::kDifference) {
-        working = timeseries::seasonal_difference(working, report.period);
-      } else {
-        working = timeseries::remove_seasonal_means(working, report.period);
-      }
-      report.seasonal_removed = true;
+  // 2. Periodicity: remove when detected (the scan only ran the detection
+  //    on series long enough to resolve two cycles of max_period).
+  if (scan->period.has_value()) {
+    report.period = *scan->period;
+    report.seasonal_strength = scan->strength;
+    if (options.seasonal_method == SeasonalMethod::kDifference) {
+      working = timeseries::seasonal_difference(working, report.period);
+    } else {
+      working = timeseries::remove_seasonal_means(working, report.period);
     }
+    report.seasonal_removed = true;
   }
 
+  support::StageTimer post_timer(options.timings, "kpss (post)",
+                                 support::StageTimings::Kind::kPhase);
   auto post = stats::kpss_test(working, stats::KpssNull::kLevel, options.kpss_lag);
+  post_timer.stop();
   if (post.ok()) report.kpss_stationary = post.value();
   report.series = std::move(working);
   return report;

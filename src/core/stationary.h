@@ -14,6 +14,11 @@
 #include "stats/kpss.h"
 #include "support/result.h"
 
+namespace fullweb::support {
+class Executor;
+class StageTimings;
+}
+
 namespace fullweb::core {
 
 enum class SeasonalMethod {
@@ -32,6 +37,15 @@ struct StationaryOptions {
   /// rejects stationarity at 5% (true), or unconditionally (false).
   bool only_if_nonstationary = true;
   long kpss_lag = -1;  ///< forwarded to kpss_test; -1 = automatic
+  /// Task executor (null = the global pool). A parallel pool overlaps the
+  /// raw KPSS with the detrend/periodicity scan — speculatively when
+  /// only_if_nonstationary is set, since the verdict usually rejects on the
+  /// week-scale series this pipeline exists for. Results are identical at
+  /// any thread count; a serial executor keeps the early-return ordering
+  /// and does no speculative work.
+  support::Executor* executor = nullptr;
+  /// Optional per-stage observer (null = off; see support/timing.h).
+  support::StageTimings* timings = nullptr;
 };
 
 struct StationaryReport {

@@ -2,6 +2,7 @@
 
 #include "support/executor.h"
 #include "support/strings.h"
+#include "support/timing.h"
 
 namespace fullweb::core {
 
@@ -29,7 +30,8 @@ TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
   // The two curvature tests get fixed substreams of the caller's generator
   // up front, so their draws are independent of scheduling (and of whether
   // the estimators below succeed). Level 0: curvature_test consumes its
-  // stream whole. Callers handing us a stream from a splitter must have
+  // stream whole (subdividing it internally into level -1 per-replicate
+  // micro-streams). Callers handing us a stream from a splitter must have
   // split at level >= 1 to leave room for this split.
   support::RngSplitter streams(rng, 0);
   support::Rng pareto_rng = streams.stream(0);
@@ -37,12 +39,19 @@ TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
 
   support::Executor& ex = support::Executor::resolve(options.executor);
   {
+    // The estimator pair and the curvature pair are sequential phases (the
+    // curvature tests only run when an estimator succeeded), so the span
+    // model adds them; within each phase the tasks are concurrent.
+    support::StageTimer phase(options.timings, "estimators",
+                              support::StageTimings::Kind::kPhase);
     support::TaskGroup group(ex);
     group.run([&] {
+      support::StageTimer t(options.timings, "llcd fit");
       if (auto fit = tail::llcd_fit(samples, options.llcd); fit.ok())
         out.llcd = fit.value();
     });
     group.run([&] {
+      support::StageTimer t(options.timings, "hill estimate");
       if (auto est = tail::hill_estimate(samples, options.hill); est.ok())
         out.hill = est.value();
     });
@@ -52,15 +61,23 @@ TailAnalysis analyze_tail(std::span<const double> samples, support::Rng& rng,
   if (!out.available) return out;
 
   if (options.run_curvature) {
+    support::StageTimer phase(options.timings, "curvature",
+                              support::StageTimings::Kind::kPhase);
     tail::CurvatureOptions copts;
     copts.replicates = options.curvature_replicates;
+    copts.executor = &ex;  // replicates fan out on the same pool
+    const auto width = static_cast<double>(copts.replicates);
     support::TaskGroup group(ex);
     group.run([&, copts]() mutable {
+      support::StageTimer t(options.timings, "curvature pareto",
+                            support::StageTimings::Kind::kTask, width);
       copts.model = tail::TailModel::kPareto;
       if (auto c = tail::curvature_test(samples, pareto_rng, copts); c.ok())
         out.curvature_pareto = c.value();
     });
     group.run([&, copts]() mutable {
+      support::StageTimer t(options.timings, "curvature lognormal",
+                            support::StageTimings::Kind::kTask, width);
       copts.model = tail::TailModel::kLognormal;
       if (auto c = tail::curvature_test(samples, lognormal_rng, copts); c.ok())
         out.curvature_lognormal = c.value();

@@ -14,6 +14,7 @@
 
 namespace fullweb::support {
 class Executor;
+class StageTimings;
 }
 
 namespace fullweb::core {
@@ -26,6 +27,8 @@ struct TailAnalysisOptions {
   std::size_t min_samples = 60;  ///< below this, everything is NA
   /// Task executor for the estimator/curvature fan-out (null = global pool).
   support::Executor* executor = nullptr;
+  /// Optional per-stage observer (null = off; see support/timing.h).
+  support::StageTimings* timings = nullptr;
 };
 
 /// One cell group of Tables 2/3/4.

@@ -16,6 +16,10 @@
 #include "support/result.h"
 #include "timeseries/wavelet.h"
 
+namespace fullweb::support {
+class Executor;
+}
+
 namespace fullweb::lrd {
 
 struct AbryVeitchOptions {
@@ -24,6 +28,8 @@ struct AbryVeitchOptions {
   std::size_t j2 = 0;             ///< coarsest octave; 0 = deepest with
                                   ///< at least `min_coeffs` coefficients
   std::size_t min_coeffs = 8;     ///< per-octave coefficient floor
+  /// Task executor for the wavelet-transform chunking (null = global pool).
+  support::Executor* executor = nullptr;
 };
 
 struct AbryVeitchResult {

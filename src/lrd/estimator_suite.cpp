@@ -1,11 +1,13 @@
 #include "lrd/estimator_suite.h"
 
+#include <algorithm>
 #include <array>
 #include <optional>
 
 #include "stats/fft.h"
 #include "stats/prefix_moments.h"
 #include "support/executor.h"
+#include "support/timing.h"
 #include "timeseries/series.h"
 
 namespace fullweb::lrd {
@@ -63,28 +65,41 @@ HurstSuiteResult hurst_suite(std::span<const double> xs,
   // power-of-two-truncated periodogram feeds both frequency-domain ones
   // (GPH log-regression and Whittle likelihood). This removes the repeated
   // per-estimator cumsum/FFT passes over the same series.
+  using Kind = support::StageTimings::Kind;
+  support::StageTimer pm_timer(options.timings, "prefix moments", Kind::kPhase);
   const stats::PrefixMoments pm(xs);
+  pm_timer.stop();
   std::span<const double> input = xs;
   if (!stats::is_pow2(input.size()) && input.size() > 1) {
     std::size_t p = 1;
     while (p * 2 <= input.size()) p *= 2;
     input = input.subspan(0, p);
   }
-  const stats::Periodogram pg = stats::periodogram(input);
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  // The shared FFT is serial work every estimator waits behind — chunk its
+  // stages on the pool before the fan-out. (Width mirrors the FFT's ~16k
+  // chunk granularity.)
+  support::StageTimer pg_timer(
+      options.timings, "shared periodogram", Kind::kPhase,
+      std::max<double>(1.0, static_cast<double>(input.size()) / 32768.0));
+  const stats::Periodogram pg = stats::periodogram(input, &ex);
+  pg_timer.stop();
 
   // Fixed battery order: fills the result slots concurrently, then collects
   // in this order so the output is identical to the old sequential code.
   std::array<std::optional<HurstEstimate>, 5> slots;
-  support::Executor& ex = support::Executor::resolve(options.executor);
   support::TaskGroup group(ex);
   group.run([&] {
+    support::StageTimer t(options.timings, "variance-time");
     if (auto r = variance_time_hurst(pm, options.variance_time); r.ok())
       slots[0] = r.value();
   });
   group.run([&] {
+    support::StageTimer t(options.timings, "r/s");
     if (auto r = rs_hurst(pm, options.rs); r.ok()) slots[1] = r.value();
   });
   group.run([&] {
+    support::StageTimer t(options.timings, "gph periodogram");
     if (auto r = periodogram_hurst_pg(pg, options.periodogram); r.ok())
       slots[2] = r.value();
   });
@@ -92,12 +107,20 @@ HurstSuiteResult hurst_suite(std::span<const double> xs,
   // longer carries the original series length.
   if (options.run_whittle && xs.size() >= options.whittle.min_samples) {
     group.run([&] {
+      support::StageTimer t(options.timings, "whittle");
       if (auto r = whittle_hurst_pg(pg, options.whittle); r.ok())
         slots[3] = r.value().estimate;
     });
   }
   group.run([&] {
-    if (auto r = abry_veitch_hurst(xs, options.abry_veitch); r.ok())
+    // The wavelet transform chunks its big octaves on the same pool the
+    // suite fans out on (nested waits help, so this cannot deadlock).
+    support::StageTimer t(
+        options.timings, "abry-veitch", Kind::kTask,
+        std::max<double>(1.0, static_cast<double>(xs.size()) / 32768.0));
+    AbryVeitchOptions av = options.abry_veitch;
+    if (av.executor == nullptr) av.executor = &ex;
+    if (auto r = abry_veitch_hurst(xs, av); r.ok())
       slots[4] = r.value().estimate;
   });
   group.wait();

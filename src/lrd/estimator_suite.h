@@ -22,6 +22,7 @@
 
 namespace fullweb::support {
 class Executor;
+class StageTimings;
 }
 
 namespace fullweb::lrd {
@@ -52,6 +53,8 @@ struct HurstSuiteOptions {
   bool run_whittle = true;  ///< Whittle is O(n log n + n * iters); allow skip
   /// Task executor for the estimator fan-out (null = the global pool).
   support::Executor* executor = nullptr;
+  /// Optional per-stage observer (null = off; see support/timing.h).
+  support::StageTimings* timings = nullptr;
 };
 
 [[nodiscard]] HurstSuiteResult hurst_suite(std::span<const double> xs,

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "support/executor.h"
 #include "support/lru_cache.h"
 #include "support/workspace.h"
 
@@ -109,74 +110,132 @@ std::shared_ptr<const FftPlan> FftPlan::get(std::size_t n) {
       n, [n] { return std::shared_ptr<const FftPlan>(new FftPlan(n)); });
 }
 
-void FftPlan::transform_pow2(cd* a, bool inverse) const {
+namespace {
+
+/// Butterflies (or pointwise products) per task: big enough that task
+/// overhead is noise, small enough that every stage of a week-scale
+/// transform splits across the pool.
+constexpr std::size_t kFftChunk = 16384;
+
+/// Run body(lo, hi) over [0, count), chunked across `executor` when it is a
+/// real pool and the range is worth splitting; serial otherwise. Bodies
+/// write disjoint elements per index, so chunking never changes results.
+template <typename Body>
+void chunked(support::Executor* executor, std::size_t count, Body&& body) {
+  if (executor == nullptr || executor->serial() || count < 2 * kFftChunk) {
+    body(std::size_t{0}, count);
+    return;
+  }
+  const std::size_t chunks = (count + kFftChunk - 1) / kFftChunk;
+  executor->parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        body(c * kFftChunk, std::min(count, (c + 1) * kFftChunk));
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
+
+void FftPlan::transform_pow2(cd* a, bool inverse,
+                             support::Executor* executor) const {
   const std::size_t n = n_;
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(a[i], a[j]);
   }
 
+  const std::size_t butterflies = n >> 1;
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len >> 1;
     const cd* stage = twiddle_.data() + (half - 1);
-    for (std::size_t i = 0; i < n; i += len) {
-      cd* lo = a + i;
+    // One contiguous run of butterflies [k0, k1) inside the block at `lo`.
+    auto run = [&](cd* lo, std::size_t k0, std::size_t k1) {
       cd* hi = lo + half;
       if (!inverse) {
-        for (std::size_t k = 0; k < half; ++k) {
+        for (std::size_t k = k0; k < k1; ++k) {
           const cd u = lo[k];
           const cd v = hi[k] * stage[k];
           lo[k] = u + v;
           hi[k] = u - v;
         }
       } else {
-        for (std::size_t k = 0; k < half; ++k) {
+        for (std::size_t k = k0; k < k1; ++k) {
           const cd u = lo[k];
           const cd v = hi[k] * std::conj(stage[k]);
           lo[k] = u + v;
           hi[k] = u - v;
         }
       }
-    }
+    };
+    // Flatten the stage's butterflies block-major and chunk them: every
+    // butterfly owns its {lo[k], hi[k]} pair, so chunks never share writes
+    // and the stage is bit-identical to the serial double loop.
+    chunked(executor, butterflies, [&](std::size_t b, std::size_t end) {
+      while (b < end) {
+        const std::size_t block = b / half;
+        const std::size_t k0 = b - block * half;
+        const std::size_t k1 = std::min(half, k0 + (end - b));
+        run(a + block * len, k0, k1);
+        b += k1 - k0;
+      }
+    });
   }
 }
 
-void FftPlan::transform_bluestein(std::vector<cd>& a, bool inverse) const {
+void FftPlan::transform_bluestein(std::vector<cd>& a, bool inverse,
+                                  support::Executor* executor) const {
   const std::size_t n = n_;
-  auto& fa = support::Workspace::for_thread().cplx(support::ws::kBluestein);
+  const bool parallel = executor != nullptr && !executor->serial();
+  // The serial path keeps the allocation-free per-thread arena. The
+  // parallel path owns its scratch: the calling thread helps the pool
+  // inside parallel_for and could steal another transform that reuses its
+  // arena slot mid-flight.
+  std::vector<cd> local;
+  std::vector<cd>& fa =
+      parallel ? local
+               : support::Workspace::for_thread().cplx(support::ws::kBluestein);
   fa.assign(m_, cd(0.0, 0.0));
-  if (!inverse) {
-    for (std::size_t k = 0; k < n; ++k) fa[k] = a[k] * chirp_[k];
-  } else {
-    for (std::size_t k = 0; k < n; ++k) fa[k] = a[k] * std::conj(chirp_[k]);
-  }
+  chunked(executor, n, [&](std::size_t lo, std::size_t hi) {
+    if (!inverse) {
+      for (std::size_t k = lo; k < hi; ++k) fa[k] = a[k] * chirp_[k];
+    } else {
+      for (std::size_t k = lo; k < hi; ++k) fa[k] = a[k] * std::conj(chirp_[k]);
+    }
+  });
 
-  sub_->transform_pow2(fa.data(), false);
+  sub_->transform_pow2(fa.data(), false, executor);
   const auto& fbs = inverse ? chirp_spectrum_inv_ : chirp_spectrum_fwd_;
-  for (std::size_t i = 0; i < m_; ++i) fa[i] *= fbs[i];
-  sub_->transform_pow2(fa.data(), true);
+  chunked(executor, m_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fa[i] *= fbs[i];
+  });
+  sub_->transform_pow2(fa.data(), true, executor);
 
   const double inv_m = 1.0 / static_cast<double>(m_);
-  if (!inverse) {
-    for (std::size_t k = 0; k < n; ++k) a[k] = fa[k] * inv_m * chirp_[k];
-  } else {
-    for (std::size_t k = 0; k < n; ++k)
-      a[k] = fa[k] * inv_m * std::conj(chirp_[k]);
-  }
+  chunked(executor, n, [&](std::size_t lo, std::size_t hi) {
+    if (!inverse) {
+      for (std::size_t k = lo; k < hi; ++k) a[k] = fa[k] * inv_m * chirp_[k];
+    } else {
+      for (std::size_t k = lo; k < hi; ++k)
+        a[k] = fa[k] * inv_m * std::conj(chirp_[k]);
+    }
+  });
 }
 
-void FftPlan::forward(std::vector<cd>& data) const {
+void FftPlan::forward(std::vector<cd>& data,
+                      support::Executor* executor) const {
   assert(data.size() == n_);
   if (n_ <= 1) return;
-  if (!bitrev_.empty()) transform_pow2(data.data(), false);
-  else transform_bluestein(data, false);
+  if (!bitrev_.empty()) transform_pow2(data.data(), false, executor);
+  else transform_bluestein(data, false, executor);
 }
 
-void FftPlan::backward(std::vector<cd>& data) const {
+void FftPlan::backward(std::vector<cd>& data,
+                       support::Executor* executor) const {
   assert(data.size() == n_);
   if (n_ <= 1) return;
-  if (!bitrev_.empty()) transform_pow2(data.data(), true);
-  else transform_bluestein(data, true);
+  if (!bitrev_.empty()) transform_pow2(data.data(), true, executor);
+  else transform_bluestein(data, true, executor);
 }
 
 std::size_t next_pow2(std::size_t n) noexcept {
@@ -202,7 +261,8 @@ void ifft(std::vector<cd>& data) {
   for (auto& v : data) v *= inv_n;
 }
 
-void fft_real(std::span<const double> xs, std::vector<cd>& out) {
+void fft_real(std::span<const double> xs, std::vector<cd>& out,
+              support::Executor* executor) {
   const std::size_t n = xs.size();
   out.resize(n);
   if (n == 0) return;
@@ -212,33 +272,42 @@ void fft_real(std::span<const double> xs, std::vector<cd>& out) {
   }
   if (!is_pow2(n)) {
     for (std::size_t i = 0; i < n; ++i) out[i] = cd(xs[i], 0.0);
-    fft(out);
+    FftPlan::get(n)->forward(out, executor);
     return;
   }
 
   // Pack-two-halves real transform: z[k] = x[2k] + i*x[2k+1], one complex
   // FFT of length n/2, then split into the even/odd-sample spectra E and O
   // and recombine X[k] = E[k] + W^k O[k] with W = exp(-2*pi*i/n).
+  const bool parallel = executor != nullptr && !executor->serial();
   const std::size_t h = n / 2;
   const auto plan = FftPlan::get(h);
   const auto unpack = real_unpack_twiddles(n);
-  auto& z = support::Workspace::for_thread().cplx(support::ws::kRealFftHalf);
+  // Local scratch on the parallel path, for the same arena-stealing reason
+  // as transform_bluestein.
+  std::vector<cd> local;
+  std::vector<cd>& z =
+      parallel ? local
+               : support::Workspace::for_thread().cplx(support::ws::kRealFftHalf);
   z.resize(h);
   for (std::size_t k = 0; k < h; ++k) z[k] = cd(xs[2 * k], xs[2 * k + 1]);
-  plan->forward(z);
+  plan->forward(z, executor);
 
   const cd* w = unpack->data();
   out[0] = cd(z[0].real() + z[0].imag(), 0.0);
   out[h] = cd(z[0].real() - z[0].imag(), 0.0);
-  for (std::size_t k = 1; k < h; ++k) {
-    const cd zk = z[k];
-    const cd zc = std::conj(z[h - k]);
-    const cd e = 0.5 * (zk + zc);
-    const cd o = cd(0.0, -0.5) * (zk - zc);  // (zk - zc) / (2i)
-    const cd x = e + w[k] * o;
-    out[k] = x;
-    out[n - k] = std::conj(x);
-  }
+  // Each k writes only {out[k], out[n-k]}, disjoint across k: chunkable.
+  chunked(executor, h - 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo + 1; k < hi + 1; ++k) {
+      const cd zk = z[k];
+      const cd zc = std::conj(z[h - k]);
+      const cd e = 0.5 * (zk + zc);
+      const cd o = cd(0.0, -0.5) * (zk - zc);  // (zk - zc) / (2i)
+      const cd x = e + w[k] * o;
+      out[k] = x;
+      out[n - k] = std::conj(x);
+    }
+  });
 }
 
 std::vector<cd> fft_real(std::span<const double> xs) {

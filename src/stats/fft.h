@@ -19,10 +19,25 @@
 #include <span>
 #include <vector>
 
+namespace fullweb::support {
+class Executor;
+}
+
 namespace fullweb::stats {
 
 /// Precomputed tables for length-n DFTs. Immutable after construction and
 /// shared across threads; obtain instances through get() only.
+///
+/// Executor parameter: unlike the rest of the library, a null executor here
+/// means SERIAL (not "the global pool") — the FFT is a leaf kernel and most
+/// call sites want the allocation-free thread-local-workspace path. Passing
+/// an executor opts the transform into chunking each butterfly stage (and
+/// the Bluestein pointwise products) across the pool; every butterfly
+/// writes only its own pair of slots in the serial accumulation order, so
+/// the spectrum is bit-identical at any thread count. The parallel path
+/// uses locally-owned scratch instead of Workspace slots, because a thread
+/// that helps the pool mid-transform may steal another FFT task that would
+/// reuse its arena.
 class FftPlan {
  public:
   /// The (cached) plan for length-n transforms.
@@ -31,17 +46,20 @@ class FftPlan {
   [[nodiscard]] std::size_t length() const noexcept { return n_; }
 
   /// In-place unnormalized forward DFT of exactly length() points.
-  void forward(std::vector<std::complex<double>>& data) const;
+  void forward(std::vector<std::complex<double>>& data,
+               support::Executor* executor = nullptr) const;
 
   /// In-place unnormalized inverse DFT (callers scale by 1/n; ifft() does).
-  void backward(std::vector<std::complex<double>>& data) const;
+  void backward(std::vector<std::complex<double>>& data,
+                support::Executor* executor = nullptr) const;
 
  private:
   explicit FftPlan(std::size_t n);
 
-  void transform_pow2(std::complex<double>* a, bool inverse) const;
-  void transform_bluestein(std::vector<std::complex<double>>& a,
-                           bool inverse) const;
+  void transform_pow2(std::complex<double>* a, bool inverse,
+                      support::Executor* executor) const;
+  void transform_bluestein(std::vector<std::complex<double>>& a, bool inverse,
+                           support::Executor* executor) const;
 
   std::size_t n_ = 0;
 
@@ -78,8 +96,11 @@ void ifft(std::vector<std::complex<double>>& data);
 /// of length n/2 instead of length n (~2x fewer flops). `out` may be a
 /// reused scratch buffer; it must not alias the Workspace slots the FFT uses
 /// internally (ws::kRealFftHalf, ws::kBluestein).
+/// A non-null `executor` parallelizes the transform stages (null = serial;
+/// see the FftPlan note — results are bit-identical either way).
 void fft_real(std::span<const double> xs,
-              std::vector<std::complex<double>>& out);
+              std::vector<std::complex<double>>& out,
+              support::Executor* executor = nullptr);
 
 /// Smallest power of two >= n, or 0 when none is representable in size_t
 /// (n > 2^63 on 64-bit). Callers transform buffers that exist in memory, so

@@ -1,5 +1,6 @@
 #include "stats/periodogram.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <complex>
@@ -7,34 +8,57 @@
 
 #include "stats/descriptive.h"
 #include "stats/fft.h"
+#include "support/executor.h"
 #include "support/workspace.h"
 
 namespace fullweb::stats {
 
-Periodogram periodogram(std::span<const double> xs) {
+Periodogram periodogram(std::span<const double> xs,
+                        support::Executor* executor) {
   Periodogram pg;
   const std::size_t n = xs.size();
   if (n < 2) return pg;
 
   // Remove the mean so the j = 0 ordinate does not leak into neighbours.
-  // Staging + spectrum live in per-thread scratch; power-of-two lengths
-  // (the whittle/Hurst sweeps truncate to one) take the packed real path.
+  // Power-of-two lengths (the whittle/Hurst sweeps truncate to one) take the
+  // packed real path. Serially, staging + spectrum live in per-thread
+  // scratch; when an executor drives the FFT, local buffers replace the
+  // Workspace slots — a thread helping the pool mid-transform may steal
+  // another periodogram task that would reuse its arena.
+  const bool parallel = executor != nullptr && !executor->serial();
   const double m = mean(xs);
   auto& arena = support::Workspace::for_thread();
-  auto& staged = arena.real(support::ws::kFftStage);
+  std::vector<double> staged_local;
+  std::vector<std::complex<double>> buf_local;
+  auto& staged = parallel ? staged_local : arena.real(support::ws::kFftStage);
   staged.resize(n);
   for (std::size_t i = 0; i < n; ++i) staged[i] = xs[i] - m;
-  auto& buf = arena.cplx(support::ws::kSpectrum);
-  fft_real(staged, buf);
+  auto& buf = parallel ? buf_local : arena.cplx(support::ws::kSpectrum);
+  fft_real(staged, buf, executor);
 
   const std::size_t half = (n - 1) / 2;
-  pg.frequency.reserve(half);
-  pg.power.reserve(half);
+  pg.frequency.resize(half);
+  pg.power.resize(half);
   const double norm = 1.0 / (2.0 * std::numbers::pi * static_cast<double>(n));
-  for (std::size_t j = 1; j <= half; ++j) {
-    pg.frequency.push_back(2.0 * std::numbers::pi * static_cast<double>(j) /
-                           static_cast<double>(n));
-    pg.power.push_back(std::norm(buf[j]) * norm);
+  auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t j = i + 1;
+      pg.frequency[i] = 2.0 * std::numbers::pi * static_cast<double>(j) /
+                        static_cast<double>(n);
+      pg.power[i] = std::norm(buf[j]) * norm;
+    }
+  };
+  constexpr std::size_t kFillChunk = 16384;
+  if (!parallel || half < 2 * kFillChunk) {
+    fill(0, half);
+  } else {
+    const std::size_t chunks = (half + kFillChunk - 1) / kFillChunk;
+    executor->parallel_for(
+        0, chunks,
+        [&](std::size_t c) {
+          fill(c * kFillChunk, std::min(half, (c + 1) * kFillChunk));
+        },
+        /*grain=*/1);
   }
   return pg;
 }

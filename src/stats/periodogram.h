@@ -10,6 +10,10 @@
 #include <span>
 #include <vector>
 
+namespace fullweb::support {
+class Executor;
+}
+
 namespace fullweb::stats {
 
 /// Periodogram ordinates of a real series:
@@ -21,7 +25,11 @@ struct Periodogram {
   std::vector<double> power;      ///< I(λ_j)
 };
 
-[[nodiscard]] Periodogram periodogram(std::span<const double> xs);
+/// A non-null `executor` parallelizes the underlying FFT stages and the
+/// ordinate fill (null = serial, the FFT-leaf convention — see stats/fft.h).
+/// The ordinates are bit-identical at any thread count.
+[[nodiscard]] Periodogram periodogram(std::span<const double> xs,
+                                      support::Executor* executor = nullptr);
 
 /// Period (in samples) of the largest ordinate whose implied period lies
 /// within [min_period, max_period]; the bounds keep trivial short-lag noise

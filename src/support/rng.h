@@ -123,14 +123,18 @@ class Rng {
                 0x77710069854ee241ULL, 0x39109bb02acbe635ULL});
   }
 
-  /// Advance the state by 2^e steps, for e in {128, 160, 192, 224}. These
-  /// are the stream spacings RngSplitter uses to keep nested splits
-  /// disjoint. The e = 160 and e = 224 polynomials are produced by
+  /// Advance the state by 2^e steps, for e in {96, 128, 160, 192, 224}.
+  /// These are the stream spacings RngSplitter uses to keep nested splits
+  /// disjoint. The e = 96, 160 and 224 polynomials are produced by
   /// tools/gen_jump_polys.cpp (x^(2^e) mod the characteristic polynomial of
   /// the state transition); as a self-check the generator reproduces the
   /// published e = 128 and e = 192 constants bit for bit.
   void jump_pow2(int e) noexcept {
     switch (e) {
+      case 96:
+        apply_jump({0x148c356c3114b7a9ULL, 0xcdb45d7def42c317ULL,
+                    0xb27c05962ea56a13ULL, 0x31eebb6c82a9615fULL});
+        return;
       case 128:
         jump();
         return;
@@ -190,8 +194,10 @@ class Rng {
 /// disjoint from their siblings.
 ///
 /// A splitter at level L spaces consecutive streams 2^(128 + 32L) states
-/// apart. Level-0 streams are leaves: consume them directly, never re-split
-/// them. A stream from a level-L splitter (L >= 1) owns the whole region up
+/// apart. Level-0 streams are leaves: consume them directly, or subdivide
+/// them once into micro-streams with a level -1 splitter (see below) —
+/// never re-split them at level >= 0. A stream from a level-L splitter
+/// (L >= 1) owns the whole region up
 /// to its successor — exactly enough room to host one level-(L-1) splitter
 /// with up to 2^32 streams, each itself re-splittable one level further
 /// down. The level is what prevents hierarchy aliasing: if every level used
@@ -204,15 +210,28 @@ class Rng {
 /// assigning stream ids at submission time — is O(1) amortized instead of
 /// O(k), because the splitter caches the last jumped-to position.
 ///
+/// Level -1 subdivides INSIDE a leaf instead of above it: micro-streams
+/// spaced 2^96 apart, 2^32 of which tile exactly one level-0 leaf region
+/// (2^32 * 2^96 = 2^128). This is how per-replicate Monte-Carlo fan-outs
+/// (tail/curvature.cpp) hand every replicate its own stream without
+/// deepening the whole hierarchy: a level-(-1) split CONSUMES the leaf — the
+/// caller must not draw from the parent generator afterwards, because the
+/// micro-streams start at its current state. Each micro-stream has 2^96
+/// values of room, far beyond any replicate's appetite.
+///
 /// Constructing a splitter from a live generator advances the parent by
 /// 2^224 states — past the entire region a splitter of any level can
 /// occupy — so the parent may keep producing values (or seed further
-/// splitters) without ever colliding with a derived stream.
+/// splitters) without ever colliding with a derived stream. (For a
+/// level -1 split this overshoots the leaf's own region; that is exactly
+/// the leaf-consuming contract above.)
 class RngSplitter {
  public:
   /// Deepest supported splitter level: a three-level hierarchy
   /// (2 -> 1 -> 0) as used by core::fit_fullweb_model.
   static constexpr int kMaxLevel = 2;
+  /// Intra-leaf micro-stream level (see class comment).
+  static constexpr int kMinLevel = -1;
 
   /// Splits `parent` at `level`: captures its state as the substream base,
   /// then jumps the parent out of the derived region.
@@ -220,8 +239,9 @@ class RngSplitter {
       : base_(parent.substream(0)),  // substream(0) drops the cached normal
                                      // spare, so stream(k) == substream(k)
         cursor_(base_),
-        level_(level < 0 ? 0 : (level > kMaxLevel ? kMaxLevel : level)) {
-    assert(level >= 0 && level <= kMaxLevel);
+        level_(level < kMinLevel ? kMinLevel
+                                 : (level > kMaxLevel ? kMaxLevel : level)) {
+    assert(level >= kMinLevel && level <= kMaxLevel);
     parent.jump_pow2(224);
   }
 
@@ -236,9 +256,11 @@ class RngSplitter {
 
   /// The k-th substream of the base generator. At kMaxLevel, k must stay
   /// below 2^32 so the stream remains inside the region reserved from the
-  /// parent (lower levels accept any k).
+  /// parent; at level -1 the same bound keeps micro-streams inside the one
+  /// leaf being subdivided (intermediate levels accept any k).
   [[nodiscard]] Rng stream(std::uint64_t k) noexcept {
-    assert(level_ < kMaxLevel || k < (std::uint64_t{1} << 32));
+    assert((level_ < kMaxLevel && level_ > kMinLevel) ||
+           k < (std::uint64_t{1} << 32));
     if (k < cursor_index_) {  // rewind: restart from the base state
       cursor_ = base_;
       cursor_index_ = 0;

@@ -1,22 +1,92 @@
 #include "support/timing.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
+
+#include "support/json.h"
 
 namespace fullweb::support {
 
 namespace {
+
 double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Stages currently open on this thread, innermost last. Frames carry the
+/// owning sink so independent sinks never see each other's nesting.
+struct OpenFrame {
+  const StageTimings* sink;
+  std::size_t index;
+};
+thread_local std::vector<OpenFrame> t_open;
+
+/// Innermost open frame on this thread belonging to `sink`, or -1.
+int open_parent(const StageTimings* sink) {
+  for (auto it = t_open.rbegin(); it != t_open.rend(); ++it)
+    if (it->sink == sink) return static_cast<int>(it->index);
+  return -1;
+}
+
 }  // namespace
 
-void StageTimings::record(std::string_view stage, double seconds) {
+StageTimings::StageTimings() : origin_(now_seconds()) {}
+
+int StageTimings::thread_id_locked(std::thread::id id) {
+  auto [it, inserted] =
+      thread_ids_.emplace(id, static_cast<int>(thread_ids_.size()));
+  return it->second;
+}
+
+std::size_t StageTimings::begin(std::string_view stage, Kind kind,
+                                double width) {
+  const double start = now_seconds() - origin_;
+  std::size_t index = 0;
+  {
+    std::scoped_lock lock(m_);
+    index = entries_.size();
+    Entry e;
+    e.stage = std::string(stage);
+    e.start = start;
+    e.thread = thread_id_locked(std::this_thread::get_id());
+    e.parent = open_parent(this);
+    e.kind = kind;
+    e.width = width > 1.0 ? width : 1.0;
+    entries_.push_back(std::move(e));
+  }
+  t_open.push_back({this, index});
+  return index;
+}
+
+void StageTimings::end(std::size_t index) {
+  const double now = now_seconds() - origin_;
+  // Scoped timers close innermost-first, so the frame is normally the top;
+  // scan defensively in case an enclosing timer was stop()ped early.
+  for (auto it = t_open.rbegin(); it != t_open.rend(); ++it) {
+    if (it->sink == this && it->index == index) {
+      t_open.erase(std::next(it).base());
+      break;
+    }
+  }
   std::scoped_lock lock(m_);
-  entries_.push_back({std::string(stage), seconds});
+  assert(index < entries_.size());
+  entries_[index].seconds = now - entries_[index].start;
+}
+
+void StageTimings::record(std::string_view stage, double seconds) {
+  const double now = now_seconds() - origin_;
+  std::scoped_lock lock(m_);
+  Entry e;
+  e.stage = std::string(stage);
+  e.seconds = seconds;
+  e.start = now - seconds;
+  e.thread = thread_id_locked(std::this_thread::get_id());
+  e.parent = open_parent(this);
+  entries_.push_back(std::move(e));
 }
 
 std::vector<StageTimings::Entry> StageTimings::entries() const {
@@ -36,25 +106,132 @@ double StageTimings::total_seconds() const {
   return total;
 }
 
+void StageTimings::analyze(const std::vector<Entry>& snapshot, double& work,
+                           double& span) {
+  work = 0.0;
+  span = 0.0;
+  const std::size_t n = snapshot.size();
+  if (n == 0) return;
+
+  // Children always have a larger index than their parent (the parent's
+  // entry exists before any child begins), so one descending pass computes
+  // spans bottom-up. `child_*` accumulate into the parent slot; slot n is
+  // the virtual root that combines the top-level stages.
+  std::vector<double> child_seconds(n + 1, 0.0);
+  std::vector<double> child_phase_span(n + 1, 0.0);
+  std::vector<double> child_task_span(n + 1, 0.0);
+  std::vector<double> self(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t parent =
+        snapshot[i].parent >= 0 ? static_cast<std::size_t>(snapshot[i].parent)
+                                : n;
+    child_seconds[parent] += snapshot[i].seconds;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    self[i] = std::max(0.0, snapshot[i].seconds - child_seconds[i]);
+    work += self[i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const double node_span = self[i] / snapshot[i].width +
+                             child_phase_span[i] + child_task_span[i];
+    const std::size_t parent =
+        snapshot[i].parent >= 0 ? static_cast<std::size_t>(snapshot[i].parent)
+                                : n;
+    if (snapshot[i].kind == Kind::kPhase) {
+      child_phase_span[parent] += node_span;
+    } else {
+      child_task_span[parent] = std::max(child_task_span[parent], node_span);
+    }
+  }
+  span = child_phase_span[n] + child_task_span[n];
+}
+
+double StageTimings::work_seconds() const {
+  double work = 0.0, span = 0.0;
+  analyze(entries(), work, span);
+  return work;
+}
+
+double StageTimings::span_seconds() const {
+  double work = 0.0, span = 0.0;
+  analyze(entries(), work, span);
+  return span;
+}
+
+double StageTimings::serial_fraction() const {
+  double work = 0.0, span = 0.0;
+  analyze(entries(), work, span);
+  if (work <= 0.0) return 1.0;
+  return std::clamp(span / work, 0.0, 1.0);
+}
+
+double StageTimings::modeled_speedup(std::size_t threads) const {
+  if (threads == 0) return 1.0;
+  const double s = serial_fraction();
+  return 1.0 / (s + (1.0 - s) / static_cast<double>(threads));
+}
+
 std::string StageTimings::table() const {
   const auto snapshot = entries();
+  // Indent children under their parents; depth via the parent chain.
+  std::vector<std::size_t> depth(snapshot.size(), 0);
+  for (std::size_t i = 0; i < snapshot.size(); ++i)
+    if (snapshot[i].parent >= 0)
+      depth[i] = depth[static_cast<std::size_t>(snapshot[i].parent)] + 1;
   std::size_t width = 5;  // "stage"
-  for (const auto& e : snapshot) width = std::max(width, e.stage.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i)
+    width = std::max(width, snapshot[i].stage.size() + 2 * depth[i]);
   std::string out;
   char buf[64];
-  for (const auto& e : snapshot) {
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& e = snapshot[i];
     out += "  ";
+    out.append(2 * depth[i], ' ');
     out += e.stage;
-    out.append(width - e.stage.size() + 2, ' ');
+    out.append(width - e.stage.size() - 2 * depth[i] + 2, ' ');
     std::snprintf(buf, sizeof buf, "%9.3f s\n", e.seconds);
     out += buf;
   }
   return out;
 }
 
-StageTimer::StageTimer(StageTimings* sink, std::string_view stage)
-    : sink_(sink), stage_(stage), armed_(sink != nullptr) {
-  if (armed_) start_ = now_seconds();
+std::string StageTimings::to_json() const {
+  const auto snapshot = entries();
+  double work = 0.0, span = 0.0;
+  analyze(snapshot, work, span);
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("work_seconds", work);
+  w.field("span_seconds", span);
+  w.field("serial_fraction",
+          work > 0.0 ? std::clamp(span / work, 0.0, 1.0) : 1.0);
+  w.key("stages");
+  w.begin_array();
+  for (const auto& e : snapshot) {
+    w.begin_object();
+    w.field("stage", e.stage);
+    w.field("seconds", e.seconds);
+    w.field("start", e.start);
+    w.field("thread", static_cast<double>(e.thread));
+    w.field("parent", static_cast<double>(e.parent));
+    w.field("kind", e.kind == Kind::kPhase ? "phase" : "task");
+    w.field("width", e.width);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+StageTimer::StageTimer(StageTimings* sink, std::string_view stage,
+                       StageTimings::Kind kind, double width)
+    : sink_(sink), armed_(sink != nullptr) {
+  if (armed_) {
+    start_ = now_seconds();
+    index_ = sink_->begin(stage, kind, width);
+  }
 }
 
 StageTimer::~StageTimer() {
@@ -64,9 +241,8 @@ StageTimer::~StageTimer() {
 double StageTimer::stop() {
   if (!armed_) return 0.0;
   armed_ = false;
-  const double elapsed = now_seconds() - start_;
-  sink_->record(stage_, elapsed);
-  return elapsed;
+  sink_->end(index_);
+  return now_seconds() - start_;
 }
 
 }  // namespace fullweb::support

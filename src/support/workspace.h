@@ -56,6 +56,7 @@ namespace ws {
 // real() slots
 inline constexpr std::size_t kBootstrapResample = 0;  ///< tail::bootstrap_ci replicate resample
 inline constexpr std::size_t kTailSorted = 1;         ///< tail::hill_plot / llcd_fit positive-sample buffer
+inline constexpr std::size_t kCurvatureSample = 2;    ///< tail::curvature_test MC replicate sample
 inline constexpr std::size_t kFftStage = 4;           ///< stats::acf / periodogram real input staging
 // cplx() slots
 inline constexpr std::size_t kSpectrum = 0;      ///< stats::acf / periodogram spectrum buffer

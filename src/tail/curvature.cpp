@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "stats/regression.h"
+#include "support/executor.h"
+#include "support/workspace.h"
 #include "tail/llcd.h"
 
 namespace fullweb::tail {
@@ -62,7 +65,7 @@ Result<CurvatureResult> curvature_test(std::span<const double> xs,
   std::vector<double> sorted = positive;
   std::sort(sorted.begin(), sorted.end());
 
-  std::function<double()> draw;
+  std::function<double(support::Rng&)> draw;
   if (options.model == TailModel::kPareto) {
     // Pareto fitted above the tail cutoff; the simulated sample mixes the
     // empirical body below the cutoff with Pareto draws above it, mirroring
@@ -87,10 +90,10 @@ Result<CurvatureResult> curvature_test(std::span<const double> xs,
         static_cast<double>(std::count_if(positive.begin(), positive.end(),
                                           [&](double v) { return v >= result.param2; })) /
         static_cast<double>(n);
-    draw = [&rng, tail_model, p_tail, sorted]() {
-      if (rng.uniform() < p_tail) return tail_model.sample(rng);
+    draw = [tail_model, p_tail, &sorted](support::Rng& r) {
+      if (r.uniform() < p_tail) return tail_model.sample(r);
       // Bootstrap from the empirical body (below the cutoff).
-      const auto idx = rng.below(sorted.size());
+      const auto idx = r.below(sorted.size());
       return sorted[idx];
     };
   } else {
@@ -99,21 +102,47 @@ Result<CurvatureResult> curvature_test(std::span<const double> xs,
     result.param1 = fit.value().mu();
     result.param2 = fit.value().sigma();
     const stats::Lognormal model = fit.value();
-    draw = [&rng, model]() { return model.sample(rng); };
+    draw = [model](support::Rng& r) { return model.sample(r); };
   }
 
-  // Monte-Carlo reference distribution of the curvature statistic.
+  // Monte-Carlo reference distribution of the curvature statistic. One
+  // level -1 micro-stream per replicate — subdividing the caller's leaf in
+  // place — so replicate `rep` draws the same synthetic sample no matter how
+  // replicates are chunked across threads: the p-value is bit-identical at
+  // any thread count. grain = 1 because replicates are few (hundreds) and
+  // each one is a full quadratic fit, so one task per replicate lets work
+  // stealing balance the unevenness.
+  support::RngSplitter streams(rng, support::RngSplitter::kMinLevel);
+  std::vector<support::Rng> replicate_rngs;
+  replicate_rngs.reserve(options.replicates);
+  for (std::size_t rep = 0; rep < options.replicates; ++rep)
+    replicate_rngs.push_back(streams.stream(rep));
+
+  std::vector<std::optional<double>> curvatures(options.replicates);
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  ex.parallel_for(
+      0, options.replicates,
+      [&](std::size_t rep) {
+        support::Rng& replicate_rng = replicate_rngs[rep];
+        // Per-worker reusable sample buffer (the bootstrap.cpp pattern):
+        // every element is overwritten before the fit reads it.
+        auto& sample = support::Workspace::for_thread().real(
+            support::ws::kCurvatureSample);
+        sample.resize(n);
+        for (std::size_t i = 0; i < n; ++i) sample[i] = draw(replicate_rng);
+        if (auto c = llcd_curvature(sample, options.tail_fraction); c.ok())
+          curvatures[rep] = c.value();
+      },
+      /*grain=*/1);
+
   std::size_t less_eq = 0;
   std::size_t greater_eq = 0;
   std::size_t usable = 0;
-  std::vector<double> sample(n);
-  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
-    for (std::size_t i = 0; i < n; ++i) sample[i] = draw();
-    auto c = llcd_curvature(sample, options.tail_fraction);
-    if (!c) continue;
+  for (const auto& c : curvatures) {
+    if (!c.has_value()) continue;
     ++usable;
-    if (c.value() <= result.curvature) ++less_eq;
-    if (c.value() >= result.curvature) ++greater_eq;
+    if (*c <= result.curvature) ++less_eq;
+    if (*c >= result.curvature) ++greater_eq;
   }
   if (usable < options.replicates / 2)
     return Error::numeric("curvature_test: too many degenerate replicates");

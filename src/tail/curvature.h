@@ -14,6 +14,12 @@
 // The paper found the Pareto p-value is sensitive to the plugged-in alpha
 // and to the random replicate sample — we expose both knobs (`alpha_override`
 // and the caller-supplied Rng) so benches can reproduce that observation.
+//
+// The Monte-Carlo replicates fan out on the configured executor: replicate
+// b always draws from micro-stream b of a level -1 RngSplitter over the
+// caller's generator, so the p-value is bit-identical at any thread count.
+// The split CONSUMES the generator (see support/rng.h): callers must hand
+// curvature_test a dedicated leaf stream and never draw from it afterwards.
 #pragma once
 
 #include <optional>
@@ -21,6 +27,10 @@
 
 #include "support/result.h"
 #include "support/rng.h"
+
+namespace fullweb::support {
+class Executor;
+}
 
 namespace fullweb::tail {
 
@@ -34,6 +44,8 @@ struct CurvatureOptions {
   double tail_fraction = 0.5;
   /// Use this alpha instead of the MLE (Pareto only) — the sensitivity knob.
   std::optional<double> alpha_override;
+  /// Task executor for the replicate fan-out (null = the global pool).
+  support::Executor* executor = nullptr;
 };
 
 struct CurvatureResult {

@@ -20,7 +20,14 @@ Result<std::size_t> detect_period(std::span<const double> xs,
     return Error::insufficient_data(
         "detect_period: need at least two full cycles of max_period");
 
-  const auto pg = stats::periodogram(xs);
+  return detect_period(stats::periodogram(xs), min_period, max_period);
+}
+
+Result<std::size_t> detect_period(const stats::Periodogram& pg,
+                                  std::size_t min_period,
+                                  std::size_t max_period) {
+  if (min_period < 2 || max_period < min_period)
+    return Error::invalid_argument("detect_period: bad period bounds");
   const double period =
       stats::dominant_period(pg, static_cast<double>(min_period),
                              static_cast<double>(max_period));
@@ -62,7 +69,12 @@ std::vector<double> remove_seasonal_means(std::span<const double> xs,
 
 double seasonal_strength(std::span<const double> xs, std::size_t period) {
   if (xs.size() < 4 || period < 2) return 0.0;
-  const auto pg = stats::periodogram(xs);
+  return seasonal_strength(stats::periodogram(xs), xs.size(), period);
+}
+
+double seasonal_strength(const stats::Periodogram& pg, std::size_t n,
+                         std::size_t period) {
+  if (n < 4 || period < 2) return 0.0;
   if (pg.power.empty()) return 0.0;
 
   const double target =
@@ -72,7 +84,7 @@ double seasonal_strength(std::span<const double> xs, std::size_t period) {
   if (!(total > 0.0)) return 0.0;
 
   // Sum power within one bin of the target frequency.
-  const double bin = 2.0 * std::numbers::pi / static_cast<double>(xs.size());
+  const double bin = 2.0 * std::numbers::pi / static_cast<double>(n);
   double at_period = 0.0;
   for (std::size_t i = 0; i < pg.frequency.size(); ++i) {
     if (std::fabs(pg.frequency[i] - target) <= 1.5 * bin) at_period += pg.power[i];

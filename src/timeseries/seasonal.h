@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "stats/periodogram.h"
 #include "support/result.h"
 
 namespace fullweb::timeseries {
@@ -22,6 +23,15 @@ namespace fullweb::timeseries {
 /// (needs at least two full cycles of max_period).
 [[nodiscard]] support::Result<std::size_t> detect_period(
     std::span<const double> xs, std::size_t min_period, std::size_t max_period);
+
+/// Same search on a precomputed periodogram of the series — the
+/// stationarization pipeline computes one periodogram and shares it between
+/// period detection and strength measurement instead of paying two full
+/// FFTs. The caller is responsible for the series-length precondition
+/// (>= two full cycles of max_period).
+[[nodiscard]] support::Result<std::size_t> detect_period(
+    const stats::Periodogram& pg, std::size_t min_period,
+    std::size_t max_period);
 
 /// Seasonal differencing: y_t = x_t - x_{t-s}. Output has n - s samples.
 /// Precondition: 1 <= s < xs.size().
@@ -37,5 +47,10 @@ namespace fullweb::timeseries {
 /// power — an effect-size diagnostic for "how periodic is this series".
 [[nodiscard]] double seasonal_strength(std::span<const double> xs,
                                        std::size_t period);
+
+/// Same ratio from a precomputed periodogram; `n` is the length of the
+/// series the periodogram was computed from (it sets the bin width).
+[[nodiscard]] double seasonal_strength(const stats::Periodogram& pg,
+                                       std::size_t n, std::size_t period);
 
 }  // namespace fullweb::timeseries

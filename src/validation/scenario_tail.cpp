@@ -52,17 +52,22 @@ std::string gate_name(const char* what, const char* estimator, double alpha) {
 
 /// Two-sided classification: the model whose Monte Carlo p-value is larger
 /// explains the observed LLCD curvature better. Ties (both tests failing or
-/// equal p) count as misclassification via `ok = false`.
+/// equal p) count as misclassification via `ok = false`. Each test gets a
+/// dedicated leaf stream because curvature_test consumes its generator
+/// (level -1 per-replicate split, see tail/curvature.h).
 CurvatureReplicateOutcome classify_curvature(std::span<const double> xs,
                                              std::size_t mc_replicates,
-                                             support::Rng& rng) {
+                                             support::Rng& pareto_rng,
+                                             support::Rng& lognormal_rng,
+                                             support::Executor& executor) {
   CurvatureReplicateOutcome out;
   tail::CurvatureOptions opts;
   opts.replicates = mc_replicates;
+  opts.executor = &executor;
   opts.model = tail::TailModel::kPareto;
-  const auto pareto = tail::curvature_test(xs, rng, opts);
+  const auto pareto = tail::curvature_test(xs, pareto_rng, opts);
   opts.model = tail::TailModel::kLognormal;
-  const auto lognormal = tail::curvature_test(xs, rng, opts);
+  const auto lognormal = tail::curvature_test(xs, lognormal_rng, opts);
   if (!pareto.ok() || !lognormal.ok()) return out;
   out.ok = true;
   out.classified_pareto =
@@ -165,26 +170,35 @@ TailScenarioResult run_tail_scenario(const TailScenarioConfig& config,
 
   // ---- Curvature discrimination: Pareto vs lognormal classification.
   {
-    support::RngSplitter streams(scenario_rng, 0);
+    // Level 1: each replicate's stream hosts a level-0 splitter handing out
+    // three leaves — the synthetic sample draw and one per curvature test
+    // (each test consumes its leaf, splitting it into level -1
+    // micro-streams per MC replicate).
+    support::RngSplitter streams(scenario_rng, 1);
     const std::size_t per_class = config.curvature_replicates;
     const auto outcomes = monte_carlo<CurvatureReplicateOutcome>(
         2 * per_class, streams, executor,
         [&](std::size_t index, support::Rng& rng) {
+          support::RngSplitter leaves(rng, 0);
+          support::Rng draw_rng = leaves.stream(0);
+          support::Rng pareto_rng = leaves.stream(1);
+          support::Rng lognormal_rng = leaves.stream(2);
           const bool truth_pareto = index < per_class;
           std::vector<double> xs;
           if (truth_pareto) {
             synth::ParetoTruth truth;
             truth.n = config.curvature_n;
             truth.alpha = config.curvature_pareto_alpha;
-            xs = synth::draw_pareto(truth, rng);
+            xs = synth::draw_pareto(truth, draw_rng);
           } else {
             synth::LognormalTruth truth;
             truth.n = config.curvature_n;
             truth.mu = config.curvature_lognormal_mu;
             truth.sigma = config.curvature_lognormal_sigma;
-            xs = synth::draw_lognormal(truth, rng);
+            xs = synth::draw_lognormal(truth, draw_rng);
           }
-          return classify_curvature(xs, config.curvature_mc_replicates, rng);
+          return classify_curvature(xs, config.curvature_mc_replicates,
+                                    pareto_rng, lognormal_rng, executor);
         });
 
     for (int cls = 0; cls < 2; ++cls) {

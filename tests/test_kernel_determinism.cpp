@@ -1,0 +1,146 @@
+// 1-vs-8-thread bit-identity for the kernels the scaling campaign
+// parallelized: the Downey curvature Monte Carlo (per-replicate RngSplitter
+// micro-streams), the wavelet transform behind Abry-Veitch (chunked
+// per-level convolutions), and the FFT-backed periodogram (chunked butterfly
+// stages). Every comparison is exact (==, not near): the contract is that an
+// executor changes throughput, never bits. This suite also runs under the
+// tsan_determinism gate, where the same assertions double as race detectors.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "lrd/abry_veitch.h"
+#include "stats/distributions.h"
+#include "stats/periodogram.h"
+#include "support/executor.h"
+#include "support/rng.h"
+#include "tail/curvature.h"
+#include "timeseries/wavelet.h"
+
+namespace {
+
+using namespace fullweb;
+
+std::vector<double> pareto_sample(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  const stats::Pareto dist(1.4, 1.0);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+/// A rough LRD-ish series: cumulative noise re-centered, enough structure
+/// that every octave and frequency bin carries nontrivial energy.
+std::vector<double> walk_series(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> xs(n);
+  double level = 0.0;
+  for (auto& x : xs) {
+    level += rng.uniform() - 0.5;
+    x = level + rng.uniform();
+  }
+  return xs;
+}
+
+TEST(KernelDeterminism, CurvatureMonteCarloBitIdenticalAcrossThreadCounts) {
+  const auto xs = pareto_sample(4000, 101);
+  tail::CurvatureResult serial{};
+  {
+    support::Executor ex(1);
+    tail::CurvatureOptions opts;
+    opts.replicates = 99;
+    opts.executor = &ex;
+    support::Rng rng(7);
+    auto r = tail::curvature_test(xs, rng, opts);
+    ASSERT_TRUE(r.ok());
+    serial = r.value();
+  }
+  for (std::size_t threads : {2u, 8u}) {
+    support::Executor ex(threads);
+    tail::CurvatureOptions opts;
+    opts.replicates = 99;
+    opts.executor = &ex;
+    support::Rng rng(7);
+    auto r = tail::curvature_test(xs, rng, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().curvature, serial.curvature) << threads;
+    EXPECT_EQ(r.value().p_value, serial.p_value) << threads;
+    EXPECT_EQ(r.value().param1, serial.param1) << threads;
+    EXPECT_EQ(r.value().param2, serial.param2) << threads;
+    EXPECT_EQ(r.value().replicates, serial.replicates) << threads;
+  }
+}
+
+TEST(KernelDeterminism, CurvatureLognormalNullAlsoBitIdentical) {
+  const auto xs = pareto_sample(3000, 202);
+  auto run = [&](std::size_t threads) {
+    support::Executor ex(threads);
+    tail::CurvatureOptions opts;
+    opts.model = tail::TailModel::kLognormal;
+    opts.replicates = 49;
+    opts.executor = &ex;
+    support::Rng rng(9);
+    auto r = tail::curvature_test(xs, rng, opts);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r.value().p_value : -1.0;
+  };
+  const double serial = run(1);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(KernelDeterminism, DwtBitIdenticalAcrossThreadCounts) {
+  // Large enough that the transform actually chunks (kBlock = 16384).
+  const auto xs = walk_series(std::size_t{1} << 16, 303);
+  support::Executor one(1);  // dwt's null means the global pool, so pin it
+  const auto serial =
+      timeseries::dwt(xs, timeseries::WaveletKind::kD4, 4, &one);
+  for (std::size_t threads : {2u, 8u}) {
+    support::Executor ex(threads);
+    const auto parallel =
+        timeseries::dwt(xs, timeseries::WaveletKind::kD4, 4, &ex);
+    ASSERT_EQ(parallel.octaves(), serial.octaves()) << threads;
+    for (std::size_t j = 0; j < serial.octaves(); ++j) {
+      ASSERT_EQ(parallel.details[j].size(), serial.details[j].size());
+      for (std::size_t k = 0; k < serial.details[j].size(); ++k)
+        ASSERT_EQ(parallel.details[j][k], serial.details[j][k])
+            << "octave " << j + 1 << " coeff " << k << " threads " << threads;
+    }
+    ASSERT_EQ(parallel.final_approximation, serial.final_approximation);
+  }
+}
+
+TEST(KernelDeterminism, AbryVeitchBitIdenticalAcrossThreadCounts) {
+  const auto xs = walk_series(std::size_t{1} << 16, 404);
+  lrd::AbryVeitchOptions serial_opts;
+  support::Executor serial_ex(1);
+  serial_opts.executor = &serial_ex;
+  const auto serial = lrd::abry_veitch_hurst(xs, serial_opts);
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t threads : {2u, 8u}) {
+    support::Executor ex(threads);
+    lrd::AbryVeitchOptions opts;
+    opts.executor = &ex;
+    const auto parallel = lrd::abry_veitch_hurst(xs, opts);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel.value().estimate.h, serial.value().estimate.h)
+        << threads;
+    EXPECT_EQ(parallel.value().log2_energy, serial.value().log2_energy)
+        << threads;
+    EXPECT_EQ(parallel.value().weight, serial.value().weight) << threads;
+    EXPECT_EQ(parallel.value().octaves, serial.value().octaves) << threads;
+  }
+}
+
+TEST(KernelDeterminism, PeriodogramBitIdenticalAcrossThreadCounts) {
+  const auto xs = walk_series(std::size_t{1} << 15, 505);
+  const auto serial = stats::periodogram(xs);  // default: serial leaf
+  for (std::size_t threads : {2u, 8u}) {
+    support::Executor ex(threads);
+    const auto parallel = stats::periodogram(xs, &ex);
+    ASSERT_EQ(parallel.power, serial.power) << threads;
+    ASSERT_EQ(parallel.frequency, serial.frequency) << threads;
+  }
+}
+
+}  // namespace

@@ -13,9 +13,19 @@
 //   ./bench/bench_micro --benchmark_out=new.json --benchmark_out_format=json
 //   ./tools/bench_compare BENCH_micro.json new.json
 //
+// A second mode gates absolute scaling instead of relative regressions:
+//
+//   bench_compare --min-speedup 2.5 --name fullweb_fit/threads:4 RESULTS.json
+//
+// reads the "speedup" field bench_parallel_scaling writes per benchmark and
+// exits 1 when any matching row is below the floor — or when no row matches
+// at all, so a renamed benchmark cannot silently disarm the gate.
+//
 // The comparison and parsing logic lives in bench_compare_lib (unit-tested
 // by test_tools_bench_compare); this file is only flag handling.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,7 +36,9 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: bench_compare BASELINE.json NEW.json "
-               "[--threshold 0.10] [--metric real_time|cpu_time]\n");
+               "[--threshold 0.10] [--metric real_time|cpu_time]\n"
+               "       bench_compare --min-speedup FLOOR [--name SUBSTRING] "
+               "RESULTS.json\n");
 }
 
 }  // namespace
@@ -35,12 +47,20 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold = 0.10;
   std::string metric = "real_time";
+  double min_speedup = 0.0;
+  bool speedup_mode = false;
+  std::string name_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold" && i + 1 < argc) {
       threshold = std::stod(argv[++i]);
     } else if (arg == "--metric" && i + 1 < argc) {
       metric = argv[++i];
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::stod(argv[++i]);
+      speedup_mode = true;
+    } else if (arg == "--name" && i + 1 < argc) {
+      name_filter = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -48,6 +68,34 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+
+  if (speedup_mode) {
+    if (positional.size() != 1) {
+      usage();
+      return 2;
+    }
+    std::ifstream in(positional[0]);
+    if (!in) {
+      std::fprintf(stderr, "bench_compare: cannot open %s\n",
+                   positional[0].c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto report = fullweb::benchcmp::check_min_speedup(
+        buffer.str(), min_speedup, name_filter);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s (%s)\n", report.error().message.c_str(),
+                   positional[0].c_str());
+      return 2;
+    }
+    std::fputs(fullweb::benchcmp::render_speedup(report.value(), min_speedup,
+                                                 name_filter)
+                   .c_str(),
+               stdout);
+    return report.value().failed() ? 1 : 0;
+  }
+
   if (positional.size() != 2) {
     usage();
     return 2;

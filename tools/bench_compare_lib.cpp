@@ -104,6 +104,69 @@ CompareReport compare(const BenchMap& baseline, const BenchMap& fresh,
   return report;
 }
 
+Result<SpeedupReport> check_min_speedup(const std::string& text,
+                                        double min_speedup,
+                                        const std::string& name_filter) {
+  const auto doc = support::json_parse(text);
+  if (!doc) return Error::parse("bench_compare: malformed JSON");
+  const JsonValue* benchmarks = doc->find("benchmarks");
+  const JsonArray* arr = benchmarks ? benchmarks->array() : nullptr;
+  if (arr == nullptr)
+    return Error::parse("bench_compare: document has no \"benchmarks\" array");
+
+  SpeedupReport report;
+  for (const JsonValue& entry : *arr) {
+    const JsonObject* bench = entry.object();
+    if (bench == nullptr) continue;
+    const JsonValue* name_v = entry.find("name");
+    const std::string name = name_v ? name_v->string().value_or("") : "";
+    if (name.empty()) continue;
+    if (!name_filter.empty() && name.find(name_filter) == std::string::npos)
+      continue;
+    const JsonValue* speedup_v = entry.find("speedup");
+    const auto speedup = speedup_v ? speedup_v->number() : std::nullopt;
+    if (!speedup) continue;
+    SpeedupRow row;
+    row.name = name;
+    row.speedup = *speedup;
+    if (const JsonValue* src = entry.find("speedup_source"))
+      row.source = src->string().value_or("");
+    row.pass = row.speedup >= min_speedup;
+    ++report.checked;
+    if (!row.pass) ++report.failures;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string render_speedup(const SpeedupReport& report, double min_speedup,
+                           const std::string& name_filter) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-40s %10s %10s  %s\n", "benchmark",
+                "speedup", "source", "verdict");
+  out += line;
+  for (const SpeedupRow& row : report.rows) {
+    std::snprintf(line, sizeof line, "%-40s %9.2fx %10s  %s\n",
+                  row.name.c_str(), row.speedup,
+                  row.source.empty() ? "-" : row.source.c_str(),
+                  row.pass ? "ok" : "BELOW FLOOR");
+    out += line;
+  }
+  if (report.checked == 0) {
+    std::snprintf(line, sizeof line,
+                  "no benchmarks matching \"%s\" carry a speedup field\n",
+                  name_filter.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "\n%d/%d benchmark(s) at or above %.2fx; %d below\n",
+                report.checked - report.failures, report.checked, min_speedup,
+                report.failures);
+  out += line;
+  return out;
+}
+
 std::string render(const CompareReport& report, double threshold) {
   std::string out;
   char line[256];

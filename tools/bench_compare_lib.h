@@ -66,4 +66,43 @@ struct CompareReport {
 /// Render the report as the classic bench_compare table.
 [[nodiscard]] std::string render(const CompareReport& report, double threshold);
 
+// ---------------------------------------------------------------------------
+// --min-speedup mode: absolute floor on a single result file
+//
+// bench_parallel_scaling emits a "speedup" field per benchmark (plus
+// "speedup_source": measured on hosts with enough cores, span-tree modeled
+// otherwise). This gate checks those speedups against a floor instead of
+// diffing two files — the scaling equivalent of the regression threshold.
+
+struct SpeedupRow {
+  std::string name;
+  double speedup = 0.0;
+  std::string source;  ///< "measured" / "modeled" / "" when unlabeled
+  bool pass = false;
+};
+
+struct SpeedupReport {
+  std::vector<SpeedupRow> rows;  ///< every matching benchmark, file order
+  int checked = 0;
+  int failures = 0;
+
+  /// Exit policy: zero matching rows also fails — a rename or a dropped
+  /// bench must not silently shrink the gate.
+  [[nodiscard]] bool failed() const noexcept {
+    return failures > 0 || checked == 0;
+  }
+};
+
+/// Check every benchmark whose name contains `name_filter` (all rows when
+/// empty) and that carries a "speedup" field against the floor. Text is the
+/// JSON document contents; errors mirror parse_results.
+[[nodiscard]] support::Result<SpeedupReport> check_min_speedup(
+    const std::string& text, double min_speedup,
+    const std::string& name_filter);
+
+/// Render the speedup gate as a table.
+[[nodiscard]] std::string render_speedup(const SpeedupReport& report,
+                                         double min_speedup,
+                                         const std::string& name_filter);
+
 }  // namespace fullweb::benchcmp

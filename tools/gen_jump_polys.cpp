@@ -171,7 +171,7 @@ int main() {
   q.set(1);  // x
   std::array<Poly, 256> by_exp{};  // q_e for e = 1..255, filled as we square
   int e = 0;
-  std::vector<int> wanted = {128, 160, 192, 224};
+  std::vector<int> wanted = {96, 128, 160, 192, 224};
   for (e = 1; e <= 225; ++e) {
     square_mod(q, p);
     for (int w : wanted)
