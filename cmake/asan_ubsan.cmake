@@ -29,13 +29,14 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "[asan] configure failed (${rc})")
 endif()
 
-# Parsers (weblog, bench_compare JSON), workspace arena reuse, the tail
-# kernels that recycle arenas across replicates, and the validation harness
-# (edge inputs + Monte Carlo fan-out) are where lifetime/UB bugs would live.
+# Parsers (weblog, bench_compare JSON, the binary columnar decoder with
+# its corruption corpus), workspace arena reuse, the tail kernels that
+# recycle arenas across replicates, and the validation harness (edge
+# inputs + Monte Carlo fan-out) are where lifetime/UB bugs would live.
 set(FULLWEB_ASAN_TESTS
   test_support_workspace test_support_json
   test_tools_bench_compare test_edge_inputs
-  test_validation test_weblog_corpus)
+  test_validation test_weblog_corpus test_store_columnar)
 
 message(STATUS "[asan] building ${FULLWEB_ASAN_TESTS}")
 execute_process(

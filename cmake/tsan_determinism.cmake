@@ -39,11 +39,16 @@ endif()
 # test_kernel_determinism does the same for the parallelized fit kernels
 # (curvature Monte Carlo, wavelet transform, chunked periodogram), and
 # test_support_timing exercises the cross-thread StageTimings sink.
+# test_core_fleet asserts the fleet shard fan-out is bit-identical at 1 vs
+# 8 threads — the claim is only falsifiable with TSan watching the merge —
+# and test_store_columnar pins the columnar round-trip those shards load
+# through.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
   test_weblog_streaming test_weblog_corpus
   test_shared_kernels test_validation test_support_workspace
-  test_kernel_determinism test_support_timing)
+  test_kernel_determinism test_support_timing
+  test_store_columnar test_core_fleet)
 
 message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(

@@ -1,0 +1,208 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/executor.h"
+#include "support/json.h"
+
+namespace fullweb::core {
+
+using support::Error;
+using support::Result;
+
+namespace {
+
+ShardResult summarize_shard(const weblog::Dataset& ds, FullWebModel model) {
+  ShardResult shard;
+  shard.name = ds.name();
+  shard.requests = ds.requests().size();
+  shard.sessions = ds.sessions().size();
+  shard.bytes = ds.total_bytes();
+  shard.distinct_clients = ds.distinct_clients();
+  shard.t0 = ds.t0();
+  shard.t1 = ds.t1();
+  shard.model = std::move(model);
+
+  // Mergeable state is built from the same derived series the fit consumed;
+  // this is all of the shard's raw data the fleet level ever sees.
+  const std::vector<double> rps = ds.requests_per_second();
+  shard.rps = stats::MomentSummary::of(rps);
+  const std::vector<double> lengths = ds.session_lengths();
+  shard.session_length = stats::MomentSummary::of(lengths);
+  const std::vector<double> counts = ds.session_request_counts();
+  shard.session_requests = stats::MomentSummary::of(counts);
+  const std::vector<double> bytes = ds.session_byte_counts();
+  shard.session_bytes = stats::MomentSummary::of(bytes);
+  return shard;
+}
+
+void merge_shard(FleetReport& fleet, const ShardResult& shard, bool first) {
+  fleet.total_requests += shard.requests;
+  fleet.total_sessions += shard.sessions;
+  fleet.total_bytes += shard.bytes;
+  fleet.t0 = first ? shard.t0 : std::min(fleet.t0, shard.t0);
+  fleet.t1 = first ? shard.t1 : std::max(fleet.t1, shard.t1);
+  fleet.rps.merge(shard.rps);
+  fleet.session_length.merge(shard.session_length);
+  fleet.session_requests.merge(shard.session_requests);
+  fleet.session_bytes.merge(shard.session_bytes);
+
+  if (shard.model.request_arrivals.long_range_dependent())
+    ++fleet.shards_lrd_requests;
+  if (shard.model.session_arrivals.long_range_dependent())
+    ++fleet.shards_lrd_sessions;
+  if (shard.model.week_tails.bytes.heavy_tailed())
+    ++fleet.shards_heavy_tail_bytes;
+  fleet.mean_request_h +=
+      shard.model.request_arrivals.hurst_stationary.mean_h();
+  fleet.mean_session_h +=
+      shard.model.session_arrivals.hurst_stationary.mean_h();
+}
+
+void write_moments(support::JsonWriter& w, const char* name,
+                   const stats::MomentSummary& m) {
+  w.key(name);
+  w.begin_object();
+  w.field("count", m.count);
+  w.field("mean", m.mean);
+  w.field("variance", m.variance());
+  w.field("min", m.min);
+  w.field("max", m.max);
+  w.end_object();
+}
+
+void write_arrivals(support::JsonWriter& w, const char* name,
+                    const ArrivalAnalysis& a) {
+  w.key(name);
+  w.begin_object();
+  w.field("mean_h_raw", a.hurst_raw.mean_h());
+  w.field("mean_h_stationary", a.hurst_stationary.mean_h());
+  w.field("lrd", a.long_range_dependent());
+  w.key("estimates");
+  w.begin_object();
+  for (const auto& e : a.hurst_stationary.estimates)
+    w.field(lrd::to_string(e.method), e.h);
+  w.end_object();
+  w.end_object();
+}
+
+void write_tail(support::JsonWriter& w, const char* name,
+                const TailAnalysis& t) {
+  w.key(name);
+  w.begin_object();
+  w.field("llcd_alpha", t.llcd_cell());
+  w.field("hill_alpha", t.hill_cell());
+  w.field("r2", t.r2_cell());
+  w.field("heavy_tailed", t.heavy_tailed());
+  w.end_object();
+}
+
+void write_shard(support::JsonWriter& w, const ShardResult& s) {
+  w.begin_object();
+  w.field("name", s.name);
+  w.field("requests", s.requests);
+  w.field("sessions", s.sessions);
+  w.field("bytes", static_cast<std::size_t>(s.bytes));
+  w.field("distinct_clients", s.distinct_clients);
+  w.field("t0", s.t0);
+  w.field("t1", s.t1);
+  write_arrivals(w, "request_arrivals", s.model.request_arrivals);
+  write_arrivals(w, "session_arrivals", s.model.session_arrivals);
+  w.key("week_tails");
+  w.begin_object();
+  write_tail(w, "length", s.model.week_tails.length);
+  write_tail(w, "requests", s.model.week_tails.requests);
+  write_tail(w, "bytes", s.model.week_tails.bytes);
+  w.end_object();
+  write_moments(w, "rps", s.rps);
+  write_moments(w, "session_length", s.session_length);
+  write_moments(w, "session_requests", s.session_requests);
+  write_moments(w, "session_bytes", s.session_bytes);
+  w.end_object();
+}
+
+}  // namespace
+
+Result<FleetReport> analyze_fleet(std::span<const weblog::Dataset> datasets,
+                                  support::Rng& rng,
+                                  const FleetOptions& options) {
+  if (datasets.empty())
+    return Error::insufficient_data("analyze_fleet: no shards");
+
+  // Carve every shard's RNG region out of the caller's generator BEFORE
+  // submitting any work: fit_fullweb_model's internal splitter consumes
+  // exactly the 2^224 states the jump skips, so shard i always sees the
+  // same region no matter which thread runs it, or in what order.
+  std::vector<support::Rng> shard_rngs;
+  shard_rngs.reserve(datasets.size());
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    shard_rngs.push_back(rng);
+    rng.jump_pow2(224);
+  }
+
+  support::Executor& ex = support::Executor::resolve(options.executor);
+  FullWebOptions fit = options.fit;
+  fit.executor = &ex;
+  fit.timings = nullptr;  // shared timings across concurrent fits would race
+
+  std::vector<support::Future<Result<FullWebModel>>> fits;
+  fits.reserve(datasets.size());
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    const weblog::Dataset* ds = &datasets[i];
+    support::Rng shard_rng = shard_rngs[i];
+    fits.push_back(ex.async([ds, shard_rng, fit]() mutable {
+      return fit_fullweb_model(*ds, shard_rng, fit);
+    }));
+  }
+
+  FleetReport fleet;
+  fleet.shards.reserve(datasets.size());
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    Result<FullWebModel> model = fits[i].get();
+    if (!model.ok())
+      return Error{"shard " + datasets[i].name() + ": " +
+                       model.error().message,
+                   model.error().category};
+    fleet.shards.push_back(
+        summarize_shard(datasets[i], std::move(model).value()));
+    merge_shard(fleet, fleet.shards.back(), i == 0);
+  }
+  const double n = static_cast<double>(fleet.shards.size());
+  fleet.mean_request_h /= n;
+  fleet.mean_session_h /= n;
+  return fleet;
+}
+
+std::string fleet_report_json(const FleetReport& report, bool include_shards) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.key("fleet");
+  w.begin_object();
+  w.field("shards", report.shards.size());
+  w.field("total_requests", report.total_requests);
+  w.field("total_sessions", report.total_sessions);
+  w.field("total_bytes", static_cast<std::size_t>(report.total_bytes));
+  w.field("t0", report.t0);
+  w.field("t1", report.t1);
+  w.field("shards_lrd_requests", report.shards_lrd_requests);
+  w.field("shards_lrd_sessions", report.shards_lrd_sessions);
+  w.field("shards_heavy_tail_bytes", report.shards_heavy_tail_bytes);
+  w.field("mean_request_h", report.mean_request_h);
+  w.field("mean_session_h", report.mean_session_h);
+  write_moments(w, "rps", report.rps);
+  write_moments(w, "session_length", report.session_length);
+  write_moments(w, "session_requests", report.session_requests);
+  write_moments(w, "session_bytes", report.session_bytes);
+  w.end_object();
+  if (include_shards) {
+    w.key("shards");
+    w.begin_array();
+    for (const ShardResult& s : report.shards) write_shard(w, s);
+    w.end_array();
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace fullweb::core

@@ -1,0 +1,106 @@
+// Fleet-scale shard-and-merge analysis: the full FULL-Web fit applied to
+// N logical servers ("shards") in parallel, with the per-shard results
+// aggregated into one fleet-level report.
+//
+// The paper characterizes each of its four servers independently; a
+// hosting fleet asks the natural follow-up — run the same §4/§5 pipeline
+// over every vhost and summarize what fraction of the fleet is LRD /
+// heavy-tailed, with fleet-wide moment summaries of the per-second rates
+// and intra-session metrics. Raw series never cross shard boundaries:
+// each shard contributes only its FullWebModel plus mergeable
+// stats::MomentSummary state (Chan et al. pairwise combination), so the
+// merge is O(shards), not O(events) — the shape a distributed reduction
+// would use.
+//
+// Determinism: shard RNG streams are carved out of the caller's generator
+// serially (each shard gets the 2^224-state region fit_fullweb_model
+// reserves) before any task is submitted, so the fleet report is
+// bit-identical at any executor thread count; fleet_report_json over two
+// such runs is byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fullweb_model.h"
+#include "stats/prefix_moments.h"
+#include "support/result.h"
+#include "support/rng.h"
+
+namespace fullweb::support {
+class Executor;
+}
+
+namespace fullweb::core {
+
+struct FleetOptions {
+  /// Per-shard fit configuration. The executor inside is overridden with
+  /// FleetOptions::executor (one pool serves both the shard fan-out and
+  /// each fit's internal task graph — blocking waits help, so nesting is
+  /// deadlock-free); the timings pointer is forced null per shard (a
+  /// shared StageTimings across concurrent fits would race).
+  FullWebOptions fit;
+  /// Shard-level executor (null = the global pool).
+  support::Executor* executor = nullptr;
+};
+
+/// One shard's contribution: the fitted model plus the mergeable summary
+/// state the fleet aggregation consumes.
+struct ShardResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t sessions = 0;
+  std::uint64_t bytes = 0;
+  std::size_t distinct_clients = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  FullWebModel model;
+
+  stats::MomentSummary rps;               ///< per-second request counts
+  stats::MomentSummary session_length;    ///< seconds
+  stats::MomentSummary session_requests;  ///< requests per session
+  stats::MomentSummary session_bytes;     ///< bytes per session
+};
+
+struct FleetReport {
+  std::vector<ShardResult> shards;  ///< input order
+
+  // Merged totals (exact).
+  std::size_t total_requests = 0;
+  std::size_t total_sessions = 0;
+  std::uint64_t total_bytes = 0;
+  double t0 = 0.0;  ///< min over shards
+  double t1 = 0.0;  ///< max over shards
+
+  // Merged moment state (pairwise combination over shard summaries).
+  stats::MomentSummary rps;
+  stats::MomentSummary session_length;
+  stats::MomentSummary session_requests;
+  stats::MomentSummary session_bytes;
+
+  // Fleet-level verdict tallies.
+  std::size_t shards_lrd_requests = 0;   ///< request arrivals LRD (§4.1)
+  std::size_t shards_lrd_sessions = 0;   ///< session arrivals LRD (§5.1)
+  std::size_t shards_heavy_tail_bytes = 0;  ///< week bytes/session heavy
+  double mean_request_h = 0.0;  ///< mean over shards of stationary mean H
+  double mean_session_h = 0.0;
+};
+
+/// Fit every dataset (one per shard) and merge. Errors when `datasets` is
+/// empty or any per-shard fit fails; `rng` is advanced past every region
+/// the shards consumed regardless of thread count.
+[[nodiscard]] support::Result<FleetReport> analyze_fleet(
+    std::span<const weblog::Dataset> datasets, support::Rng& rng,
+    const FleetOptions& options = {});
+
+/// Deterministic JSON rendering (support::JsonWriter dialect): a "fleet"
+/// object with the merged state plus, when `include_shards`, a "shards"
+/// array with one summary object per shard. Byte-identical across runs
+/// that produced bit-identical reports.
+[[nodiscard]] std::string fleet_report_json(const FleetReport& report,
+                                            bool include_shards = true);
+
+}  // namespace fullweb::core

@@ -79,4 +79,45 @@ double PrefixMoments::aggregated_variance(std::size_t m) const noexcept {
   return var > 0.0 ? var : 0.0;
 }
 
+MomentSummary MomentSummary::of(std::span<const double> xs) {
+  MomentSummary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  NeumaierSum mean_sum;
+  for (double x : xs) mean_sum.add(x);
+  s.mean = mean_sum.value() / static_cast<double>(xs.size());
+  NeumaierSum dev2;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    const double d = x - s.mean;
+    dev2.add(d * d);
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  const double m2 = dev2.value();
+  s.m2 = m2 > 0.0 ? m2 : 0.0;
+  return s;
+}
+
+void MomentSummary::merge(const MomentSummary& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  // Chan/Golub/LeVeque pairwise combination: exact on count, near-exact on
+  // mean/m2 (the delta term captures the between-part variance).
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double n = na + nb;
+  const double delta = other.mean - mean;
+  mean += delta * (nb / n);
+  m2 += other.m2 + delta * delta * (na * nb / n);
+  if (m2 < 0.0) m2 = 0.0;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
+  count += other.count;
+}
+
 }  // namespace fullweb::stats

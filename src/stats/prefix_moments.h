@@ -23,6 +23,31 @@
 
 namespace fullweb::stats {
 
+/// Mergeable first/second-moment state for shard-and-merge analyses: two
+/// summaries built over disjoint sample sets combine (Chan et al.'s
+/// pairwise update) into exactly the summary of their union — count, min
+/// and max combine exactly; mean and the centered sum of squares combine
+/// to within rounding, independent of merge order up to ulps. This is the
+/// per-shard state a fleet aggregation carries instead of raw series.
+struct MomentSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the mean
+  double min = 0.0; ///< meaningful only when count > 0
+  double max = 0.0;
+
+  /// One-pass compensated summary of a sample span (tracks min/max).
+  [[nodiscard]] static MomentSummary of(std::span<const double> xs);
+
+  /// Fold another summary (over samples disjoint from ours) into this one.
+  void merge(const MomentSummary& other) noexcept;
+
+  /// Population variance (m2 / count); 0 when empty.
+  [[nodiscard]] double variance() const noexcept {
+    return count == 0 ? 0.0 : (m2 > 0.0 ? m2 / static_cast<double>(count) : 0.0);
+  }
+};
+
 class PrefixMoments {
  public:
   /// Highest-order index-weighted prefix to materialize alongside the plain
@@ -102,6 +127,22 @@ class PrefixMoments {
   /// consecutive size-m blocks, trailing partial block dropped) — the
   /// variance-time plot's per-level ingredient, O(n / m) per level.
   [[nodiscard]] double aggregated_variance(std::size_t m) const noexcept;
+
+  /// The whole series collapsed to mergeable moment state (count, mean,
+  /// m2) in O(1) from the prefix arrays. Min/max are not tracked by the
+  /// prefix pass and are left at the summary's whole-series mean (a value
+  /// guaranteed inside the sample range) — callers needing real extremes
+  /// fill them from the data (MomentSummary::of does).
+  [[nodiscard]] MomentSummary summary() const noexcept {
+    MomentSummary s;
+    s.count = n_;
+    if (n_ == 0) return s;
+    s.mean = block_mean(0, n_);
+    s.m2 = block_sum_sq_dev(0, n_);
+    s.min = s.mean;
+    s.max = s.mean;
+    return s;
+  }
 
  private:
   std::size_t n_ = 0;

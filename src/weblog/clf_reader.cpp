@@ -52,14 +52,14 @@ ParsedChunk parse_chunk(const std::string& text) {
 }  // namespace
 
 std::string IngestStats::summary() const {
+  if (open_failed) return path + ": OPEN FAILED";
   char buf[160];
   std::snprintf(buf, sizeof buf,
                 "bytes=%llu lines=%zu parsed=%zu malformed=%zu chunks=%zu "
                 "wall=%.3fs",
                 static_cast<unsigned long long>(bytes), lines, parsed,
                 malformed, chunks, wall_seconds);
-  std::string out = buf;
-  if (open_failed) return path + ": OPEN FAILED";
+  std::string out = path.empty() ? std::string(buf) : path + ": " + buf;
   for (std::size_t i = 1; i < kClfParseReasonCount; ++i) {
     if (malformed_by_reason[i] == 0) continue;
     out += " ";
@@ -92,6 +92,23 @@ Result<IngestStats> read_clf_file(
   // Futures are drained strictly FIFO, so entries reach `on_entry` in file
   // order no matter which worker parsed which block.
   std::deque<support::Future<ParsedChunk>> pending;
+  // Unwind safety: if `on_entry` (or a parse task) throws mid-drain, the
+  // remaining futures must not be abandoned with tasks still queued on the
+  // Executor — wait for each and discard its result (and any stored
+  // exception), so the pool is quiescent again when the exception leaves
+  // this frame.
+  struct PendingDrainGuard {
+    std::deque<support::Future<ParsedChunk>>& pending;
+    ~PendingDrainGuard() {
+      for (auto& f : pending) {
+        try {
+          (void)f.get();
+        } catch (...) {  // already unwinding; swallow secondary failures
+        }
+      }
+      pending.clear();
+    }
+  } drain_guard{pending};
   auto drain_one = [&] {
     ParsedChunk chunk = pending.front().get();
     pending.pop_front();

@@ -43,10 +43,14 @@ struct IngestStats {
   double wall_seconds = 0.0;     ///< end-to-end read+parse wall time
   bool open_failed = false;      ///< the file could not be opened
   /// Filled by sessionizing consumers (Dataset::from_clf_stream); the
-  /// reader itself leaves it 0.
+  /// reader itself leaves it 0. A *per-file* peak: the maximum number of
+  /// concurrently open sessions reached while this file was being ingested
+  /// (sessions still open from earlier files count toward it), not the
+  /// stream-wide cumulative high-water mark — that lives in
+  /// StreamIngestReport::peak_open_sessions.
   std::size_t peak_open_sessions = 0;
 
-  /// One-line human-readable summary ("parsed=... malformed=... [...]").
+  /// One-line human-readable summary ("<path>: parsed=... malformed=...").
   [[nodiscard]] std::string summary() const;
 };
 

@@ -112,11 +112,19 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
     sessionizer.add(r);
   };
 
+  std::size_t overall_peak = 0;
   for (const auto& path : paths) {
+    // Per-file peak: restart the sessionizer's high-water mark so each
+    // file reports the maximum open-session count reached *while it was
+    // being ingested* (sessions still open from earlier files count — they
+    // are open during this file too). The stream-wide peak is the max over
+    // the per-file peaks, since every instant falls inside some file.
+    sessionizer.reset_peak();
     auto stats = read_clf_file(path, options.reader, on_entry);
     if (stats.ok()) {
       IngestStats s = std::move(stats).value();
       s.peak_open_sessions = sessionizer.peak_open_sessions();
+      overall_peak = std::max(overall_peak, s.peak_open_sessions);
       rep.files.push_back(std::move(s));
     } else {
       IngestStats failed;
@@ -129,7 +137,7 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
     return Error::insufficient_data("Dataset::from_clf_stream: no entries");
 
   ds.distinct_clients_ = intern.size();
-  rep.peak_open_sessions = sessionizer.peak_open_sessions();
+  rep.peak_open_sessions = overall_peak;
   rep.sessionized_incrementally = sorted && !sessionizer.saw_unsorted();
 
   ds.sort_requests_and_total();
@@ -217,42 +225,66 @@ std::vector<double> Dataset::session_byte_counts(double t0, double t1) const {
 }
 
 std::vector<Interval> Dataset::partition(double interval_seconds) const {
+  return partition(t0_, t1_, interval_seconds);
+}
+
+std::vector<Interval> Dataset::partition(double t0, double t1,
+                                         double interval_seconds) const {
   std::vector<Interval> out;
-  if (!(interval_seconds > 0.0)) return out;
+  if (!(interval_seconds > 0.0) || !(t1 > t0)) return out;
+  // Interval boundaries live on the dataset's native grid (anchored at the
+  // observation-window start), so a sub-window that starts off-grid gets a
+  // clipped leading interval rather than a shifted grid.
+  const double first_f = std::floor((t0 - t0_) / interval_seconds);
+  const auto first = static_cast<std::ptrdiff_t>(first_f);
   const auto count = static_cast<std::size_t>(
-      std::ceil((t1_ - t0_) / interval_seconds));
+      std::ceil((t1 - t0_) / interval_seconds) - first_f);
   out.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
-    out[i].index = i;
-    out[i].t0 = t0_ + static_cast<double>(i) * interval_seconds;
-    out[i].t1 = std::min(t1_, out[i].t0 + interval_seconds);
+    const double grid_lo =
+        t0_ + static_cast<double>(first + static_cast<std::ptrdiff_t>(i)) *
+                  interval_seconds;
+    out[i].index = static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+        0, first + static_cast<std::ptrdiff_t>(i)));
+    out[i].t0 = std::max(t0, grid_lo);
+    out[i].t1 = std::min(t1, grid_lo + interval_seconds);
   }
-  for (const auto& r : requests_) {
-    const auto i = std::min(
+  const auto bucket = [&](double time) {
+    return std::min(
         count - 1,
-        static_cast<std::size_t>((r.time - t0_) / interval_seconds));
-    ++out[i].request_count;
+        static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+            0, static_cast<std::ptrdiff_t>((time - t0_) / interval_seconds) -
+                   first)));
+  };
+  for (const auto& r : requests_) {
+    if (r.time < t0 || r.time >= t1) continue;
+    ++out[bucket(r.time)].request_count;
   }
   for (const auto& s : sessions_) {
-    const auto i = std::min(
-        count - 1,
-        static_cast<std::size_t>((s.start - t0_) / interval_seconds));
-    ++out[i].session_count;
+    if (s.start < t0 || s.start >= t1) continue;
+    ++out[bucket(s.start)].session_count;
   }
   return out;
 }
 
 Result<Interval> Dataset::pick(Load load, double interval_seconds) const {
-  auto parts = partition(interval_seconds);
+  return pick(load, t0_, t1_, interval_seconds);
+}
+
+Result<Interval> Dataset::pick(Load load, double t0, double t1,
+                               double interval_seconds) const {
+  auto parts = partition(t0, t1, interval_seconds);
   if (parts.size() < 3)
     return Error::insufficient_data("Dataset::pick: fewer than 3 intervals");
 
-  // Drop the first and last interval if partial (boundary effects), when
-  // enough intervals remain.
-  if (parts.size() >= 5) {
-    const double full = interval_seconds;
-    if (parts.back().t1 - parts.back().t0 < full * 0.999) parts.pop_back();
-  }
+  // Drop the first and the last interval if partial (boundary effects),
+  // when enough intervals remain. The default whole-window partition is
+  // grid-anchored so only its last interval can be partial; an explicitly
+  // provided non-aligned window can clip the leading interval as well.
+  const double full = interval_seconds * 0.999;
+  const auto partial = [&](const Interval& iv) { return iv.t1 - iv.t0 < full; };
+  if (parts.size() >= 5 && partial(parts.back())) parts.pop_back();
+  if (parts.size() >= 5 && partial(parts.front())) parts.erase(parts.begin());
 
   std::sort(parts.begin(), parts.end(), [](const Interval& a, const Interval& b) {
     return a.request_count < b.request_count;

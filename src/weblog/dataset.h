@@ -27,7 +27,9 @@ struct StreamIngestOptions {
 /// What the streaming ingest observed, beyond the Dataset itself.
 struct StreamIngestReport {
   std::vector<IngestStats> files;     ///< one per input path, in order
-  std::size_t peak_open_sessions = 0; ///< sessionizer high-water mark
+                                      ///< (each carries its per-file peak)
+  std::size_t peak_open_sessions = 0; ///< stream-wide sessionizer high-water
+                                      ///< mark (max over per-file peaks)
   /// True when the concatenated entry stream was non-decreasing in time and
   /// the bounded-memory incremental sessionizer was used; false means the
   /// input was out of order and sessionization fell back to the batch path
@@ -123,10 +125,36 @@ class Dataset {
   /// week) with per-interval request/session counts.
   [[nodiscard]] std::vector<Interval> partition(double interval_seconds = 4.0 * 3600.0) const;
 
+  /// Partition an explicitly-provided sub-window [t0, t1). Interval
+  /// boundaries stay on the dataset's native grid (this->t0() + k *
+  /// interval_seconds) and are clipped to the window, so a window that does
+  /// not start or end on a boundary yields a partial first and/or last
+  /// interval; `index` is the global grid index k, not the position within
+  /// the window. Only requests/sessions inside [t0, t1) are counted.
+  [[nodiscard]] std::vector<Interval> partition(double t0, double t1,
+                                                double interval_seconds) const;
+
   /// The paper's typical Low (fewest requests), Med (median), High (most)
-  /// interval selection over the partition.
+  /// interval selection over the partition. Partial first/last intervals
+  /// (boundary effects) are dropped when enough intervals remain.
   [[nodiscard]] support::Result<Interval> pick(Load load,
                                                double interval_seconds = 4.0 * 3600.0) const;
+
+  /// pick() over an explicitly-provided (possibly non-aligned) sub-window;
+  /// both a partial leading and a partial trailing interval are dropped
+  /// before the Low/Med/High selection, when enough intervals remain.
+  [[nodiscard]] support::Result<Interval> pick(Load load, double t0, double t1,
+                                               double interval_seconds) const;
+
+  /// Binary columnar store round-trip (src/store/columnar.h has the format;
+  /// these members are *defined* in fullweb_store — link it to use them).
+  /// to_columnar serializes the request and session tables to `path` and
+  /// returns the file size; from_columnar reloads them bit-identically,
+  /// skipping CLF parsing, interning and sessionization entirely.
+  [[nodiscard]] support::Result<std::uint64_t> to_columnar(
+      const std::string& path) const;
+  [[nodiscard]] static support::Result<Dataset> from_columnar(
+      const std::string& path);
 
  private:
   Dataset() = default;

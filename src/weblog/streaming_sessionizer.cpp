@@ -36,8 +36,12 @@ void StreamingSessionizer::add(const Request& r) {
   } else {
     by_end_.push_back(Session{r.client, r.time, r.time, 1, r.bytes});
     open_.emplace(r.client, std::prev(by_end_.end()));
-    peak_open_ = std::max(peak_open_, by_end_.size());
   }
+  // Sample the open count at every event, not just inserts (extends leave
+  // the count unchanged, so this is equivalent for a fresh run): a peak
+  // restarted mid-stream via reset_peak() must still count sessions carried
+  // over from before the restart once an event shows them still open.
+  peak_open_ = std::max(peak_open_, by_end_.size());
 }
 
 std::vector<Session> StreamingSessionizer::take_closed() {

@@ -58,6 +58,14 @@ class StreamingSessionizer {
   [[nodiscard]] std::size_t peak_open_sessions() const noexcept {
     return peak_open_;
   }
+  /// Restart the high-water mark, so peak_open_sessions() afterwards
+  /// reports the maximum open-session count observed at events fed after
+  /// this call (0 when none are fed). Sessions carried over from before the
+  /// restart count as soon as a subsequent event shows them still open;
+  /// sessions that lazy eviction has not yet retired but whose threshold
+  /// already elapsed never inflate the new window's peak. Lets multi-file
+  /// ingests report per-file peaks.
+  void reset_peak() noexcept { peak_open_ = 0; }
   /// True once any request arrived with a timestamp below its predecessor.
   [[nodiscard]] bool saw_unsorted() const noexcept { return saw_unsorted_; }
 

@@ -1,0 +1,175 @@
+// Fleet shard-and-merge: thread-count bit-identity, merge equivalence
+// against directly-pooled samples, and the RNG-advance contract.
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/executor.h"
+#include "support/rng.h"
+#include "synth/generator.h"
+#include "synth/profile.h"
+
+namespace {
+
+using fullweb::core::FleetOptions;
+using fullweb::core::FleetReport;
+using fullweb::core::analyze_fleet;
+using fullweb::core::fleet_report_json;
+using fullweb::stats::MomentSummary;
+using fullweb::weblog::Dataset;
+
+/// Trimmed fit options: every Monte-Carlo/optional branch off, so the
+/// 8-shard fleet fits run in test time while still exercising the whole
+/// shard fan-out, Hurst pipeline, and tail estimates.
+FleetOptions fast_options(fullweb::support::Executor* ex) {
+  FleetOptions opt;
+  opt.executor = ex;
+  opt.fit.run_poisson = false;
+  opt.fit.run_error_analysis = false;
+  opt.fit.arrivals.run_aggregation_sweep = false;
+  opt.fit.arrivals.hurst.run_whittle = false;
+  opt.fit.tails.run_curvature = false;
+  return opt;
+}
+
+std::vector<Dataset> synthetic_fleet(std::size_t shards) {
+  std::vector<Dataset> fleet;
+  const auto profiles = fullweb::synth::ServerProfile::all_four();
+  for (std::size_t i = 0; i < shards; ++i) {
+    fullweb::support::Rng rng(1000 + i);
+    fullweb::synth::GeneratorOptions opt;
+    opt.duration = 3.0 * 3600.0;
+    opt.scale = 0.5;
+    opt.start_time = 1073865600.0 + static_cast<double>(i) * 4.0 * 3600.0;
+    auto ds = fullweb::synth::generate_dataset(profiles[i % profiles.size()],
+                                               opt, rng);
+    EXPECT_TRUE(ds.ok()) << ds.error().message;
+    fleet.push_back(std::move(ds).value());
+  }
+  return fleet;
+}
+
+TEST(CoreFleet, BitIdenticalReportAcrossThreadCounts) {
+  const std::vector<Dataset> fleet = synthetic_fleet(8);
+
+  fullweb::support::Executor serial(1);
+  fullweb::support::Rng rng_serial(42);
+  auto report_serial = analyze_fleet(fleet, rng_serial, fast_options(&serial));
+  ASSERT_TRUE(report_serial.ok()) << report_serial.error().message;
+
+  fullweb::support::Executor pool(8);
+  fullweb::support::Rng rng_pool(42);
+  auto report_pool = analyze_fleet(fleet, rng_pool, fast_options(&pool));
+  ASSERT_TRUE(report_pool.ok()) << report_pool.error().message;
+
+  // Byte-for-byte identical JSON is the strongest equality we can assert
+  // without enumerating every nested field — it covers all of them.
+  const std::string json_serial = fleet_report_json(report_serial.value());
+  const std::string json_pool = fleet_report_json(report_pool.value());
+  EXPECT_EQ(json_serial, json_pool);
+
+  // Both runs must leave the caller's generator in the same state.
+  EXPECT_EQ(rng_serial.uniform(), rng_pool.uniform());
+}
+
+TEST(CoreFleet, MergedStateMatchesDirectlyPooledSamples) {
+  const std::vector<Dataset> fleet = synthetic_fleet(4);
+
+  fullweb::support::Executor serial(1);
+  fullweb::support::Rng rng(7);
+  auto report = analyze_fleet(fleet, rng, fast_options(&serial));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  const FleetReport& r = report.value();
+
+  // Exact totals.
+  std::size_t requests = 0, sessions = 0;
+  std::uint64_t bytes = 0;
+  for (const Dataset& ds : fleet) {
+    requests += ds.requests().size();
+    sessions += ds.sessions().size();
+    bytes += ds.total_bytes();
+  }
+  EXPECT_EQ(r.total_requests, requests);
+  EXPECT_EQ(r.total_sessions, sessions);
+  EXPECT_EQ(r.total_bytes, bytes);
+  EXPECT_EQ(r.shards.size(), fleet.size());
+
+  // The merged moment state must match a single summary over the pooled
+  // union of every shard's samples: count/min/max exactly, mean/variance
+  // to rounding (Chan et al. merge error is ulps-level here).
+  const auto pooled = [&](auto&& extract) {
+    std::vector<double> all;
+    for (const Dataset& ds : fleet) {
+      const std::vector<double> xs = extract(ds);
+      all.insert(all.end(), xs.begin(), xs.end());
+    }
+    return MomentSummary::of(all);
+  };
+  const auto expect_merged = [](const MomentSummary& got,
+                                const MomentSummary& want, const char* tag) {
+    EXPECT_EQ(got.count, want.count) << tag;
+    EXPECT_EQ(got.min, want.min) << tag;
+    EXPECT_EQ(got.max, want.max) << tag;
+    EXPECT_NEAR(got.mean, want.mean, 1e-9 * (1.0 + std::abs(want.mean)))
+        << tag;
+    const double scale = 1.0 + want.variance();
+    EXPECT_NEAR(got.variance(), want.variance(), 1e-8 * scale) << tag;
+  };
+  expect_merged(r.rps,
+                pooled([](const Dataset& d) { return d.requests_per_second(); }),
+                "rps");
+  expect_merged(r.session_length,
+                pooled([](const Dataset& d) { return d.session_lengths(); }),
+                "session_length");
+  expect_merged(
+      r.session_requests,
+      pooled([](const Dataset& d) { return d.session_request_counts(); }),
+      "session_requests");
+  expect_merged(
+      r.session_bytes,
+      pooled([](const Dataset& d) { return d.session_byte_counts(); }),
+      "session_bytes");
+
+  // Window union and per-shard sanity.
+  double t0 = fleet.front().t0(), t1 = fleet.front().t1();
+  for (const Dataset& ds : fleet) {
+    t0 = std::min(t0, ds.t0());
+    t1 = std::max(t1, ds.t1());
+  }
+  EXPECT_EQ(r.t0, t0);
+  EXPECT_EQ(r.t1, t1);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(r.shards[i].name, fleet[i].name());
+    EXPECT_EQ(r.shards[i].requests, fleet[i].requests().size());
+  }
+  EXPECT_LE(r.shards_lrd_requests, fleet.size());
+  EXPECT_GE(r.mean_request_h, 0.0);
+}
+
+TEST(CoreFleet, AdvancesCallerRngByOneRegionPerShard) {
+  const std::vector<Dataset> fleet = synthetic_fleet(2);
+  fullweb::support::Executor serial(1);
+  fullweb::support::Rng rng(99);
+  auto report = analyze_fleet(fleet, rng, fast_options(&serial));
+  ASSERT_TRUE(report.ok());
+
+  fullweb::support::Rng expected(99);
+  expected.jump_pow2(224);
+  expected.jump_pow2(224);
+  EXPECT_EQ(rng.uniform(), expected.uniform());
+}
+
+TEST(CoreFleet, EmptyFleetIsAnError) {
+  fullweb::support::Rng rng(1);
+  auto report = analyze_fleet({}, rng, FleetOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().category, "insufficient_data");
+}
+
+}  // namespace

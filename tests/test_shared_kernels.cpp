@@ -142,6 +142,59 @@ TEST(PrefixMoments, WeightedPrefixesMatchNaive) {
   }
 }
 
+TEST(MomentSummary, OfMatchesNaiveAndPrefixMoments) {
+  const auto xs = random_series(513, 77);
+  const auto s = stats::MomentSummary::of(xs);
+  ASSERT_EQ(s.count, xs.size());
+  const auto fsum = static_cast<double>(ld_sum(xs, 0, xs.size()));
+  EXPECT_NEAR(s.mean, fsum / static_cast<double>(xs.size()), 1e-12);
+  const auto fssd = static_cast<double>(ld_ssd(xs, 0, xs.size()));
+  EXPECT_NEAR(s.m2, fssd, 1e-9 + 1e-9 * fssd);
+  EXPECT_EQ(s.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(s.max, *std::max_element(xs.begin(), xs.end()));
+
+  const stats::PrefixMoments pm(xs);
+  const auto ps = pm.summary();
+  EXPECT_EQ(ps.count, s.count);
+  EXPECT_NEAR(ps.mean, s.mean, 1e-12 + 1e-12 * std::abs(s.mean));
+  EXPECT_NEAR(ps.m2, s.m2, 1e-9 + 1e-9 * s.m2);
+}
+
+TEST(MomentSummary, MergeOfDisjointPartsMatchesWhole) {
+  const auto xs = random_series(1000, 99);
+  const auto whole = stats::MomentSummary::of(xs);
+
+  support::Rng rng(5);
+  for (int rep = 0; rep < 50; ++rep) {
+    // Random partition into up to 7 contiguous parts (some possibly empty),
+    // merged left-to-right: must reproduce the one-shot summary.
+    std::vector<std::size_t> cuts = {0, xs.size()};
+    for (int c = 0; c < 6; ++c) cuts.push_back(rng.below(xs.size() + 1));
+    std::sort(cuts.begin(), cuts.end());
+    stats::MomentSummary merged;
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k)
+      merged.merge(stats::MomentSummary::of(
+          std::span<const double>(xs).subspan(cuts[k], cuts[k + 1] - cuts[k])));
+    EXPECT_EQ(merged.count, whole.count);
+    EXPECT_EQ(merged.min, whole.min);
+    EXPECT_EQ(merged.max, whole.max);
+    EXPECT_NEAR(merged.mean, whole.mean, 1e-11 + 1e-12 * std::abs(whole.mean));
+    EXPECT_NEAR(merged.m2, whole.m2, 1e-8 + 1e-8 * whole.m2);
+    EXPECT_NEAR(merged.variance(), whole.variance(),
+                1e-9 + 1e-8 * whole.variance());
+  }
+
+  // Merging with an empty summary is the identity, both ways.
+  stats::MomentSummary empty;
+  stats::MomentSummary copy = whole;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count, whole.count);
+  EXPECT_EQ(copy.mean, whole.mean);
+  empty.merge(whole);
+  EXPECT_EQ(empty.count, whole.count);
+  EXPECT_EQ(empty.max, whole.max);
+}
+
 TEST(PrefixMoments, AggregatedVarianceMatchesNaiveIncludingRaggedLevels) {
   const auto xs = random_series(1000, 77);
   const stats::PrefixMoments pm(xs);

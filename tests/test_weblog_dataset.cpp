@@ -149,6 +149,80 @@ TEST(Dataset, WeekPartitionHas42FourHourIntervals) {
   EXPECT_EQ(ds.value().partition(4 * 3600.0).size(), 42U);
 }
 
+// Build 8 hours of traffic at t in [0, 8h) with a distinctive count per
+// hour so Low/Med/High selections are unambiguous: hour h gets 10*(h+1)
+// requests, except hour 0 which gets just 2 (the global minimum).
+Dataset hourly_dataset() {
+  std::vector<LogEntry> entries;
+  int id = 0;
+  auto add_hour = [&](int hour, int count) {
+    for (int i = 0; i < count; ++i)
+      entries.push_back(
+          entry(hour * 3600.0 + i * 3.0, "c" + std::to_string(id++), 1));
+  };
+  add_hour(0, 2);
+  for (int h = 1; h < 8; ++h) add_hour(h, 10 * (h + 1));
+  auto ds = Dataset::from_entries("hourly", entries);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(Dataset, ExplicitWindowPartitionClipsToNativeGrid) {
+  const auto ds = hourly_dataset();
+  // Window starts mid-hour-0 and ends mid-hour-6: the leading and trailing
+  // intervals are partial, the five in between are full grid hours.
+  const auto parts = ds.partition(1800.0, 6.5 * 3600.0, 3600.0);
+  ASSERT_EQ(parts.size(), 7U);
+  EXPECT_EQ(parts.front().index, 0U);
+  EXPECT_DOUBLE_EQ(parts.front().t0, 1800.0);
+  EXPECT_DOUBLE_EQ(parts.front().t1, 3600.0);  // clipped leading interval
+  EXPECT_DOUBLE_EQ(parts.back().t0, 6 * 3600.0);
+  EXPECT_DOUBLE_EQ(parts.back().t1, 6.5 * 3600.0);  // clipped trailing
+  for (std::size_t i = 1; i + 1 < parts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parts[i].t1 - parts[i].t0, 3600.0) << "interval " << i;
+    EXPECT_EQ(parts[i].index, i);
+  }
+  // Hour 0 has 2 requests at t = 0, 3: none inside [1800, 3600).
+  EXPECT_EQ(parts.front().request_count, 0U);
+  // Hour 6's requests run t = 21600..21657, all inside [21600, 23400).
+  EXPECT_EQ(parts.back().request_count, 70U);
+  EXPECT_EQ(parts[1].request_count, 20U);  // hour 1
+}
+
+// Regression for the "drop the first and last interval if partial" comment:
+// only the last was ever dropped. With a non-aligned explicit window the
+// leading partial interval (here: empty, so it would win Low) must be
+// dropped before the Low/Med/High selection.
+TEST(Dataset, PickDropsPartialFirstIntervalInExplicitWindow) {
+  const auto ds = hourly_dataset();
+  // Window [0.5h, 6.5h): partial first (0 requests) and partial last (70
+  // requests, the would-be maximum). Eligible full hours 1..5 carry
+  // 20/30/40/50/60.
+  const auto low = ds.pick(Load::kLow, 1800.0, 6.5 * 3600.0, 3600.0);
+  const auto med = ds.pick(Load::kMed, 1800.0, 6.5 * 3600.0, 3600.0);
+  const auto high = ds.pick(Load::kHigh, 1800.0, 6.5 * 3600.0, 3600.0);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(med.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(low.value().request_count, 20U);   // not the empty partial first
+  EXPECT_EQ(med.value().request_count, 40U);
+  EXPECT_EQ(high.value().request_count, 60U);  // not the partial last
+}
+
+// The default whole-window pick is grid-anchored, so its first interval is
+// always full; behavior must be unchanged (only a partial *last* dropped).
+TEST(Dataset, PickDefaultWindowUnchanged) {
+  const auto ds = hourly_dataset();  // window ends mid-hour-7
+  const auto low = ds.pick(Load::kLow, 3600.0);
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low.value().request_count, 2U);  // hour 0 is a full interval
+  const auto high = ds.pick(Load::kHigh, 3600.0);
+  ASSERT_TRUE(high.ok());
+  // Hour 7 holds 80 requests but its interval is clipped at t1 (partial) and
+  // dropped, exactly as before this fix; hour 6 wins.
+  EXPECT_EQ(high.value().request_count, 70U);
+}
+
 TEST(LoadNames, Strings) {
   EXPECT_EQ(to_string(Load::kLow), "Low");
   EXPECT_EQ(to_string(Load::kMed), "Med");

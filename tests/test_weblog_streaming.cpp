@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -400,6 +401,133 @@ TEST(StreamingSessionizer, PeakTracksSimultaneouslyOpenSessions) {
   EXPECT_EQ(ss.peak_open_sessions(), 5U);
   const auto table = ss.finish();
   EXPECT_EQ(table.size(), 6U);
+}
+
+TEST(StreamingSessionizer, ResetPeakReportsPerWindowMaxima) {
+  SessionizerOptions opts;
+  opts.threshold_seconds = 10.0;
+  StreamingSessionizer ss(opts);
+  for (std::uint32_t c = 0; c < 4; ++c) ss.add(req(0.0, c));
+  EXPECT_EQ(ss.peak_open_sessions(), 4U);
+
+  // New window while all four are (lazily) expired: the first event evicts
+  // them, so the carried-over-but-dead sessions never inflate the peak.
+  ss.reset_peak();
+  EXPECT_EQ(ss.peak_open_sessions(), 0U);
+  ss.add(req(100.0, 9));
+  EXPECT_EQ(ss.peak_open_sessions(), 1U);
+
+  // New window while one session is genuinely still open: extending it
+  // counts it toward the restarted peak even though no insert happens.
+  ss.reset_peak();
+  ss.add(req(105.0, 9));
+  EXPECT_EQ(ss.peak_open_sessions(), 1U);
+  (void)ss.finish();
+}
+
+// Regression: IngestStats.peak_open_sessions used to record the stream-wide
+// *cumulative* high-water mark after each file; a quiet second file far in
+// the future inherited the first file's peak.
+TEST_F(StreamingIngestTest, PeakOpenSessionsIsPerFile) {
+  // File A: five clients interleaved (peak 5). File B: one client, more
+  // than a session threshold later (peak 1).
+  std::vector<std::string> a_lines, b_lines;
+  for (int burst = 0; burst < 3; ++burst)
+    for (int c = 0; c < 5; ++c) {
+      LogEntry e;
+      e.timestamp = 1073865600.0 + burst * 60.0 + c;
+      e.client = "10.0.0." + std::to_string(c);
+      e.method = "GET";
+      e.path = "/a";
+      e.protocol = "HTTP/1.0";
+      e.status = 200;
+      e.bytes = 100;
+      a_lines.push_back(to_clf_line(e));
+    }
+  for (int i = 0; i < 4; ++i) {
+    LogEntry e;
+    e.timestamp = 1073865600.0 + 10000.0 + i * 10.0;  // > 1800 s later
+    e.client = "10.0.1.1";
+    e.method = "GET";
+    e.path = "/b";
+    e.protocol = "HTTP/1.0";
+    e.status = 200;
+    e.bytes = 100;
+    b_lines.push_back(to_clf_line(e));
+  }
+  const std::string file_a = write_file("peak_a", a_lines);
+  const std::string file_b = write_file("peak_b", b_lines);
+
+  const std::vector<std::string> paths = {file_a, file_b};
+  StreamIngestReport report;
+  auto ds = Dataset::from_clf_stream("peak", paths, {}, &report);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(report.files.size(), 2U);
+  EXPECT_EQ(report.files[0].peak_open_sessions, 5U);
+  EXPECT_EQ(report.files[1].peak_open_sessions, 1U);  // was 5 before the fix
+  EXPECT_EQ(report.peak_open_sessions, 5U);  // stream-wide max unchanged
+}
+
+// IngestStats::summary(): the open-failed path must not format-and-discard,
+// and the success path must name the file it summarizes.
+TEST(IngestStatsSummary, IncludesPathAndEarlyReturnsOnOpenFailure) {
+  IngestStats ok_stats;
+  ok_stats.path = "/var/log/server/access.log";
+  ok_stats.bytes = 1024;
+  ok_stats.lines = 10;
+  ok_stats.parsed = 9;
+  ok_stats.malformed = 1;
+  const std::string s = ok_stats.summary();
+  EXPECT_NE(s.find("/var/log/server/access.log: "), std::string::npos);
+  EXPECT_NE(s.find("parsed=9"), std::string::npos);
+
+  IngestStats no_path;  // pathless stats still format cleanly
+  no_path.parsed = 3;
+  EXPECT_EQ(no_path.summary().find(": "), std::string::npos);
+
+  IngestStats failed;
+  failed.path = "/gone.log";
+  failed.open_failed = true;
+  EXPECT_EQ(failed.summary(), "/gone.log: OPEN FAILED");
+}
+
+// An on_entry callback that throws mid-drain must not abandon queued parse
+// tasks: the reader's scope guard drains (discarding results) so the
+// executor is quiescent and reusable after the exception escapes.
+TEST_F(StreamingIngestTest, ThrowingCallbackLeavesExecutorReusable) {
+  const std::string path = write_synthetic("throwing", 4 * 3600.0, 0.1);
+  support::Executor ex(8);
+  ClfReaderOptions opts;
+  opts.chunk_bytes = 4096;  // many chunks => several futures in flight
+  opts.executor = &ex;
+
+  std::size_t clean_count = 0;
+  auto clean = read_clf_file(path, opts,
+                             [&](LogEntry&&) { ++clean_count; });
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GT(clean.value().chunks, 4U);
+
+  struct Boom : std::runtime_error {
+    Boom() : std::runtime_error("boom") {}
+  };
+  std::size_t seen = 0;
+  EXPECT_THROW(
+      {
+        auto r = read_clf_file(path, opts, [&](LogEntry&&) {
+          if (++seen == 10) throw Boom();
+        });
+        (void)r;
+      },
+      Boom);
+  EXPECT_EQ(seen, 10U);
+
+  // The pool must still work and deliver identical results afterwards.
+  std::size_t after_count = 0;
+  auto after = read_clf_file(path, opts,
+                             [&](LogEntry&&) { ++after_count; });
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after_count, clean_count);
+  EXPECT_EQ(after.value().parsed, clean.value().parsed);
 }
 
 }  // namespace
