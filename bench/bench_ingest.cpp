@@ -182,6 +182,14 @@ int main(int argc, char** argv) {
   int argc_eff = static_cast<int>(args.size());
   benchmark::Initialize(&argc_eff, args.data());
   if (benchmark::ReportUnrecognizedArguments(argc_eff, args.data())) return 1;
+  // library_build_type in the JSON describes the system libbenchmark (which
+  // reports "debug" regardless of our flags); stamp how *this binary* was
+  // compiled so bench_compare --check-release can audit the baseline.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("binary_build_type", "release");
+#else
+  benchmark::AddCustomContext("binary_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

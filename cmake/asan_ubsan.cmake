@@ -33,10 +33,14 @@ endif()
 # its corruption corpus), workspace arena reuse, the tail kernels that
 # recycle arenas across replicates, and the validation harness (edge
 # inputs + Monte Carlo fan-out) are where lifetime/UB bugs would live.
+# test_weblog_parser_identity's exact-size buffers make any vector-scan
+# read past a chunk or token end an ASan stop, which is the memory-safety
+# half of the SIMD bit-identity contract.
 set(FULLWEB_ASAN_TESTS
   test_support_workspace test_support_json
   test_tools_bench_compare test_edge_inputs
-  test_validation test_weblog_corpus test_store_columnar)
+  test_validation test_weblog_corpus test_weblog_parser_identity
+  test_store_columnar)
 
 message(STATUS "[asan] building ${FULLWEB_ASAN_TESTS}")
 execute_process(

@@ -11,6 +11,11 @@
 #                                    kernels
 # Vectorization therefore changes throughput, never bits, and the golden
 # bit-pattern regression tests hold on both SIMD and scalar hosts.
+#
+# The gate also covers pure byte-scanning TUs (weblog/clf_scan.cpp): there
+# the contract is trivially exact — integer compares have no rounding — and
+# the scalar fallback is the SWAR tier in the matching header, pinned equal
+# by test_weblog_parser_identity.
 include(CheckCXXSourceRuns)
 
 set(FULLWEB_HOT_SIMD_FLAGS "")

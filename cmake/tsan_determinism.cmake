@@ -43,9 +43,12 @@ endif()
 # 8 threads — the claim is only falsifiable with TSan watching the merge —
 # and test_store_columnar pins the columnar round-trip those shards load
 # through.
+# test_weblog_parser_identity pins the SWAR/AVX2 fast parser to the scalar
+# reference; under TSan it additionally proves the per-chunk parser state
+# (timestamp memo, request arena) shares nothing across workers.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
-  test_weblog_streaming test_weblog_corpus
+  test_weblog_streaming test_weblog_corpus test_weblog_parser_identity
   test_shared_kernels test_validation test_support_workspace
   test_kernel_determinism test_support_timing
   test_store_columnar test_core_fleet)

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <fstream>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "support/executor.h"
 #include "support/strings.h"
+#include "weblog/clf_scan.h"
 
 namespace fullweb::weblog {
 
@@ -18,34 +21,46 @@ using support::Result;
 
 namespace {
 
-/// Result of parsing one newline-delimited block.
+/// Result of parsing one newline-delimited block. The records view `*text`
+/// (and, for escaped request fields, `owned`); both are kept alive until
+/// the chunk is drained. `text` is a shared_ptr only because the Executor's
+/// type-erased task queue requires copyable callables — the block is never
+/// actually shared or copied.
 struct ParsedChunk {
-  std::vector<LogEntry> entries;
+  std::shared_ptr<const std::string> text;
+  std::deque<std::string> owned;
+  std::vector<ClfRecord> records;
   std::size_t lines = 0;
   std::array<std::size_t, kClfParseReasonCount> malformed{};
 };
 
-/// Parse every line of `text` (blank lines are skipped silently, matching
-/// parse_clf_stream). Runs on a worker thread; touches nothing shared.
-ParsedChunk parse_chunk(const std::string& text) {
+/// Parse every line of `*text` (blank lines are skipped silently, matching
+/// parse_clf_stream). Runs on a worker thread; touches nothing shared. The
+/// parser — and with it the same-second timestamp memo — is chunk-local,
+/// so parallel workers share no state.
+ParsedChunk parse_chunk(std::shared_ptr<const std::string> text) {
   ParsedChunk out;
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    auto nl = text.find('\n', pos);
-    if (nl == std::string::npos) nl = text.size();
-    const std::string_view line =
-        support::trim(std::string_view(text).substr(pos, nl - pos));
-    pos = nl + 1;
+  ClfLineParser parser;
+  out.records.reserve(text->size() / 48 + 1);
+  const char* p = text->data();
+  const char* const end = p + text->size();
+  while (p < end) {
+    const char* nl = scan::find_byte_long(p, end, '\n');
+    std::string_view line(p, static_cast<std::size_t>(nl - p));
+    p = nl + 1;
+    line = support::trim(line);
     if (line.empty()) continue;
     ++out.lines;
     ClfParseReason reason = ClfParseReason::kNone;
-    auto e = parse_clf_line(line, &reason);
-    if (e.ok()) {
-      out.entries.push_back(std::move(e).value());
+    ClfRecord record;
+    if (parser.parse(line, record, &reason)) {
+      out.records.push_back(record);
     } else {
       ++out.malformed[static_cast<std::size_t>(reason)];
     }
   }
+  out.owned = parser.take_owned();
+  out.text = std::move(text);
   return out;
 }
 
@@ -69,9 +84,9 @@ std::string IngestStats::summary() const {
   return out;
 }
 
-Result<IngestStats> read_clf_file(
+Result<IngestStats> read_clf_records(
     const std::string& path, const ClfReaderOptions& options,
-    const std::function<void(LogEntry&&)>& on_entry) {
+    const std::function<void(const ClfRecord&)>& on_record) {
   const auto start = std::chrono::steady_clock::now();
   IngestStats stats;
   stats.path = path;
@@ -89,10 +104,10 @@ Result<IngestStats> read_clf_file(
           ? options.max_inflight_chunks
           : std::max<std::size_t>(2 * ex.threads(), 2);
 
-  // Futures are drained strictly FIFO, so entries reach `on_entry` in file
+  // Futures are drained strictly FIFO, so records reach `on_record` in file
   // order no matter which worker parsed which block.
   std::deque<support::Future<ParsedChunk>> pending;
-  // Unwind safety: if `on_entry` (or a parse task) throws mid-drain, the
+  // Unwind safety: if `on_record` (or a parse task) throws mid-drain, the
   // remaining futures must not be abandoned with tasks still queued on the
   // Executor — wait for each and discard its result (and any stored
   // exception), so the pool is quiescent again when the exception leaves
@@ -113,48 +128,62 @@ Result<IngestStats> read_clf_file(
     ParsedChunk chunk = pending.front().get();
     pending.pop_front();
     stats.lines += chunk.lines;
-    stats.parsed += chunk.entries.size();
+    stats.parsed += chunk.records.size();
     for (std::size_t i = 0; i < kClfParseReasonCount; ++i) {
       stats.malformed_by_reason[i] += chunk.malformed[i];
       stats.malformed += chunk.malformed[i];
     }
-    for (auto& e : chunk.entries) on_entry(std::move(e));
+    for (const auto& r : chunk.records) on_record(r);
   };
-  auto submit = [&](std::string&& text) {
+  auto submit = [&](std::shared_ptr<std::string>&& text) {
     ++stats.chunks;
-    pending.push_back(
-        ex.async([text = std::move(text)] { return parse_chunk(text); }));
+    pending.push_back(ex.async(
+        [text = std::shared_ptr<const std::string>(std::move(text))] {
+          return parse_chunk(text);
+        }));
     if (pending.size() >= inflight) drain_one();
   };
 
   std::string carry;  // partial trailing line of the previous block
-  std::string block;
   while (is) {
-    block.assign(chunk_bytes, '\0');
-    is.read(block.data(), static_cast<std::streamsize>(chunk_bytes));
-    block.resize(static_cast<std::size_t>(is.gcount()));
-    if (block.empty()) break;
-    stats.bytes += block.size();
+    // Read the next block directly behind the carried partial line, so the
+    // only per-block copy is the carry itself (at most one line).
+    auto text = std::make_shared<std::string>();
+    text->resize(carry.size() + chunk_bytes);
+    std::memcpy(text->data(), carry.data(), carry.size());
+    is.read(text->data() + carry.size(),
+            static_cast<std::streamsize>(chunk_bytes));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    if (got == 0) break;
+    text->resize(carry.size() + got);
+    stats.bytes += got;
 
-    std::string text = std::move(carry);
-    text += block;
-    const auto nl = text.rfind('\n');
+    const auto nl = text->rfind('\n');
     if (nl == std::string::npos) {
       // No newline yet — keep accumulating (degenerate giant-line case).
-      carry = std::move(text);
+      carry = std::move(*text);
       continue;
     }
-    carry = text.substr(nl + 1);
-    text.resize(nl + 1);
+    carry.assign(*text, nl + 1, std::string::npos);
+    text->resize(nl + 1);
     submit(std::move(text));
   }
-  if (!carry.empty()) submit(std::move(carry));  // final unterminated line
+  if (!carry.empty())  // final unterminated line
+    submit(std::make_shared<std::string>(std::move(carry)));
   while (!pending.empty()) drain_one();
 
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return stats;
+}
+
+Result<IngestStats> read_clf_file(
+    const std::string& path, const ClfReaderOptions& options,
+    const std::function<void(LogEntry&&)>& on_entry) {
+  return read_clf_records(path, options, [&](const ClfRecord& record) {
+    on_entry(ClfLineParser::materialize(record));
+  });
 }
 
 }  // namespace fullweb::weblog

@@ -4,12 +4,15 @@
 // reads one line at a time on one thread and its callers slurp every
 // parsed entry into RAM. This reader instead:
 //
-//  * reads fixed-size byte blocks off the file sequentially,
+//  * reads fixed-size byte blocks off the file sequentially (each block is
+//    read directly behind the previous block's carried partial line, so no
+//    block is ever recopied),
 //  * snaps each block to the last newline (the remainder is carried into
 //    the next block, so no line is ever split across parse tasks),
-//  * parses blocks in parallel on a `support::Executor`,
-//  * and reassembles results strictly in file order, so the entry stream
-//    delivered to `on_entry` is byte-for-byte the same at 1 or N threads.
+//  * parses blocks in parallel on a `support::Executor`, each worker
+//    running a zero-copy ClfLineParser whose records view the block text,
+//  * and reassembles results strictly in file order, so the record stream
+//    delivered to `on_record` is byte-for-byte the same at 1 or N threads.
 //
 // At most `max_inflight_chunks` blocks are outstanding, so peak memory is
 // O(chunk_bytes * inflight) for text plus whatever the consumer retains —
@@ -36,7 +39,7 @@ struct IngestStats {
   std::string path;
   std::uint64_t bytes = 0;       ///< bytes read off the file
   std::size_t lines = 0;         ///< non-empty lines seen
-  std::size_t parsed = 0;        ///< lines that produced a LogEntry
+  std::size_t parsed = 0;        ///< lines that produced a record
   std::size_t malformed = 0;     ///< lines rejected (sum of by_reason)
   std::array<std::size_t, kClfParseReasonCount> malformed_by_reason{};
   std::size_t chunks = 0;        ///< parse blocks dispatched
@@ -62,11 +65,20 @@ struct ClfReaderOptions {
   support::Executor* executor = nullptr;  ///< null = the global pool
 };
 
-/// Read `path`, parsing chunks in parallel, and deliver every parsed entry
-/// IN FILE ORDER to `on_entry` (called on the reader's thread only, never
-/// concurrently). Returns the per-file stats, or an Error with category
-/// "io" when the file cannot be opened (stats.open_failed is mirrored by
-/// callers that aggregate multiple files).
+/// Read `path`, parsing chunks in parallel, and deliver every parsed record
+/// IN FILE ORDER to `on_record` (called on the reader's thread only, never
+/// concurrently). The record's views are valid only for the duration of the
+/// callback — consumers keep what they need (Dataset::from_clf_stream keeps
+/// a 24-byte Request and an interned client id). Returns the per-file
+/// stats, or an Error with category "io" when the file cannot be opened
+/// (stats.open_failed is mirrored by callers that aggregate files).
+[[nodiscard]] support::Result<IngestStats> read_clf_records(
+    const std::string& path, const ClfReaderOptions& options,
+    const std::function<void(const ClfRecord&)>& on_record);
+
+/// read_clf_records, materializing an owning LogEntry per record — for
+/// consumers that keep the string fields. The hot sessionizing path uses
+/// read_clf_records directly and never pays the per-line allocations.
 [[nodiscard]] support::Result<IngestStats> read_clf_file(
     const std::string& path, const ClfReaderOptions& options,
     const std::function<void(LogEntry&&)>& on_entry);

@@ -1,0 +1,58 @@
+// Long-stream scanning kernels. This TU is listed in fullweb_hot_simd()
+// (cmake/hot_simd.cmake): when the build host both compiles and *runs* AVX2,
+// it is compiled with -mavx2 and the intrinsics path below is active;
+// otherwise the portable SWAR tier from clf_scan.h serves as the body.
+//
+// Memory-safety contract for the sanitizer gates: the vector loop only ever
+// loads 32-byte blocks that lie entirely inside [p, end) — there is no
+// masked or overhanging tail load — and the remainder is handled by the
+// SWAR/scalar tier, so ASan sees no reads past the caller's buffer.
+#include "weblog/clf_scan.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace fullweb::weblog::scan {
+
+const char* find_byte_long(const char* p, const char* end, char c) noexcept {
+#if defined(__AVX2__)
+  const __m256i pat = _mm256_set1_epi8(c);
+  while (end - p >= 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, pat)));
+    if (mask != 0) return p + __builtin_ctz(mask);
+    p += 32;
+  }
+#endif
+  return find_byte(p, end, c);
+}
+
+const char* find_byte_scalar(const char* p, const char* end, char c) noexcept {
+  while (p < end && *p != c) ++p;
+  return p;
+}
+
+const char* find_either_scalar(const char* p, const char* end, char a,
+                               char b) noexcept {
+  while (p < end && *p != a && *p != b) ++p;
+  return p;
+}
+
+bool all_digits_scalar(const char* p, std::size_t n) noexcept {
+  for (; n > 0; ++p, --n) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  return true;
+}
+
+bool compiled_with_avx2() noexcept {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace fullweb::weblog::scan

@@ -1,0 +1,130 @@
+// Vectorized byte-scanning primitives for the CLF ingest hot path.
+//
+// Two tiers, one contract: every function returns byte-identical results to
+// its *_scalar reference (pinned by test_weblog_parser_identity), so the
+// parser built on top is bit-identical no matter which tier ran.
+//
+//  * SWAR (here, header-inline): 8-byte word scans in portable C++ — these
+//    back the short in-line token scans of ClfLineParser, where call
+//    overhead would eat a wide vector's advantage.
+//  * AVX2 (clf_scan.cpp, opted into cmake/hot_simd.cmake's per-file gate):
+//    32-byte block scans for the long streams — newline splitting of MB
+//    chunks and request-field scans. Integer compares only, so the
+//    bit-identity contract is trivial (no FP rounding is involved at all);
+//    on hosts without AVX2 the .cpp falls back to the SWAR tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace fullweb::weblog::scan {
+
+namespace detail {
+
+inline constexpr std::uint64_t kLowBits = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kHighBits = 0x8080808080808080ULL;
+
+inline std::uint64_t load8(const char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Per-byte "is zero" mask: high bit of every zero byte of `v` is set (the
+/// classic haszero trick); nonzero bytes contribute no false positives when
+/// the result is consumed via countr_zero of the lowest set high bit.
+inline std::uint64_t zero_bytes(std::uint64_t v) noexcept {
+  return (v - kLowBits) & ~v & kHighBits;
+}
+
+inline std::uint64_t broadcast(char c) noexcept {
+  return kLowBits * static_cast<unsigned char>(c);
+}
+
+/// Index of the lowest byte whose high bit is set in a zero_bytes() mask.
+inline int first_marked_byte(std::uint64_t mask) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(mask) >> 3;
+#else
+  int i = 0;
+  while ((mask & 0x80U) == 0) {
+    mask >>= 8;
+    ++i;
+  }
+  return i;
+#endif
+}
+
+}  // namespace detail
+
+/// First occurrence of `c` in [p, end); returns `end` when absent.
+/// SWAR tier — use find_byte_long for multi-hundred-byte streams.
+inline const char* find_byte(const char* p, const char* end, char c) noexcept {
+  const std::uint64_t pat = detail::broadcast(c);
+  while (end - p >= 8) {
+    const std::uint64_t hit = detail::zero_bytes(detail::load8(p) ^ pat);
+    if (hit != 0) return p + detail::first_marked_byte(hit);
+    p += 8;
+  }
+  while (p < end && *p != c) ++p;
+  return p;
+}
+
+/// First occurrence of `a` or `b` in [p, end); returns `end` when absent.
+inline const char* find_either(const char* p, const char* end, char a,
+                               char b) noexcept {
+  const std::uint64_t pa = detail::broadcast(a);
+  const std::uint64_t pb = detail::broadcast(b);
+  while (end - p >= 8) {
+    const std::uint64_t v = detail::load8(p);
+    const std::uint64_t hit =
+        detail::zero_bytes(v ^ pa) | detail::zero_bytes(v ^ pb);
+    if (hit != 0) return p + detail::first_marked_byte(hit);
+    p += 8;
+  }
+  while (p < end && *p != a && *p != b) ++p;
+  return p;
+}
+
+/// True when every byte of [p, p+n) is an ASCII digit '0'..'9'.
+///
+/// SWAR: per-word, `v - 0x30..` sets a byte's high bit when the byte is
+/// below '0' (borrows can only corrupt neighbours of an already-failing
+/// byte, so the reject verdict stands), and `v + 0x46..` sets it when the
+/// byte is above '9' (0x46 = 0x7f - '9'; the carry-out case requires a
+/// byte >= 0xba, which already failed the subtraction test). When every
+/// byte is a digit neither operation crosses a byte boundary, so the
+/// accept verdict is exact.
+inline bool all_digits(const char* p, std::size_t n) noexcept {
+  constexpr std::uint64_t kSub = detail::kLowBits * 0x30U;  // '0' per byte
+  constexpr std::uint64_t kAdd = detail::kLowBits * 0x46U;  // 0x7f - '9'
+  while (n >= 8) {
+    const std::uint64_t v = detail::load8(p);
+    if ((((v - kSub) | (v + kAdd)) & detail::kHighBits) != 0) return false;
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    if (static_cast<unsigned char>(*p - '0') > 9) return false;
+  }
+  return true;
+}
+
+/// Long-stream find: AVX2 32-byte blocks when clf_scan.cpp was built under
+/// the hot_simd gate, otherwise the SWAR tier. Same result, always.
+[[nodiscard]] const char* find_byte_long(const char* p, const char* end,
+                                         char c) noexcept;
+
+// Byte-at-a-time references for the scalar-vs-SIMD bit-identity suite.
+[[nodiscard]] const char* find_byte_scalar(const char* p, const char* end,
+                                           char c) noexcept;
+[[nodiscard]] const char* find_either_scalar(const char* p, const char* end,
+                                             char a, char b) noexcept;
+[[nodiscard]] bool all_digits_scalar(const char* p, std::size_t n) noexcept;
+
+/// True when clf_scan.cpp was compiled with the AVX2 tier (i.e. the
+/// hot_simd gate fired); lets tests report which tiers they covered.
+[[nodiscard]] bool compiled_with_avx2() noexcept;
+
+}  // namespace fullweb::weblog::scan

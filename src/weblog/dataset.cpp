@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <string_view>
 
 #include "timeseries/series.h"
 #include "weblog/streaming_sessionizer.h"
@@ -80,6 +82,24 @@ void Dataset::finalize(const SessionizerOptions& sessionizer) {
   sessions_ = sessionize(requests_, sessionizer);
 }
 
+namespace {
+
+/// Heterogeneous string hashing so client interning can probe by
+/// string_view without constructing a std::string per line (C++20
+/// transparent lookup; the std::string key is built only on first sight of
+/// a client).
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace
+
 Result<Dataset> Dataset::from_clf_stream(std::string name,
                                          std::span<const std::string> paths,
                                          const StreamIngestOptions& options,
@@ -87,7 +107,9 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
   Dataset ds;
   ds.name_ = std::move(name);
 
-  std::unordered_map<std::string, std::uint32_t> intern;
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      intern;
   StreamingSessionizer sessionizer(options.sessionizer);
   StreamIngestReport local_report;
   StreamIngestReport& rep = report != nullptr ? *report : local_report;
@@ -95,15 +117,20 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
 
   // Interning follows delivery order — identical to from_entries on the
   // same entry sequence — and the compact Request is all we keep; the
-  // LogEntry (with its strings) dies right here.
+  // zero-copy ClfRecord (whose views die with its parse chunk) is never
+  // materialized into a LogEntry on this path.
   bool sorted = true;
   double prev_time = 0.0;
-  auto on_entry = [&](LogEntry&& e) {
-    auto [it, inserted] =
-        intern.emplace(e.client, static_cast<std::uint32_t>(intern.size()));
-    const Request r{e.timestamp, it->second,
-                    static_cast<std::uint16_t>(std::clamp(e.status, 0, 65535)),
-                    e.bytes};
+  auto on_record = [&](const ClfRecord& rec) {
+    auto it = intern.find(rec.client);
+    if (it == intern.end())
+      it = intern
+               .emplace(std::string(rec.client),
+                        static_cast<std::uint32_t>(intern.size()))
+               .first;
+    const Request r{rec.timestamp, it->second,
+                    static_cast<std::uint16_t>(std::clamp(rec.status, 0, 65535)),
+                    rec.bytes};
     if (!ds.requests_.empty() && r.time < prev_time) sorted = false;
     prev_time = r.time;
     ds.requests_.push_back(r);
@@ -120,7 +147,7 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
     // are open during this file too). The stream-wide peak is the max over
     // the per-file peaks, since every instant falls inside some file.
     sessionizer.reset_peak();
-    auto stats = read_clf_file(path, options.reader, on_entry);
+    auto stats = read_clf_records(path, options.reader, on_record);
     if (stats.ok()) {
       IngestStats s = std::move(stats).value();
       s.peak_open_sessions = sessionizer.peak_open_sessions();

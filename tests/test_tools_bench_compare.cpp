@@ -187,4 +187,34 @@ TEST(BenchCompareSpeedup, RenderNamesTheVerdicts) {
             std::string::npos);
 }
 
+TEST(BenchCompareBuildType, BinaryStampWinsOverLibraryField) {
+  // The system libbenchmark reports library_build_type "debug" even for our
+  // -O2 -DNDEBUG binaries; the custom binary_build_type stamp must win.
+  const std::string doc = R"({"context": {"library_build_type": "debug",
+      "binary_build_type": "release"}, "benchmarks": []})";
+  EXPECT_EQ(detect_build_type(doc), "release");
+  EXPECT_FALSE(is_debug_build(doc));
+}
+
+TEST(BenchCompareBuildType, FallsBackToLibraryField) {
+  const std::string doc =
+      R"({"context": {"library_build_type": "debug"}, "benchmarks": []})";
+  EXPECT_EQ(detect_build_type(doc), "debug");
+  EXPECT_TRUE(is_debug_build(doc));
+}
+
+TEST(BenchCompareBuildType, MissingFieldsAreUnknownNotDebug) {
+  // Old baselines without either stamp must not retroactively fail.
+  EXPECT_EQ(detect_build_type(R"({"context": {}, "benchmarks": []})"), "");
+  EXPECT_EQ(detect_build_type(R"({"benchmarks": []})"), "");
+  EXPECT_EQ(detect_build_type("not json at all"), "");
+  EXPECT_FALSE(is_debug_build(R"({"benchmarks": []})"));
+}
+
+TEST(BenchCompareBuildType, DebugBinaryStampFailsEvenWithReleaseLibrary) {
+  const std::string doc = R"({"context": {"library_build_type": "release",
+      "binary_build_type": "debug"}, "benchmarks": []})";
+  EXPECT_TRUE(is_debug_build(doc));
+}
+
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 namespace fullweb::weblog {
 namespace {
@@ -142,6 +143,40 @@ TEST(ClfTimestamp, RejectsOutOfRangeFields) {
   EXPECT_FALSE(parse_clf_timestamp("[29/Feb/2003:00:00:00 +0000]").ok());
 }
 
+TEST(ClfTimestamp, RejectsTruncatedTimezoneOffsets) {
+  // Regression: lengths between "no offset" (20) and a full "+HHMM" (26)
+  // used to fall through to the lenient tail and parse as UTC.
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 +05]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 +]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 +000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 -1]").ok());
+  // Separator at index 20 must be a space; the sign must be +/-.
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00+0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 ~0000]").ok());
+  EXPECT_FALSE(parse_clf_timestamp("[12/Jan/2004:08:30:00 +00a0]").ok());
+  // Omitting the offset entirely is still legal (defaults to UTC).
+  const auto bare = parse_clf_timestamp("[12/Jan/2004:08:30:00]");
+  const auto utc = parse_clf_timestamp("[12/Jan/2004:08:30:00 +0000]");
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(utc.ok());
+  EXPECT_DOUBLE_EQ(bare.value(), utc.value());
+}
+
+TEST(ParseClfLine, RejectsNonHttpStatusCodes) {
+  // Regression: any parse_int-able token used to pass as a status.
+  const auto line = [](const char* st) {
+    return std::string("h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" ") + st +
+           " 1";
+  };
+  ClfParseReason reason = ClfParseReason::kNone;
+  for (const char* st : {"-5", "9999999", "99", "600", "0200", "20x"}) {
+    EXPECT_FALSE(parse_clf_line(line(st), &reason).ok()) << st;
+    EXPECT_EQ(reason, ClfParseReason::kBadStatus) << st;
+  }
+  for (const char* st : {"100", "200", "404", "599"})
+    EXPECT_TRUE(parse_clf_line(line(st)).ok()) << st;
+}
+
 TEST(ToClfLine, EscapesQuotesAndBackslashesInRequest) {
   LogEntry e;
   e.timestamp = 1073865600.0;
@@ -156,6 +191,26 @@ TEST(ToClfLine, EscapesQuotesAndBackslashesInRequest) {
   const auto back = parse_clf_line(line);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.value().path, e.path);
+}
+
+TEST(ToClfLine, SanitizesWhitespaceInClientSoRoundTripHolds) {
+  // A client id containing spaces would shift every later CLF field; the
+  // writer must emit a token the parser reads back as one field.
+  LogEntry e;
+  e.timestamp = 1073865600.0;
+  e.client = "bad host\tid";
+  e.method = "GET";
+  e.path = "/p";
+  e.protocol = "HTTP/1.0";
+  e.status = 200;
+  e.bytes = 7;
+  const auto back = parse_clf_line(to_clf_line(e));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().client, "bad_host_id");
+  EXPECT_EQ(back.value().method, e.method);
+  EXPECT_EQ(back.value().path, e.path);
+  EXPECT_EQ(back.value().status, e.status);
+  EXPECT_EQ(back.value().bytes, e.bytes);
 }
 
 TEST(ToClfLine, RoundTripsThroughParser) {

@@ -83,6 +83,20 @@ TEST(ClfCorpus, LineReferenceTable) {
        "escaped final quote must NOT close the field"},
       {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" xx 1", false,
        ClfParseReason::kBadStatus, "non-numeric status"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" -5 1", false,
+       ClfParseReason::kBadStatus, "negative status"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 9999999 1", false,
+       ClfParseReason::kBadStatus, "status wildly out of range"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 99 1", false,
+       ClfParseReason::kBadStatus, "status below 100"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 600 1", false,
+       ClfParseReason::kBadStatus, "status above 599"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 0200 1", false,
+       ClfParseReason::kBadStatus, "zero-padded 4-digit status"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 100 1", true,
+       ClfParseReason::kNone, "lowest valid status"},
+      {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 599 1", true,
+       ClfParseReason::kNone, "highest valid status"},
       {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200", false,
        ClfParseReason::kBadBytes, "bytes field missing"},
       {"h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 -5", false,
@@ -115,6 +129,16 @@ TEST(ClfCorpus, LineReferenceTable) {
        ClfParseReason::kBadTimestamp, "bad month abbreviation"},
       {"h - - [aa/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", false,
        ClfParseReason::kBadTimestamp, "non-numeric day"},
+
+      // --- truncated / malformed timezone offsets (previously accepted) ---
+      {"h - - [12/Jan/2004:08:30:00 +05] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "truncated offset +05"},
+      {"h - - [12/Jan/2004:08:30:00 +000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "truncated offset +000"},
+      {"h - - [12/Jan/2004:08:30:00+0000] \"GET /\" 200 1", false,
+       ClfParseReason::kBadTimestamp, "offset glued to seconds"},
+      {"h - - [12/Jan/2004:08:30:00] \"GET /\" 200 1", true,
+       ClfParseReason::kNone, "offset omitted entirely stays legal"},
   };
 
   for (const auto& c : cases) {
@@ -164,6 +188,12 @@ TEST(ClfCorpus, TimestampReferenceTable) {
       {"[12/Jan/2004:08:60:00 +0000]", false},
       {"[12/Jan/2004:08:30:00 +1500]", false},  // beyond any real zone
       {"[12/Jan/2004:08:30:00 +0060]", false},  // offset minute 60
+      {"[12/Jan/2004:08:30:00 +05]", false},    // truncated offset (len 24)
+      {"[12/Jan/2004:08:30:00 +]", false},      // truncated offset (len 22)
+      {"[12/Jan/2004:08:30:00 +000]", false},   // truncated offset (len 25)
+      {"[12/Jan/2004:08:30:00+0000]", false},   // missing separator space
+      {"[12/Jan/2004:08:30:00 ~0000]", false},  // bad offset sign
+      {"[12/Jan/2004:08:30:00 +00a0]", false},  // non-digit offset minutes
       {"[12-Jan-2004]", false},
       {"", false},
   };

@@ -1,0 +1,324 @@
+// Scalar-vs-SIMD bit-identity suite for the CLF ingest fast path.
+//
+// Two layers, matching clf_scan.h's contract:
+//
+//  1. Scanning primitives: SWAR find_byte/find_either/all_digits and the
+//     (possibly AVX2) find_byte_long against their byte-at-a-time scalar
+//     references, across randomized buffers, every sub-alignment, absent
+//     characters, and matches hugging the buffer end. Buffers are
+//     heap-exact so the sanitizer gates catch any read past the end.
+//  2. The parser: ClfLineParser (zero-copy, SWAR scanning, timestamp memo)
+//     against parse_clf_line_reference (the plain std::string executable
+//     specification) — identical accept/reject verdicts, reason classes,
+//     field values, and error messages over the pinned corpus, hostile
+//     random lines, and single-byte mutations of valid lines.
+//
+// This test is in both the tsan and asan nested ctest gates (see
+// cmake/tsan_determinism.cmake, cmake/asan_ubsan.cmake).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+#include "weblog/clf.h"
+#include "weblog/clf_scan.h"
+
+namespace fullweb::weblog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: scanning primitives
+
+/// Heap buffer with no slack beyond `size` so overreads trip ASan.
+struct ExactBuffer {
+  explicit ExactBuffer(const std::string& s)
+      : data(new char[s.size() ? s.size() : 1]), size(s.size()) {
+    std::memcpy(data, s.data(), s.size());
+  }
+  ~ExactBuffer() { delete[] data; }
+  ExactBuffer(const ExactBuffer&) = delete;
+  ExactBuffer& operator=(const ExactBuffer&) = delete;
+  char* data;
+  std::size_t size;
+};
+
+TEST(ClfScan, FindPrimitivesMatchScalarEverywhere) {
+  support::Rng rng(4242);
+  const std::string alphabet = "ab\n \"\\01:/x";
+  const char needles[] = {'\n', ' ', '"', '\\', ':', 'Q'};  // 'Q' never occurs
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t len = rng.below(130);
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i)
+      s.push_back(alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))]);
+    const ExactBuffer buf(s);
+    const char* base = buf.data;
+    // Every start offset exercises every SWAR word alignment; the window
+    // always ends at the true buffer end, so a vector overread is visible.
+    for (std::size_t off = 0; off <= len && off <= 9; ++off) {
+      const char* b = base + off;
+      const char* e = base + len;
+      for (const char c : needles) {
+        const char* want = scan::find_byte_scalar(b, e, c);
+        EXPECT_EQ(scan::find_byte(b, e, c) - b, want - b) << trial;
+        EXPECT_EQ(scan::find_byte_long(b, e, c) - b, want - b) << trial;
+      }
+      const char* want2 = scan::find_either_scalar(b, e, '"', '\\');
+      EXPECT_EQ(scan::find_either(b, e, '"', '\\') - b, want2 - b) << trial;
+    }
+  }
+}
+
+TEST(ClfScan, MatchAtExactBufferEnd) {
+  // The needle as the very last byte, at lengths spanning the 8-byte SWAR
+  // and 32-byte AVX2 block boundaries.
+  for (std::size_t len = 1; len <= 70; ++len) {
+    std::string s(len, 'a');
+    s.back() = '\n';
+    const ExactBuffer buf(s);
+    const char* b = buf.data;
+    const char* e = b + len;
+    EXPECT_EQ(scan::find_byte(b, e, '\n'), e - 1);
+    EXPECT_EQ(scan::find_byte_long(b, e, '\n'), e - 1);
+    EXPECT_EQ(scan::find_either(b, e, '\n', 'z'), e - 1);
+    // Absent needle: both must walk to `e` and no further.
+    EXPECT_EQ(scan::find_byte(b, e, 'z'), e);
+    EXPECT_EQ(scan::find_byte_long(b, e, 'z'), e);
+  }
+}
+
+TEST(ClfScan, AllDigitsMatchesScalarIncludingNeighborBytes) {
+  // '/' (0x2f) and ':' (0x3a) sit directly beside the digit range, and
+  // bytes >= 0x80 probe the SWAR high-bit analysis — every one must
+  // classify exactly like the scalar loop.
+  const char probes[] = {'0', '9', '/', ':', 'a',  ' ',
+                         static_cast<char>(0x80), static_cast<char>(0xba),
+                         static_cast<char>(0xff)};
+  support::Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len = rng.below(40);
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i)
+      s.push_back(static_cast<char>('0' + rng.below(10)));
+    if (len > 0 && rng.below(2) == 0)
+      s[static_cast<std::size_t>(rng.below(len))] =
+          probes[static_cast<std::size_t>(rng.below(sizeof probes))];
+    const ExactBuffer buf(s);
+    EXPECT_EQ(scan::all_digits(buf.data, len),
+              scan::all_digits_scalar(buf.data, len))
+        << trial;
+  }
+  EXPECT_TRUE(scan::all_digits(nullptr, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: fast parser vs reference parser
+
+void expect_parsers_identical(std::string_view line, ClfLineParser& parser) {
+  ClfParseReason fast_reason = ClfParseReason::kNone;
+  ClfParseReason ref_reason = ClfParseReason::kNone;
+  ClfRecord rec;
+  const bool fast_ok = parser.parse(line, rec, &fast_reason);
+  const auto ref = parse_clf_line_reference(line, &ref_reason);
+  ASSERT_EQ(fast_ok, ref.ok()) << "verdict differs on: " << line;
+  EXPECT_EQ(fast_reason, ref_reason) << line;
+  if (fast_ok) {
+    const LogEntry e = ClfLineParser::materialize(rec);
+    EXPECT_DOUBLE_EQ(e.timestamp, ref.value().timestamp) << line;
+    EXPECT_EQ(e.client, ref.value().client) << line;
+    EXPECT_EQ(e.method, ref.value().method) << line;
+    EXPECT_EQ(e.path, ref.value().path) << line;
+    EXPECT_EQ(e.protocol, ref.value().protocol) << line;
+    EXPECT_EQ(e.status, ref.value().status) << line;
+    EXPECT_EQ(e.bytes, ref.value().bytes) << line;
+  } else {
+    EXPECT_EQ(parser.last_error(), ref.error().message) << line;
+  }
+}
+
+/// The pinned corpus: every accept/reject class, the satellite bugfix
+/// cases, and Combined-format variants. Shared by the one-shot and
+/// warm-memo passes below.
+std::vector<std::string> corpus() {
+  return {
+      "127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] \"GET /apache_pb.gif "
+      "HTTP/1.0\" 200 2326",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /x HTTP/1.0\" 304 -",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"-\" 408 -",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /a HTTP/1.1\" 200 5 "
+      "\"http://r.example/\" \"Mozilla/4.08\"",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /say\\\"hi\\\" HTTP/1.0\" 200 7",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /a\\\\b HTTP/1.0\" 200 7",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET  /double  space\" 200 7",
+      "h - - [12/Jan/2004:08:30:00] \"GET / HTTP/1.0\" 200 1",
+      "h - - [31/Dec/2005:23:59:60 -0730] \"GET / HTTP/1.0\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +1400] \"GET / HTTP/1.0\" 200 1",
+      "  h - - [12/Jan/2004:08:30:00 +0000] \"GET / HTTP/1.0\" 200 1  ",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /big HTTP/1.0\" 200 4294967296",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 "
+      "999999999999999999999999",  // overflows long long -> reject
+      // rejects, one per reason class and satellite
+      "",
+      "   ",
+      "onlyhost",
+      "h - -",
+      "h - - not-a-timestamp \"GET /\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000 \"GET /\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +05] \"GET /\" 200 1",     // truncated tz
+      "h - - [12/Jan/2004:08:30:00 +000] \"GET /\" 200 1",    // truncated tz
+      "h - - [12/Jan/2004:08:30:00+0000] \"GET /\" 200 1",    // no separator
+      "h - - [12/Jan/2004:08:30:00 X0000] \"GET /\" 200 1",   // bad sign
+      "h - - [12/Jan/2004:08:30:00 +00x0] \"GET /\" 200 1",   // non-digit tz
+      "h - - [12/Jan/2004:08:30:00 +0000junk] \"GET /\" 200 1",
+      "h - - [32/Jan/2004:08:30:00 +0000] \"GET /\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"unterminated 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /trap\\\" 200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" xx 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" -5 1",    // satellite
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 9999999 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 99 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 600 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 0200 1",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 -5",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 12x4",
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 1 trailing junk",
+  };
+}
+
+TEST(ParserIdentity, CorpusColdParser) {
+  // A fresh parser per line: no memo, no arena reuse.
+  for (const auto& line : corpus()) {
+    ClfLineParser parser;
+    expect_parsers_identical(line, parser);
+  }
+}
+
+TEST(ParserIdentity, CorpusWarmParser) {
+  // One parser across the whole corpus, twice: the second pass hits the
+  // timestamp memo and the arena has accumulated state.
+  ClfLineParser parser;
+  for (int pass = 0; pass < 2; ++pass)
+    for (const auto& line : corpus()) expect_parsers_identical(line, parser);
+}
+
+TEST(ParserIdentity, HostileRandomLines) {
+  // Unstructured fuzz over an alphabet rich in CLF metacharacters: every
+  // line must get the same verdict/reason/fields from both parsers.
+  const std::string alphabet = " ab-[]/\\\":+.0129\tJanFeb\"";
+  support::Rng rng(1337);
+  ClfLineParser parser;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t len = rng.below(90);
+    std::string line;
+    for (std::size_t i = 0; i < len; ++i)
+      line.push_back(
+          alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))]);
+    expect_parsers_identical(line, parser);
+  }
+}
+
+TEST(ParserIdentity, SingleByteMutationsOfValidLines) {
+  // Near-valid lines probe each parser's boundary checks one byte at a
+  // time: flip every position of a canonical line to every character of a
+  // hostile set.
+  const std::string base =
+      "10.0.0.1 - - [12/Jan/2004:08:30:00 +0500] \"GET /a b HTTP/1.0\" 404 17";
+  const std::string flips = " \"\\[]:/+-x0";
+  ClfLineParser parser;
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (const char f : flips) {
+      std::string line = base;
+      line[pos] = f;
+      expect_parsers_identical(line, parser);
+    }
+  }
+}
+
+TEST(ParserIdentity, ChunkParserMatchesReferenceOverMultiline) {
+  // Lines fed through one warm parser in sequence (the chunk pattern),
+  // with blank and \r\n-terminated lines mixed in.
+  const std::string text =
+      "h1 - - [12/Jan/2004:08:30:00 +0000] \"GET /a\" 200 10\r\n"
+      "\n"
+      "h2 - - [12/Jan/2004:08:30:00 +0000] \"GET /b\" 200 20\n"
+      "   \n"
+      "h3 - - [12/Jan/2004:08:30:01 +0000] \"GET /c\" 200 30\n";
+  ClfLineParser parser;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    expect_parsers_identical(line, parser);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Same-second timestamp memo
+
+TEST(TimestampMemo, CorrectAcrossSecondBoundariesAndTimezones) {
+  // The memo keys on the raw 26 bracket bytes, so two stamps with the same
+  // wall-clock text but different offsets MUST decode to different epochs,
+  // and crossing a second boundary and returning must re-yield the first
+  // epoch. Interleave aggressively through one parser instance.
+  const char* kA0 = "[12/Jan/2004:08:30:00 +0000]";  // epoch E
+  const char* kA1 = "[12/Jan/2004:08:30:00 +0100]";  // E - 3600
+  const char* kB0 = "[12/Jan/2004:08:30:01 +0000]";  // E + 1
+  const char* kC0 = "[12/Jan/2004:08:29:59 -0030]";  // E - 1 + 1800
+  const char* sequence[] = {kA0, kA0, kA1, kA0, kB0, kB0, kA1, kC0, kA0, kB0};
+
+  ClfLineParser parser;
+  for (const char* ts : sequence) {
+    const std::string line =
+        "h - - " + std::string(ts) + " \"GET / HTTP/1.0\" 200 1";
+    ClfRecord rec;
+    ClfParseReason reason = ClfParseReason::kNone;
+    ASSERT_TRUE(parser.parse(line, rec, &reason)) << line;
+    const auto want = parse_clf_timestamp(ts);
+    ASSERT_TRUE(want.ok()) << ts;
+    EXPECT_DOUBLE_EQ(rec.timestamp, want.value()) << line;
+  }
+
+  // Pin the actual arithmetic, not just self-consistency.
+  const double e0 = parse_clf_timestamp(kA0).value();
+  EXPECT_DOUBLE_EQ(parse_clf_timestamp(kA1).value(), e0 - 3600.0);
+  EXPECT_DOUBLE_EQ(parse_clf_timestamp(kB0).value(), e0 + 1.0);
+  EXPECT_DOUBLE_EQ(parse_clf_timestamp(kC0).value(), e0 - 1.0 + 1800.0);
+}
+
+TEST(TimestampMemo, MemoHitNeverMasksAMalformedNeighbor) {
+  // A valid stamp primes the memo; the following lines reuse the same
+  // second but are malformed in ways a lazy prefix compare could miss
+  // (wrong closing bracket position, mutated timezone byte).
+  ClfLineParser parser;
+  ClfRecord rec;
+  ClfParseReason reason = ClfParseReason::kNone;
+  ASSERT_TRUE(parser.parse(
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", rec, &reason));
+  EXPECT_FALSE(parser.parse(
+      "h - - [12/Jan/2004:08:30:00 +0000junk] \"GET /\" 200 1", rec, &reason));
+  EXPECT_EQ(reason, ClfParseReason::kBadTimestamp);
+  EXPECT_FALSE(parser.parse(
+      "h - - [12/Jan/2004:08:30:00 +00G0] \"GET /\" 200 1", rec, &reason));
+  EXPECT_EQ(reason, ClfParseReason::kBadTimestamp);
+  // And a good line right after still parses via the (intact) memo.
+  ASSERT_TRUE(parser.parse(
+      "h - - [12/Jan/2004:08:30:00 +0000] \"GET /\" 200 1", rec, &reason));
+  EXPECT_EQ(reason, ClfParseReason::kNone);
+}
+
+TEST(ParserIdentity, ReportSimdTier) {
+  // Informational: which tier did find_byte_long run in this build?
+  RecordProperty("avx2", scan::compiled_with_avx2() ? "yes" : "no");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fullweb::weblog

@@ -21,10 +21,22 @@
 // exits 1 when any matching row is below the floor — or when no row matches
 // at all, so a renamed benchmark cannot silently disarm the gate.
 //
+// A third mode audits committed baselines for build type:
+//
+//   bench_compare --check-release BENCH_ingest.json BENCH_fullscale.json
+//
+// exits 1 when any file was recorded by a debug binary (see
+// detect_build_type in the lib: the custom context.binary_build_type stamp
+// wins over libbenchmark's library_build_type). Files without either field
+// pass — old baselines are not retroactively failed. Compare mode applies
+// the same check to its BASELINE argument: a debug baseline makes every
+// release run look improved, so it fails the gate outright.
+//
 // The comparison and parsing logic lives in bench_compare_lib (unit-tested
 // by test_tools_bench_compare); this file is only flag handling.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,7 +50,16 @@ void usage() {
                "usage: bench_compare BASELINE.json NEW.json "
                "[--threshold 0.10] [--metric real_time|cpu_time]\n"
                "       bench_compare --min-speedup FLOOR [--name SUBSTRING] "
-               "RESULTS.json\n");
+               "RESULTS.json\n"
+               "       bench_compare --check-release RESULTS.json...\n");
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 }  // namespace
@@ -49,6 +70,7 @@ int main(int argc, char** argv) {
   std::string metric = "real_time";
   double min_speedup = 0.0;
   bool speedup_mode = false;
+  bool check_release_mode = false;
   std::string name_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -61,12 +83,41 @@ int main(int argc, char** argv) {
       speedup_mode = true;
     } else if (arg == "--name" && i + 1 < argc) {
       name_filter = argv[++i];
+    } else if (arg == "--check-release") {
+      check_release_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else {
       positional.push_back(arg);
     }
+  }
+
+  if (check_release_mode) {
+    if (positional.empty()) {
+      usage();
+      return 2;
+    }
+    int debug_files = 0;
+    for (const std::string& path : positional) {
+      const auto text = slurp(path);
+      if (!text) {
+        std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      const std::string type = fullweb::benchcmp::detect_build_type(*text);
+      const bool debug = type == "debug";
+      if (debug) ++debug_files;
+      std::printf("%-40s %10s  %s\n", path.c_str(),
+                  type.empty() ? "unknown" : type.c_str(),
+                  debug ? "DEBUG BASELINE" : "ok");
+    }
+    if (debug_files > 0)
+      std::fprintf(stderr,
+                   "bench_compare: %d baseline file(s) recorded by a debug "
+                   "binary — re-record in Release\n",
+                   debug_files);
+    return debug_files > 0 ? 1 : 0;
   }
 
   if (speedup_mode) {
@@ -101,11 +152,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto baseline = fullweb::benchcmp::load_results(positional[0], metric);
-  if (!baseline.ok()) {
-    std::fprintf(stderr, "%s\n", baseline.error().message.c_str());
+  const auto baseline_text = slurp(positional[0]);
+  if (!baseline_text) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n",
+                 positional[0].c_str());
     return 2;
   }
+  const auto baseline =
+      fullweb::benchcmp::parse_results(*baseline_text, metric);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s (%s)\n", baseline.error().message.c_str(),
+                 positional[0].c_str());
+    return 2;
+  }
+  const bool debug_baseline = fullweb::benchcmp::is_debug_build(*baseline_text);
+  if (debug_baseline)
+    std::fprintf(stderr,
+                 "bench_compare: WARNING: baseline %s was recorded by a debug "
+                 "binary; comparison is meaningless — failing the gate\n",
+                 positional[0].c_str());
   if (baseline.value().empty()) {
     // A baseline with zero usable rows (wrong --metric, empty array) would
     // make every comparison vacuously pass — refuse instead.
@@ -123,5 +188,5 @@ int main(int argc, char** argv) {
   const auto report =
       fullweb::benchcmp::compare(baseline.value(), fresh.value(), threshold);
   std::fputs(fullweb::benchcmp::render(report, threshold).c_str(), stdout);
-  return report.failed() ? 1 : 0;
+  return report.failed() || debug_baseline ? 1 : 0;
 }

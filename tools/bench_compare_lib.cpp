@@ -167,6 +167,24 @@ std::string render_speedup(const SpeedupReport& report, double min_speedup,
   return out;
 }
 
+std::string detect_build_type(const std::string& text) {
+  const auto doc = support::json_parse(text);
+  if (!doc) return {};
+  const JsonValue* context = doc->find("context");
+  if (context == nullptr) return {};
+  for (const char* key : {"binary_build_type", "library_build_type"}) {
+    if (const JsonValue* v = context->find(key)) {
+      const auto s = v->string();
+      if (s && !s->empty()) return *s;
+    }
+  }
+  return {};
+}
+
+bool is_debug_build(const std::string& text) {
+  return detect_build_type(text) == "debug";
+}
+
 std::string render(const CompareReport& report, double threshold) {
   std::string out;
   char line[256];

@@ -105,4 +105,23 @@ struct SpeedupReport {
                                          double min_speedup,
                                          const std::string& name_filter);
 
+// ---------------------------------------------------------------------------
+// Build-type detection
+//
+// A debug baseline makes a regression gate vacuous: any release run beats it,
+// so real regressions sail through. google-benchmark's own
+// context.library_build_type describes how *libbenchmark* was compiled (the
+// system package reports "debug" even under -O2 -DNDEBUG), so the bench
+// mains additionally stamp context.binary_build_type from NDEBUG, which
+// describes the benchmark binary itself and takes precedence here.
+
+/// Extract the build type from a google-benchmark JSON document's context:
+/// "binary_build_type" when present, else "library_build_type", else ""
+/// (unknown — old files without the custom stamp are not failed).
+[[nodiscard]] std::string detect_build_type(const std::string& text);
+
+/// True when `text`'s detected build type is "debug" — the condition under
+/// which compare-mode and --check-release fail the gate.
+[[nodiscard]] bool is_debug_build(const std::string& text);
+
 }  // namespace fullweb::benchcmp
