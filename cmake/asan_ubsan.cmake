@@ -36,11 +36,15 @@ endif()
 # test_weblog_parser_identity's exact-size buffers make any vector-scan
 # read past a chunk or token end an ASan stop, which is the memory-safety
 # half of the SIMD bit-identity contract.
+# test_online_sketch and test_online_analyzer feed the online layer
+# degenerate and adversarial streams (NaN/inf timestamps, merge pooling,
+# alias-table draws); index math over the block ring and the sketch's
+# retained vectors is exactly the kind of off-by-one ASan/UBSan catches.
 set(FULLWEB_ASAN_TESTS
   test_support_workspace test_support_json
   test_tools_bench_compare test_edge_inputs
   test_validation test_weblog_corpus test_weblog_parser_identity
-  test_store_columnar)
+  test_store_columnar test_online_sketch test_online_analyzer)
 
 message(STATUS "[asan] building ${FULLWEB_ASAN_TESTS}")
 execute_process(

@@ -46,12 +46,17 @@ endif()
 # test_weblog_parser_identity pins the SWAR/AVX2 fast parser to the scalar
 # reference; under TSan it additionally proves the per-chunk parser state
 # (timestamp memo, request arena) shares nothing across workers.
+# test_online_analyzer asserts snapshot byte-identity across 1/2/8 reader
+# threads feeding one OnlineAnalyzer — the single-consumer ordering claim
+# of read_clf_records is only falsifiable with TSan watching the handoff —
+# and test_online_sketch pins the merge laws that byte-identity rests on.
 set(FULLWEB_TSAN_TESTS
   test_support_executor test_core_determinism
   test_weblog_streaming test_weblog_corpus test_weblog_parser_identity
   test_shared_kernels test_validation test_support_workspace
   test_kernel_determinism test_support_timing
-  test_store_columnar test_core_fleet)
+  test_store_columnar test_core_fleet
+  test_online_sketch test_online_analyzer)
 
 message(STATUS "[tsan] building ${FULLWEB_TSAN_TESTS}")
 execute_process(

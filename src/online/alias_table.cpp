@@ -1,0 +1,51 @@
+#include "online/alias_table.h"
+
+#include <cmath>
+
+namespace fullweb::online {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights)
+    if (w > 0.0 && std::isfinite(w)) total += w;
+  if (n == 0 || !(total > 0.0)) return;
+
+  // Scaled probabilities p_i * n split into the under- and over-full
+  // worklists. Ascending index order on both lists makes the pairing — and
+  // therefore the table — a pure function of the weight vector.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    scaled[i] =
+        (w > 0.0 && std::isfinite(w)) ? w / total * static_cast<double>(n) : 0.0;
+  }
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = i;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  // Process as stacks: pop order is descending index within each list, still
+  // deterministic. Each pairing fills one small column and returns the
+  // donor's remainder to whichever list it now belongs to.
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers on either list are within rounding of 1.
+  for (std::size_t i : small) prob_[i] = 1.0;
+  for (std::size_t i : large) prob_[i] = 1.0;
+}
+
+}  // namespace fullweb::online

@@ -1,0 +1,50 @@
+// Walker/Vose alias table: O(1) draws from a fixed discrete distribution.
+//
+// The online tail sketch retains a bounded, unequally-weighted set of
+// samples (exact top-k order statistics at weight 1, body survivors at
+// weight body_count / retained). Turning that weighted set back into an
+// i.i.d.-style subsample for the batch LLCD fitter needs with-replacement
+// draws proportional to the weights; the alias method does each draw with
+// one uniform integer and one uniform double, independent of table size.
+//
+// Construction is deterministic: the classic two-worklist (small/large)
+// pairing visits indices in ascending order, so the same weight vector
+// always produces the same table — a requirement for the analyzer's
+// byte-identical snapshots. Reference: Vose, "A linear algorithm for
+// generating random numbers with a given distribution" (1991).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace fullweb::online {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Build from non-negative weights. Zero-total or empty input yields an
+  /// empty table (size() == 0, draw() returns 0); callers gate on size().
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+  /// One index draw proportional to the construction weights. Consumes
+  /// exactly two generator values, so draw sequences are reproducible from
+  /// the rng state alone.
+  [[nodiscard]] std::size_t draw(support::Rng& rng) const noexcept {
+    if (prob_.empty()) return 0;
+    const std::size_t col = static_cast<std::size_t>(rng.below(prob_.size()));
+    const double u = rng.uniform();
+    return u < prob_[col] ? col : alias_[col];
+  }
+
+ private:
+  std::vector<double> prob_;        ///< acceptance probability per column
+  std::vector<std::size_t> alias_;  ///< fallback index per column
+};
+
+}  // namespace fullweb::online

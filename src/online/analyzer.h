@@ -1,0 +1,188 @@
+// OnlineAnalyzer: rolling-window estimation over an unbounded CLF stream.
+//
+// The batch pipeline materializes a full Dataset before any of the paper's
+// Figure-1 analyses run; this layer answers "is this traffic LRD /
+// heavy-tailed / stationary *right now*" while records are still arriving.
+// It consumes the in-file-order record stream from weblog::read_clf_records
+// (one add per record, reader thread only) and maintains three families of
+// state:
+//
+//  * A ring of per-bin arrival/byte counts, keyed by ABSOLUTE bin index
+//    floor(time / bin_seconds), grouped into blocks of block_bins bins and
+//    holding the most recent window_blocks blocks. Sliding the window is
+//    O(1) block operations; because bins are absolute, the ring contents —
+//    and every estimate derived from them — are independent of how the
+//    stream was chunked. Windowed KPSS, variance-time Hurst, and the FRS
+//    multiscale memory estimator are computed from the materialized window
+//    at snapshot time (the window is bounded, so this is O(window)).
+//
+//  * A whole-stream mergeable TailSketch over transfer sizes: exact top-k
+//    order statistics (bit-identical Hill via tail::hill_plot_from_top)
+//    plus a priority body sample feeding an alias-table subsample into the
+//    batch LLCD fitter. Per-shard sketches merge exactly for
+//    core/analyze_fleet.
+//
+//  * Exact integer counters (records, bytes, invalid timestamps, late
+//    arrivals) and an unsorted-input flag, so malformed inputs surface as
+//    flags rather than silently skewing estimates.
+//
+// Determinism: item identities are (salt, sequence-number) pairs assigned
+// in stream order, the only generator consumed at snapshot time starts from
+// a fixed RngSplitter-carved state, and no result depends on wall clock,
+// thread count, or chunk placement — snapshot_json() is byte-identical for
+// the same records at any chunking and any executor width (gated by
+// test_online_analyzer and the fleet_analyze --online determinism check).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lrd/hurst.h"
+#include "online/frs_memory.h"
+#include "online/tail_sketch.h"
+#include "stats/kpss.h"
+#include "stats/prefix_moments.h"
+#include "support/json.h"
+#include "support/result.h"
+#include "support/rng.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
+#include "weblog/clf.h"
+#include "weblog/clf_reader.h"
+
+namespace fullweb::online {
+
+struct OnlineOptions {
+  double bin_seconds = 1.0;       ///< bin width; 1 s matches the batch series
+  std::size_t block_bins = 256;   ///< bins per ring block
+  std::size_t window_blocks = 16; ///< blocks retained (window length)
+  std::size_t tail_top_k = 512;       ///< exact order statistics retained
+  std::size_t tail_body_capacity = 1024;  ///< body priority-sample size
+  std::size_t tail_subsample = 512;   ///< alias-table draws for the LLCD fit
+  std::size_t frs_scales = 6;         ///< dyadic scales for the FRS estimator
+  tail::HillOptions hill;             ///< shared with the batch Hill path
+  stats::KpssNull kpss_null = stats::KpssNull::kLevel;
+};
+
+/// Value-or-reason holder for one estimator inside a snapshot: estimators
+/// that cannot run on the current window (too short, degenerate) report the
+/// error string instead of a value — never NaN-filled results.
+template <typename T>
+struct SnapshotField {
+  std::optional<T> value;
+  std::string error;
+
+  void assign(support::Result<T> r) {
+    if (r.ok())
+      value = std::move(r).value();
+    else
+      error = r.error().message;
+  }
+};
+
+struct OnlineSnapshot {
+  // Stream accounting (exact integers).
+  std::uint64_t records = 0;        ///< records binned into the ring
+  std::uint64_t invalid_time = 0;   ///< non-finite timestamps (not binned)
+  std::uint64_t late_dropped = 0;   ///< arrivals before the current window
+  std::uint64_t bytes_total = 0;    ///< sum of transfer sizes (wrapping)
+  bool saw_unsorted = false;        ///< any timestamp regression observed
+
+  // Window geometry, in absolute bins.
+  std::int64_t window_first_bin = 0;
+  std::int64_t window_last_bin = 0;
+  std::size_t window_bins = 0;      ///< 0 = nothing binned yet
+  double bin_seconds = 1.0;
+
+  // Windowed estimates over the per-bin count series.
+  stats::MomentSummary counts;      ///< per-bin counts in the window
+  SnapshotField<stats::KpssResult> kpss;
+  SnapshotField<lrd::HurstEstimate> hurst_vt;
+  SnapshotField<FrsEstimate> frs;
+
+  // Whole-stream tail estimates from the mergeable sketch.
+  std::uint64_t tail_count = 0;     ///< accepted positive transfer sizes
+  std::uint64_t tail_rejected = 0;
+  std::size_t tail_retained = 0;
+  double tail_min = 0.0;
+  double tail_max = 0.0;
+  SnapshotField<tail::HillEstimate> hill;
+  SnapshotField<tail::LlcdFit> llcd;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;  ///< sketch quantiles; 0 if empty
+
+  /// Append this snapshot as one JSON object to an open writer (for
+  /// embedding into larger documents, e.g. fleet_analyze --online).
+  void write_json(support::JsonWriter& w) const;
+  /// The standalone deterministic document.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class OnlineAnalyzer {
+ public:
+  /// The rng carves the sketch identity salt and the snapshot subsample
+  /// stream via RngSplitter; the analyzer consumes nothing else from it.
+  OnlineAnalyzer(const OnlineOptions& options, support::Rng rng);
+
+  /// One observation: an arrival at `time` (seconds) transferring `bytes`.
+  /// Non-finite times are counted (invalid_time) and not binned; the bytes
+  /// value still feeds the tail sketch. Order of calls defines item
+  /// identity, so feed records in stream order.
+  void add(double time, double bytes);
+  void add(const weblog::ClfRecord& r) {
+    add(r.timestamp, static_cast<double>(r.bytes));
+  }
+
+  /// Stream one CLF file through add() via weblog::read_clf_records.
+  /// Deliberately does NOT reset any state: calling feed() repeatedly
+  /// continues the same unbounded stream across files.
+  [[nodiscard]] support::Result<weblog::IngestStats> feed(
+      const std::string& path, const weblog::ClfReaderOptions& reader = {});
+
+  /// Current rolling-window estimates. Pure function of the records fed so
+  /// far (plus the construction-time rng): repeated calls without new data
+  /// return identical results.
+  [[nodiscard]] OnlineSnapshot snapshot() const;
+  [[nodiscard]] std::string snapshot_json() const {
+    return snapshot().to_json();
+  }
+
+  [[nodiscard]] const TailSketch& sketch() const noexcept { return sketch_; }
+  [[nodiscard]] const OnlineOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] bool saw_unsorted() const noexcept { return saw_unsorted_; }
+
+  /// The window's per-bin count series, oldest bin first, ending at the
+  /// last occupied bin — exactly the series the batch pipeline would build
+  /// over the same time range (timeseries::counts_per_bin semantics).
+  [[nodiscard]] std::vector<double> window_counts() const;
+
+ private:
+  struct Block {
+    std::int64_t index = 0;          ///< absolute block index
+    std::vector<double> bins;        ///< block_bins counts
+  };
+
+  void advance_to_block(std::int64_t target);
+  [[nodiscard]] std::int64_t block_of(std::int64_t abin) const noexcept;
+
+  OnlineOptions opts_;
+  std::uint64_t salt_ = 0;           ///< sketch item identity salt
+  support::Rng subsample_base_;      ///< snapshot-time alias-draw stream
+  TailSketch sketch_;
+
+  std::deque<Block> ring_;           ///< consecutive blocks, newest last
+  std::uint64_t seq_ = 0;            ///< items fed (identity sequence)
+  std::uint64_t records_ = 0;
+  std::uint64_t invalid_time_ = 0;
+  std::uint64_t late_dropped_ = 0;
+  std::uint64_t bytes_total_ = 0;
+  bool saw_unsorted_ = false;
+  double last_time_ = 0.0;           ///< latest finite timestamp seen
+  std::int64_t first_abin_ = 0;      ///< earliest bin ever occupied
+  std::int64_t last_abin_ = 0;       ///< latest bin ever occupied
+};
+
+}  // namespace fullweb::online

@@ -12,6 +12,39 @@ namespace fullweb::tail {
 using support::Error;
 using support::Result;
 
+Result<HillPlot> hill_plot_from_top(std::span<const double> top_desc,
+                                    std::size_t n_total,
+                                    const HillOptions& options) {
+  auto k_max = static_cast<std::size_t>(
+      std::floor(options.max_tail_fraction * static_cast<double>(n_total)));
+  if (n_total > 0 && k_max > n_total - 1) k_max = n_total - 1;  // needs X_(k+1)
+  // A producer that retained fewer order statistics than the fraction asks
+  // for (a sketch whose top set is smaller than the deep tail) truncates the
+  // plot to its exact prefix rather than substituting sampled values.
+  if (top_desc.size() > 0 && k_max > top_desc.size() - 1)
+    k_max = top_desc.size() - 1;
+  if (k_max < std::max<std::size_t>(options.min_k, 2) + 1)
+    return Error::insufficient_data("hill_plot: sample too small for tail fraction");
+
+  HillPlot plot;
+  plot.k.reserve(k_max);
+  plot.alpha.reserve(k_max);
+  double sum_log = 0.0;  // running sum of log X_(1..k)
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    sum_log += std::log(top_desc[k - 1]);
+    const double h = sum_log / static_cast<double>(k) - std::log(top_desc[k]);
+    if (!(h > kHillTieEpsilon)) {
+      // Ties at the top of the sample: H = 0 means alpha undefined here.
+      plot.k.push_back(k);
+      plot.alpha.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    plot.k.push_back(k);
+    plot.alpha.push_back(1.0 / h);
+  }
+  return plot;
+}
+
 Result<HillPlot> hill_plot(std::span<const double> xs, const HillOptions& options) {
   auto& sorted = support::Workspace::for_thread().real(support::ws::kTailSorted);
   sorted.clear();
@@ -38,31 +71,19 @@ Result<HillPlot> hill_plot(std::span<const double> xs, const HillOptions& option
   std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(top),
             std::greater<>());
 
-  HillPlot plot;
-  plot.k.reserve(k_max);
-  plot.alpha.reserve(k_max);
-  double sum_log = 0.0;  // running sum of log X_(1..k)
-  for (std::size_t k = 1; k <= k_max; ++k) {
-    sum_log += std::log(sorted[k - 1]);
-    const double h = sum_log / static_cast<double>(k) - std::log(sorted[k]);
-    if (!(h > kHillTieEpsilon)) {
-      // Ties at the top of the sample: H = 0 means alpha undefined here.
-      plot.k.push_back(k);
-      plot.alpha.push_back(std::numeric_limits<double>::quiet_NaN());
-      continue;
-    }
-    plot.k.push_back(k);
-    plot.alpha.push_back(1.0 / h);
-  }
-  return plot;
+  return hill_plot_from_top(
+      std::span<const double>(sorted.data(), top), n, options);
 }
 
 Result<HillEstimate> hill_estimate(std::span<const double> xs,
                                    const HillOptions& options) {
   auto plot_r = hill_plot(xs, options);
   if (!plot_r) return plot_r.error();
-  const HillPlot& plot = plot_r.value();
+  return hill_estimate_from_plot(plot_r.value(), options);
+}
 
+Result<HillEstimate> hill_estimate_from_plot(const HillPlot& plot,
+                                             const HillOptions& options) {
   // "Settling to a constant" means the *deep-tail* region — the upper part
   // of the k range, where most tail points are included — is flat. A sliding
   // minimum-CV window would be fooled by slowly drifting plots (lognormal

@@ -51,10 +51,29 @@ struct HillEstimate {
 [[nodiscard]] support::Result<HillPlot> hill_plot(std::span<const double> xs,
                                                   const HillOptions& options = {});
 
+/// The plot kernel on prepared inputs: `top_desc` holds the largest order
+/// statistics of a positive sample of total size `n_total`, sorted
+/// descending (top_desc[0] = X_(1)). The plot only ever reads
+/// k_max + 1 = floor(max_tail_fraction * n_total) + 1 order statistics, so
+/// any producer that retains at least that prefix exactly — the batch path
+/// after its selection, or online::TailSketch's top set — gets a plot
+/// bit-identical to the full-sample one. When top_desc is shorter than
+/// k_max + 1 the plot is truncated to the available prefix (still exact as
+/// far as it goes); errors when even the truncated range is below the
+/// minimum usable k.
+[[nodiscard]] support::Result<HillPlot> hill_plot_from_top(
+    std::span<const double> top_desc, std::size_t n_total,
+    const HillOptions& options = {});
+
 /// Scan the plot for the most stable window and report its mean alpha.
 /// `stabilized == false` reproduces the paper's NS entries; an error is the
 /// paper's NA (not enough data to compute the plot at all).
 [[nodiscard]] support::Result<HillEstimate> hill_estimate(
     std::span<const double> xs, const HillOptions& options = {});
+
+/// The stable-window scan on a prebuilt plot (shared by hill_estimate and
+/// the online sketch path).
+[[nodiscard]] support::Result<HillEstimate> hill_estimate_from_plot(
+    const HillPlot& plot, const HillOptions& options = {});
 
 }  // namespace fullweb::tail

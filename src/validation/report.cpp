@@ -137,6 +137,78 @@ void write_tests(JsonWriter& w, const TestsScenarioResult& tests) {
   w.end_object();
 }
 
+void write_online(JsonWriter& w, const OnlineScenarioResult& online) {
+  w.key("online");
+  w.begin_object();
+  w.key("config");
+  w.begin_object();
+  w.field("sketch_n", online.config.sketch_n);
+  w.field("sketch_replicates", online.config.sketch_replicates);
+  w.field("tail_top_k", online.config.tail_top_k);
+  w.field("tail_body_capacity", online.config.tail_body_capacity);
+  w.field("tail_subsample", online.config.tail_subsample);
+  w.field("hill_vs_exact_band", online.config.hill_vs_exact_band);
+  w.field("llcd_vs_exact_band", online.config.llcd_vs_exact_band);
+  w.field("frs_fgn_h", online.config.frs_fgn.hurst);
+  w.field("frs_scales", online.config.frs_scales);
+  w.field("frs_replicates", online.config.frs_replicates);
+  w.field("frs_bias_band", online.config.frs_bias_band);
+  w.field("stream_alpha", online.config.stream_alpha);
+  w.field("stream_replicates", online.config.stream_replicates);
+  w.field("stream_kpss_level", online.config.stream_kpss_level);
+  w.field("stream_hill_band", online.config.stream_hill_band);
+  w.end_object();
+  w.key("sketch_cells");
+  w.begin_array();
+  for (const auto& c : online.sketch_cells) {
+    w.begin_object();
+    w.field("true_alpha", c.true_alpha);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("mean_exact_hill", c.mean_exact_hill);
+    w.field("mean_sketch_hill", c.mean_sketch_hill);
+    w.field("hill_mean_rel_err", c.hill_mean_rel_err);
+    w.field("hill_rel_err_sd", c.hill_rel_err_sd);
+    w.field("mean_exact_llcd", c.mean_exact_llcd);
+    w.field("mean_sketch_llcd", c.mean_sketch_llcd);
+    w.field("llcd_mean_rel_err", c.llcd_mean_rel_err);
+    w.field("llcd_rel_err_sd", c.llcd_rel_err_sd);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("frs_cells");
+  w.begin_array();
+  for (const auto& c : online.frs_cells) {
+    w.begin_object();
+    w.field("truth", c.truth);
+    w.field("true_h", c.true_h);
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("mean_h", c.mean_h);
+    w.field("bias", c.bias);
+    w.field("sd", c.sd);
+    w.field("rmse", c.rmse);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stream_cells");
+  w.begin_array();
+  for (const auto& c : online.stream_cells) {
+    w.begin_object();
+    w.field("replicates", c.replicates);
+    w.field("failures", c.failures);
+    w.field("kpss_rejections", c.kpss_rejections);
+    w.field("kpss_rejection_rate", c.kpss_rejection_rate);
+    w.field("mean_hill_alpha", c.mean_hill_alpha);
+    w.field("hill_rel_bias", c.hill_rel_bias);
+    w.field("hill_sd", c.hill_sd);
+    w.end_object();
+  }
+  w.end_array();
+  write_gates(w, online.gates);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string report_to_json(const ValidationReport& report) {
@@ -151,6 +223,7 @@ std::string report_to_json(const ValidationReport& report) {
   write_hurst(w, report.hurst);
   write_tail(w, report.tail);
   write_tests(w, report.tests);
+  write_online(w, report.online);
   w.end_object();
   return std::move(w).str();
 }

@@ -194,4 +194,102 @@ struct TestsScenarioResult {
     const TestsScenarioConfig& config, support::Rng scenario_rng,
     support::Executor& executor);
 
+// ---------------------------------------------------------------------------
+// Scenario 4: the online estimation layer (src/online).
+//
+// Three families of checks:
+//   a. Sketch accuracy — Hill/LLCD computed from the TailSketch's retained
+//      top set and alias subsample must track the exact batch estimates on
+//      the full Pareto sample (the sampled-vs-exact contract behind
+//      DESIGN.md §5.13's capacity guidance).
+//   b. FRS memory recovery — the streaming Faÿ–Roueff–Soulier estimator
+//      must recover H on fGn counts with known H and H = 0.5 on binned
+//      homogeneous Poisson arrivals (short-range null).
+//   c. End-to-end stream recovery — a stationary Poisson arrival stream
+//      with Pareto transfer sizes fed through OnlineAnalyzer at production
+//      sketch capacities: the windowed KPSS must hold its size and the
+//      sketch Hill must recover the true tail index.
+
+struct OnlineScenarioConfig {
+  // (a) sampled-vs-exact sketch accuracy.
+  std::vector<double> sketch_alphas = {1.2, 1.6};
+  std::size_t sketch_n = 20000;
+  std::size_t sketch_replicates = 64;
+  std::size_t tail_top_k = 512;         ///< production sketch capacities
+  std::size_t tail_body_capacity = 1024;
+  std::size_t tail_subsample = 2048;
+  /// Acceptance bands on the mean relative deviation of the sketch
+  /// estimate from the exact batch estimate on the same sample (documented
+  /// in EXPERIMENTS.md; test_online_analyzer pins the same tolerances on a
+  /// single draw).
+  double hill_vs_exact_band = 0.10;
+  double llcd_vs_exact_band = 0.20;
+
+  // (b) FRS memory recovery.
+  synth::FgnTruth frs_fgn;              ///< defaults: n = 8192, H = 0.7
+  synth::PoissonArrivalsTruth frs_poisson;  ///< 4 h at 1/s -> 14400 bins
+  std::size_t frs_scales = 6;
+  std::size_t frs_replicates = 64;
+  /// Var(sum over m bins) = sigma^2 m^{2H} exactly for fGn and lambda*m for
+  /// Poisson, so the dyadic-scale regression is near-unbiased; the band
+  /// only absorbs finite-scale curvature.
+  double frs_bias_band = 0.06;
+
+  // (c) end-to-end analyzer recovery.
+  synth::PoissonArrivalsTruth stream_arrivals;
+  double stream_alpha = 1.3;            ///< Pareto tail of transfer sizes
+  std::size_t stream_replicates = 32;
+  double stream_kpss_level = 0.05;
+  /// Sketch-Hill against TRUE alpha: wider than hill_vs_exact_band because
+  /// it also carries the batch Hill estimator's own finite-sample bias.
+  double stream_hill_band = 0.15;
+};
+
+struct OnlineSketchCell {
+  double true_alpha = 0.0;
+  std::size_t replicates = 0;  ///< replicates where all four fits ran
+  std::size_t failures = 0;
+  double mean_exact_hill = 0.0;
+  double mean_sketch_hill = 0.0;
+  double hill_mean_rel_err = 0.0;  ///< mean |sketch - exact| / exact
+  double hill_rel_err_sd = 0.0;
+  double mean_exact_llcd = 0.0;
+  double mean_sketch_llcd = 0.0;
+  double llcd_mean_rel_err = 0.0;
+  double llcd_rel_err_sd = 0.0;
+};
+
+struct OnlineFrsCell {
+  std::string truth;           ///< "fgn" | "poisson"
+  double true_h = 0.0;
+  std::size_t replicates = 0;
+  std::size_t failures = 0;
+  double mean_h = 0.0;
+  double bias = 0.0;
+  double sd = 0.0;
+  double rmse = 0.0;
+};
+
+struct OnlineStreamCell {
+  std::size_t replicates = 0;
+  std::size_t failures = 0;
+  std::size_t kpss_rejections = 0;
+  double kpss_rejection_rate = 0.0;
+  double mean_hill_alpha = 0.0;
+  double hill_rel_bias = 0.0;  ///< (mean - true) / true
+  double hill_sd = 0.0;
+};
+
+struct OnlineScenarioResult {
+  OnlineScenarioConfig config;
+  std::vector<OnlineSketchCell> sketch_cells;
+  std::vector<OnlineFrsCell> frs_cells;
+  std::vector<OnlineStreamCell> stream_cells;
+  std::vector<GateCheck> gates;
+};
+
+[[nodiscard]] OnlineScenarioResult run_online_scenario(
+    const OnlineScenarioConfig& config, support::Rng scenario_rng,
+    support::Executor& executor);
+
 }  // namespace fullweb::validation

@@ -1,0 +1,330 @@
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "online/analyzer.h"
+#include "online/frs_memory.h"
+#include "online/tail_sketch.h"
+#include "support/executor.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
+#include "validation/montecarlo.h"
+#include "validation/scenario.h"
+
+namespace fullweb::validation {
+
+namespace {
+
+// ---- (a) sampled-vs-exact sketch accuracy.
+
+struct SketchReplicateOutcome {
+  bool ok = false;
+  double exact_hill = 0.0;
+  double sketch_hill = 0.0;
+  double exact_llcd = 0.0;
+  double sketch_llcd = 0.0;
+};
+
+struct RelErrAccum {
+  std::size_t count = 0;
+  double sum_exact = 0.0;
+  double sum_sketch = 0.0;
+  double sum_err = 0.0;
+  double sum_err_sq = 0.0;
+
+  void add(double exact, double sketch) {
+    ++count;
+    sum_exact += exact;
+    sum_sketch += sketch;
+    const double err = std::abs(sketch - exact) / exact;
+    sum_err += err;
+    sum_err_sq += err * err;
+  }
+  [[nodiscard]] double mean_err() const {
+    return count == 0 ? 0.0 : sum_err / static_cast<double>(count);
+  }
+  [[nodiscard]] double err_sd() const {
+    if (count == 0) return 0.0;
+    const double m = mean_err();
+    return std::sqrt(
+        std::max(0.0, sum_err_sq / static_cast<double>(count) - m * m));
+  }
+};
+
+SketchReplicateOutcome sketch_replicate(const OnlineScenarioConfig& config,
+                                        double alpha, std::size_t index,
+                                        support::Rng& rng) {
+  SketchReplicateOutcome out;
+  synth::ParetoTruth truth;
+  truth.n = config.sketch_n;
+  truth.alpha = alpha;
+  const auto xs = synth::draw_pareto(truth, rng);
+
+  online::TailSketch sketch(config.tail_top_k, config.tail_body_capacity);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    sketch.insert(xs[i], online::TailSketch::make_tag(index, i));
+
+  const auto exact_hill = tail::hill_estimate(xs);
+  const auto exact_llcd = tail::llcd_fit(xs);
+  const auto top = sketch.top_values();
+  const auto sketch_plot = tail::hill_plot_from_top(
+      top, static_cast<std::size_t>(sketch.count()));
+  const auto sample =
+      sketch.sample_values(config.tail_subsample, rng);
+  const auto sketch_llcd = tail::llcd_fit(sample);
+  if (!exact_hill.ok() || !exact_llcd.ok() || !sketch_plot.ok() ||
+      !sketch_llcd.ok())
+    return out;
+  const auto sketch_hill = tail::hill_estimate_from_plot(sketch_plot.value());
+  if (!sketch_hill.ok()) return out;
+  out.ok = true;
+  out.exact_hill = exact_hill.value().alpha;
+  out.sketch_hill = sketch_hill.value().alpha;
+  out.exact_llcd = exact_llcd.value().alpha;
+  out.sketch_llcd = sketch_llcd.value().alpha;
+  return out;
+}
+
+// ---- (b) FRS memory recovery.
+
+struct FrsReplicateOutcome {
+  std::optional<double> h;
+};
+
+/// Bin sorted arrival times to the 1-second counting series over [t0, t1).
+std::vector<double> bin_arrivals(const std::vector<double>& times, double t0,
+                                 double t1) {
+  std::vector<double> counts(static_cast<std::size_t>(t1 - t0), 0.0);
+  for (double t : times) {
+    const auto i = static_cast<std::size_t>(t - t0);
+    if (i < counts.size()) counts[i] += 1.0;
+  }
+  return counts;
+}
+
+void fill_frs_cell(OnlineFrsCell& cell,
+                   const std::vector<FrsReplicateOutcome>& outcomes) {
+  double sum = 0.0, sum_sq_err = 0.0;
+  for (const auto& rep : outcomes) {
+    if (!rep.h.has_value()) {
+      ++cell.failures;
+      continue;
+    }
+    ++cell.replicates;
+    sum += *rep.h;
+    sum_sq_err += (*rep.h - cell.true_h) * (*rep.h - cell.true_h);
+  }
+  if (cell.replicates == 0) return;
+  const auto n = static_cast<double>(cell.replicates);
+  cell.mean_h = sum / n;
+  cell.bias = cell.mean_h - cell.true_h;
+  cell.rmse = std::sqrt(sum_sq_err / n);
+  cell.sd = std::sqrt(std::max(0.0, sum_sq_err / n - cell.bias * cell.bias));
+}
+
+std::string sketch_gate_name(const char* what, double alpha) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "online/sketch/%s/alpha=%.2f", what, alpha);
+  return buf;
+}
+
+}  // namespace
+
+OnlineScenarioResult run_online_scenario(const OnlineScenarioConfig& config,
+                                         support::Rng scenario_rng,
+                                         support::Executor& executor) {
+  OnlineScenarioResult result;
+  result.config = config;
+
+  // ---- (a) sketch Hill/LLCD vs the exact batch fit on the same sample.
+  {
+    support::RngSplitter streams(scenario_rng, 0);
+    const std::size_t reps = config.sketch_replicates;
+    const std::size_t total = config.sketch_alphas.size() * reps;
+    const auto outcomes = monte_carlo<SketchReplicateOutcome>(
+        total, streams, executor, [&](std::size_t index, support::Rng& rng) {
+          return sketch_replicate(config, config.sketch_alphas[index / reps],
+                                  index, rng);
+        });
+
+    for (std::size_t ai = 0; ai < config.sketch_alphas.size(); ++ai) {
+      const double alpha = config.sketch_alphas[ai];
+      OnlineSketchCell cell;
+      cell.true_alpha = alpha;
+      RelErrAccum hill, llcd;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto& rep = outcomes[ai * reps + r];
+        if (!rep.ok) {
+          ++cell.failures;
+          continue;
+        }
+        ++cell.replicates;
+        hill.add(rep.exact_hill, rep.sketch_hill);
+        llcd.add(rep.exact_llcd, rep.sketch_llcd);
+      }
+      cell.mean_exact_hill =
+          hill.count > 0 ? hill.sum_exact / static_cast<double>(hill.count) : 0.0;
+      cell.mean_sketch_hill =
+          hill.count > 0 ? hill.sum_sketch / static_cast<double>(hill.count) : 0.0;
+      cell.hill_mean_rel_err = hill.mean_err();
+      cell.hill_rel_err_sd = hill.err_sd();
+      cell.mean_exact_llcd =
+          llcd.count > 0 ? llcd.sum_exact / static_cast<double>(llcd.count) : 0.0;
+      cell.mean_sketch_llcd =
+          llcd.count > 0 ? llcd.sum_sketch / static_cast<double>(llcd.count) : 0.0;
+      cell.llcd_mean_rel_err = llcd.mean_err();
+      cell.llcd_rel_err_sd = llcd.err_sd();
+
+      result.gates.push_back(make_gate(
+          sketch_gate_name("hill_vs_exact", alpha), cell.hill_mean_rel_err,
+          0.0,
+          config.hill_vs_exact_band +
+              mean_slack(cell.hill_rel_err_sd, cell.replicates)));
+      result.gates.push_back(make_gate(
+          sketch_gate_name("llcd_vs_exact", alpha), cell.llcd_mean_rel_err,
+          0.0,
+          config.llcd_vs_exact_band +
+              mean_slack(cell.llcd_rel_err_sd, cell.replicates)));
+      result.gates.push_back(
+          make_gate(sketch_gate_name("failures", alpha),
+                    static_cast<double>(cell.failures), 0.0, 0.0));
+      result.sketch_cells.push_back(std::move(cell));
+    }
+  }
+
+  // ---- (b) FRS recovery: known-H fGn counts and H = 0.5 Poisson counts.
+  {
+    support::RngSplitter streams(scenario_rng, 0);
+    const std::size_t reps = config.frs_replicates;
+    online::FrsOptions frs_opts;
+    frs_opts.scales = config.frs_scales;
+    const auto outcomes = monte_carlo<FrsReplicateOutcome>(
+        2 * reps, streams, executor, [&](std::size_t index, support::Rng& rng) {
+          FrsReplicateOutcome out;
+          std::vector<double> counts;
+          if (index < reps) {
+            auto fgn = synth::draw_fgn(config.frs_fgn, rng);
+            if (!fgn.ok()) return out;
+            counts = std::move(fgn).value();
+          } else {
+            counts = bin_arrivals(
+                synth::draw_poisson_arrivals(config.frs_poisson, rng),
+                config.frs_poisson.t0, config.frs_poisson.t1);
+          }
+          if (const auto est = online::frs_memory_from_counts(counts, frs_opts);
+              est.ok())
+            out.h = est.value().h;
+          return out;
+        });
+
+    for (int family = 0; family < 2; ++family) {
+      OnlineFrsCell cell;
+      cell.truth = family == 0 ? "fgn" : "poisson";
+      cell.true_h = family == 0 ? config.frs_fgn.hurst : 0.5;
+      const std::vector<FrsReplicateOutcome> slice(
+          outcomes.begin() + static_cast<std::ptrdiff_t>(family * reps),
+          outcomes.begin() + static_cast<std::ptrdiff_t>((family + 1) * reps));
+      fill_frs_cell(cell, slice);
+
+      char name[96];
+      std::snprintf(name, sizeof name, "online/frs/bias/%s",
+                    cell.truth.c_str());
+      const double slack = mean_slack(cell.sd, cell.replicates);
+      result.gates.push_back(make_gate(name, cell.bias,
+                                       -config.frs_bias_band - slack,
+                                       config.frs_bias_band + slack));
+      std::snprintf(name, sizeof name, "online/frs/failures/%s",
+                    cell.truth.c_str());
+      result.gates.push_back(make_gate(
+          name, static_cast<double>(cell.failures), 0.0, 0.0));
+      result.frs_cells.push_back(std::move(cell));
+    }
+  }
+
+  // ---- (c) end-to-end: OnlineAnalyzer on a stationary Pareto-byte stream.
+  {
+    support::RngSplitter streams(scenario_rng, 0);
+    const std::size_t reps = config.stream_replicates;
+
+    struct StreamOutcome {
+      bool ok = false;
+      bool kpss_rejected = false;
+      double hill_alpha = 0.0;
+    };
+    const auto outcomes = monte_carlo<StreamOutcome>(
+        reps, streams, executor, [&](std::size_t, support::Rng& rng) {
+          StreamOutcome out;
+          const auto times =
+              synth::draw_poisson_arrivals(config.stream_arrivals, rng);
+          synth::ParetoTruth bytes_truth;
+          bytes_truth.n = times.size();
+          bytes_truth.alpha = config.stream_alpha;
+          const auto bytes = synth::draw_pareto(bytes_truth, rng);
+
+          online::OnlineOptions o;
+          o.block_bins = 256;
+          const auto bins = static_cast<std::size_t>(
+              config.stream_arrivals.t1 - config.stream_arrivals.t0);
+          o.window_blocks = bins / o.block_bins + 2;  // window covers stream
+          o.tail_top_k = config.tail_top_k;
+          o.tail_body_capacity = config.tail_body_capacity;
+          o.tail_subsample = config.tail_subsample;
+          online::OnlineAnalyzer analyzer(o, support::Rng(rng()));
+          for (std::size_t i = 0; i < times.size(); ++i)
+            analyzer.add(times[i], bytes[i]);
+
+          const online::OnlineSnapshot snap = analyzer.snapshot();
+          if (!snap.kpss.value.has_value() || !snap.hill.value.has_value())
+            return out;
+          out.ok = true;
+          out.kpss_rejected = !snap.kpss.value->stationary_at_5pct();
+          out.hill_alpha = snap.hill.value->alpha;
+          return out;
+        });
+
+    OnlineStreamCell cell;
+    double sum = 0.0, sum_sq_err = 0.0;
+    for (const auto& rep : outcomes) {
+      if (!rep.ok) {
+        ++cell.failures;
+        continue;
+      }
+      ++cell.replicates;
+      if (rep.kpss_rejected) ++cell.kpss_rejections;
+      sum += rep.hill_alpha;
+      sum_sq_err += (rep.hill_alpha - config.stream_alpha) *
+                    (rep.hill_alpha - config.stream_alpha);
+    }
+    if (cell.replicates > 0) {
+      const auto n = static_cast<double>(cell.replicates);
+      cell.kpss_rejection_rate =
+          static_cast<double>(cell.kpss_rejections) / n;
+      cell.mean_hill_alpha = sum / n;
+      cell.hill_rel_bias =
+          (cell.mean_hill_alpha - config.stream_alpha) / config.stream_alpha;
+      const double bias = cell.mean_hill_alpha - config.stream_alpha;
+      cell.hill_sd =
+          std::sqrt(std::max(0.0, sum_sq_err / n - bias * bias));
+    }
+
+    const double size_slack =
+        proportion_slack(config.stream_kpss_level, cell.replicates);
+    result.gates.push_back(make_gate(
+        "online/stream/kpss_size", cell.kpss_rejection_rate, 0.0,
+        2.0 * config.stream_kpss_level + size_slack));
+    const double hill_slack =
+        mean_slack(cell.hill_sd, cell.replicates) / config.stream_alpha;
+    result.gates.push_back(make_gate(
+        "online/stream/hill_rel_bias", cell.hill_rel_bias,
+        -config.stream_hill_band - hill_slack,
+        config.stream_hill_band + hill_slack));
+    result.gates.push_back(make_gate("online/stream/failures",
+                                     static_cast<double>(cell.failures), 0.0,
+                                     0.0));
+    result.stream_cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace fullweb::validation

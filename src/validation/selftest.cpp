@@ -29,11 +29,20 @@ TestsScenarioConfig tests_config(Profile profile) {
   return config;
 }
 
+OnlineScenarioConfig online_config(Profile profile) {
+  OnlineScenarioConfig config;
+  config.sketch_replicates = profile == Profile::kFull ? 64 : 16;
+  config.frs_replicates = profile == Profile::kFull ? 64 : 24;
+  config.stream_replicates = profile == Profile::kFull ? 32 : 8;
+  return config;
+}
+
 std::vector<const GateCheck*> ValidationReport::all_gates() const {
   std::vector<const GateCheck*> gates;
   for (const auto& g : hurst.gates) gates.push_back(&g);
   for (const auto& g : tail.gates) gates.push_back(&g);
   for (const auto& g : tests.gates) gates.push_back(&g);
+  for (const auto& g : online.gates) gates.push_back(&g);
   return gates;
 }
 
@@ -63,6 +72,8 @@ ValidationReport run_selftest(const SelftestOptions& options) {
                                   scenarios.stream(1), executor);
   report.tests = run_tests_scenario(tests_config(options.profile),
                                     scenarios.stream(2), executor);
+  report.online = run_online_scenario(online_config(options.profile),
+                                      scenarios.stream(3), executor);
   return report;
 }
 

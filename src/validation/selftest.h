@@ -30,6 +30,7 @@ struct SelftestOptions {
 [[nodiscard]] HurstScenarioConfig hurst_config(Profile profile);
 [[nodiscard]] TailScenarioConfig tail_config(Profile profile);
 [[nodiscard]] TestsScenarioConfig tests_config(Profile profile);
+[[nodiscard]] OnlineScenarioConfig online_config(Profile profile);
 
 struct ValidationReport {
   Profile profile = Profile::kSmoke;
@@ -37,6 +38,7 @@ struct ValidationReport {
   HurstScenarioResult hurst;
   TailScenarioResult tail;
   TestsScenarioResult tests;
+  OnlineScenarioResult online;
 
   /// Every gate across all scenarios, in report order.
   [[nodiscard]] std::vector<const GateCheck*> all_gates() const;

@@ -122,6 +122,15 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
   bool sorted = true;
   double prev_time = 0.0;
   auto on_record = [&](const ClfRecord& rec) {
+    // A non-finite timestamp would poison everything downstream — the
+    // time sort's strict weak ordering, t0/t1, the binned series — so the
+    // record is dropped and counted rather than carried as a flag. The CLF
+    // parser never emits one (timestamps are range-checked), but records
+    // can also arrive through this path from non-parser producers.
+    if (!std::isfinite(rec.timestamp)) {
+      ++rep.invalid_time;
+      return;
+    }
     auto it = intern.find(rec.client);
     if (it == intern.end())
       it = intern
@@ -131,7 +140,10 @@ Result<Dataset> Dataset::from_clf_stream(std::string name,
     const Request r{rec.timestamp, it->second,
                     static_cast<std::uint16_t>(std::clamp(rec.status, 0, 65535)),
                     rec.bytes};
-    if (!ds.requests_.empty() && r.time < prev_time) sorted = false;
+    // Negated comparison: mirror of the StreamingSessionizer NaN guard —
+    // kept even though NaN is filtered above, so the two unsorted
+    // detectors can never disagree.
+    if (!ds.requests_.empty() && !(r.time >= prev_time)) sorted = false;
     prev_time = r.time;
     ds.requests_.push_back(r);
     // Keep feeding even after a sort violation: peak accounting stays

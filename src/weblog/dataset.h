@@ -30,6 +30,9 @@ struct StreamIngestReport {
                                       ///< (each carries its per-file peak)
   std::size_t peak_open_sessions = 0; ///< stream-wide sessionizer high-water
                                       ///< mark (max over per-file peaks)
+  /// Records dropped for a non-finite timestamp (NaN/inf would corrupt the
+  /// time sort and the [t0, t1) range); 0 on parser-produced streams.
+  std::size_t invalid_time = 0;
   /// True when the concatenated entry stream was non-decreasing in time and
   /// the bounded-memory incremental sessionizer was used; false means the
   /// input was out of order and sessionization fell back to the batch path

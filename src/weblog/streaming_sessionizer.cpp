@@ -17,7 +17,12 @@ void StreamingSessionizer::evict_idle_before(double now) {
 }
 
 void StreamingSessionizer::add(const Request& r) {
-  if (any_ && r.time < last_time_) saw_unsorted_ = true;
+  // Negated comparison so a NaN timestamp raises the unsorted flag instead
+  // of slipping through (NaN < x is false for every x): a NaN would also
+  // disable idle eviction below (now - end > threshold never holds), so the
+  // incremental result must be marked untrustworthy, exactly like a
+  // time regression.
+  if (any_ && !(r.time >= last_time_)) saw_unsorted_ = true;
   any_ = true;
   last_time_ = r.time;
 

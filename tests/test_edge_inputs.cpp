@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "lrd/estimator_suite.h"
+#include "online/analyzer.h"
 #include "stats/kpss.h"
+#include "support/rng.h"
 #include "tail/hill.h"
 #include "tail/llcd.h"
+#include "weblog/streaming_sessionizer.h"
 
 namespace {
 
@@ -113,6 +117,101 @@ TEST(EdgeInputs, ErrorsNameTheProblem) {
   const auto kpss = stats::kpss_test(kEmpty);
   ASSERT_FALSE(kpss.ok());
   EXPECT_FALSE(kpss.error().message.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Online layer: the same degenerate inputs arriving as a live stream must
+// surface as flags and per-estimator error strings, never UB or NaN-filled
+// snapshots.
+
+TEST(EdgeInputsOnline, EmptyStreamSnapshotsCleanly) {
+  online::OnlineAnalyzer an({}, fullweb::support::Rng(1));
+  const online::OnlineSnapshot s = an.snapshot();
+  EXPECT_EQ(s.records, 0u);
+  EXPECT_EQ(s.window_bins, 0u);
+  EXPECT_FALSE(s.kpss.value.has_value());
+  EXPECT_FALSE(s.kpss.error.empty());
+  EXPECT_FALSE(s.hurst_vt.value.has_value());
+  EXPECT_FALSE(s.frs.value.has_value());
+  EXPECT_FALSE(s.hill.value.has_value());
+  EXPECT_FALSE(s.llcd.value.has_value());
+  EXPECT_FALSE(an.snapshot_json().empty());  // valid JSON either way
+}
+
+TEST(EdgeInputsOnline, SingleRecordReportsErrorsNotGarbage) {
+  online::OnlineAnalyzer an({}, fullweb::support::Rng(1));
+  an.add(1000.5, 4096.0);
+  const online::OnlineSnapshot s = an.snapshot();
+  EXPECT_EQ(s.records, 1u);
+  EXPECT_EQ(s.window_bins, 1u);
+  EXPECT_EQ(s.tail_count, 1u);
+  EXPECT_FALSE(s.kpss.value.has_value());   // one bin: below KPSS minimum
+  EXPECT_FALSE(s.hurst_vt.value.has_value());
+  EXPECT_FALSE(s.hill.value.has_value());   // one sample: below Hill minimum
+  EXPECT_EQ(s.p50, 4096.0);                 // quantiles of one value exist
+}
+
+TEST(EdgeInputsOnline, ConstantInterarrivalsAndDuplicateTimestamps) {
+  online::OnlineAnalyzer an({}, fullweb::support::Rng(1));
+  // 600 arrivals at exactly 1/s, then 50 duplicates of the same second.
+  for (int t = 0; t < 600; ++t) an.add(static_cast<double>(t), 100.0);
+  for (int i = 0; i < 50; ++i) an.add(599.0, 100.0);
+  const online::OnlineSnapshot s = an.snapshot();
+  EXPECT_EQ(s.records, 650u);
+  EXPECT_FALSE(s.saw_unsorted);  // equal timestamps are in order
+  // A constant count series has zero variance: estimators must refuse or
+  // stay finite, never NaN. (The duplicate burst makes the last bin 51.)
+  if (s.hurst_vt.value) {
+    EXPECT_TRUE(std::isfinite(s.hurst_vt.value->h));
+  }
+  if (s.frs.value) {
+    EXPECT_TRUE(std::isfinite(s.frs.value->h));
+  }
+  if (s.kpss.value) {
+    EXPECT_TRUE(std::isfinite(s.kpss.value->statistic));
+  }
+  // Constant transfer sizes: Hill is degenerate by documented contract.
+  EXPECT_FALSE(s.hill.value.has_value());
+}
+
+TEST(EdgeInputsOnline, WindowLargerThanStream) {
+  online::OnlineOptions o;
+  o.block_bins = 1 << 12;
+  o.window_blocks = 1 << 10;  // window of 4M bins, stream of 32
+  online::OnlineAnalyzer an(o, fullweb::support::Rng(1));
+  for (int t = 0; t < 32; ++t) an.add(static_cast<double>(t), 100.0 + t);
+  const online::OnlineSnapshot s = an.snapshot();
+  // The window starts at the first occupied bin, not at block alignment:
+  // no phantom leading zeros.
+  EXPECT_EQ(s.window_bins, 32u);
+  EXPECT_EQ(s.counts.mean, 1.0);
+}
+
+TEST(EdgeInputsOnline, NanAndInfiniteTimestampsAreCountedNotBinned) {
+  online::OnlineAnalyzer an({}, fullweb::support::Rng(1));
+  an.add(std::numeric_limits<double>::quiet_NaN(), 100.0);
+  for (int t = 0; t < 20; ++t) an.add(static_cast<double>(t), 200.0);
+  an.add(std::numeric_limits<double>::infinity(), 300.0);
+  an.add(-std::numeric_limits<double>::infinity(), 400.0);
+  const online::OnlineSnapshot s = an.snapshot();
+  EXPECT_EQ(s.invalid_time, 3u);
+  EXPECT_EQ(s.records, 20u);
+  EXPECT_EQ(s.tail_count, 23u);  // bytes of bad-time records still count
+  EXPECT_EQ(s.window_bins, 20u);
+  EXPECT_FALSE(an.snapshot_json().empty());
+}
+
+TEST(EdgeInputsOnline, NanTimestampRaisesStreamingSessionizerUnsortedFlag) {
+  // Regression for the latent mirror of the PR 7 peak bug: NaN fails every
+  // '<' comparison, so the old `r.time < last_time_` check silently let a
+  // NaN-timestamp stream claim it was sorted while idle eviction was
+  // disabled. The negated comparison must flag it.
+  weblog::StreamingSessionizer sz;
+  sz.add(weblog::Request{10.0, 0, 200, 100});
+  sz.add(weblog::Request{std::numeric_limits<double>::quiet_NaN(), 1, 200, 100});
+  EXPECT_TRUE(sz.saw_unsorted());
+  (void)sz.finish();
+  EXPECT_FALSE(sz.saw_unsorted());  // finish() resets all state
 }
 
 }  // namespace

@@ -12,21 +12,36 @@
 // with `--threads` workers — and the two JSON reports must be
 // byte-identical, exiting non-zero otherwise.
 //
+// `--online` switches to the streaming estimation layer (src/online):
+// every shard's request stream replays through a per-shard OnlineAnalyzer
+// emitting periodic rolling-window snapshots, and the per-shard tail
+// sketches merge into one fleet-wide sketch whose Hill/LLCD/quantile
+// estimates close the report. With `--check-determinism` the whole online
+// pass reruns with the shard merge order REVERSED and the two documents
+// must be byte-identical — the merge-law (associative + commutative)
+// acceptance check at fleet scale.
+//
 //   fleet_analyze --synthetic 8 --fast --check-determinism --threads 8
+//   fleet_analyze --synthetic 4 --online --check-determinism
 //   fleet_analyze --json fleet.json logs/*.fwc
 //   fleet_analyze --write-store /data/store logs/vhost*.log
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/fleet.h"
+#include "online/analyzer.h"
 #include "store/columnar.h"
 #include "support/cli.h"
 #include "support/executor.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "synth/generator.h"
 #include "synth/profile.h"
+#include "tail/hill.h"
+#include "tail/llcd.h"
 #include "weblog/dataset.h"
 
 namespace {
@@ -122,6 +137,122 @@ void print_summary(const FleetReport& r) {
                 s.model.request_arrivals.long_range_dependent() ? "  LRD" : "");
 }
 
+/// The streaming counterpart of analyze_fleet: per-shard OnlineAnalyzers
+/// with RngSplitter-carved identity streams, periodic snapshots, and a
+/// fleet-merged tail sketch. `reverse_merge` only changes the order the
+/// per-shard sketches fold into the fleet sketch; by the sketch's merge
+/// laws the output must not change, which the determinism check exploits.
+std::string run_online_fleet(const std::vector<Dataset>& shards,
+                             std::uint64_t seed,
+                             std::size_t snapshots_per_shard,
+                             bool reverse_merge) {
+  namespace online = fullweb::online;
+  namespace support = fullweb::support;
+  namespace tail = fullweb::tail;
+
+  const online::OnlineOptions opts;  // production defaults
+  support::Rng root(seed);
+  support::RngSplitter streams(root, 0);
+
+  support::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "fullweb-fleet-online-v1");
+  w.field("seed", static_cast<std::size_t>(seed));
+  w.field("shards", shards.size());
+
+  // Shards are always analyzed (and reported) in input order; carving each
+  // analyzer's rng by shard index keeps sketch identity salts disjoint
+  // across shards, so the fleet merge never conflates items.
+  std::vector<online::TailSketch> sketches;
+  sketches.reserve(shards.size());
+  w.key("shard_reports");
+  w.begin_array();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    online::OnlineAnalyzer analyzer(opts, streams.stream(i));
+    const auto& requests = shards[i].requests();
+    const std::size_t stride =
+        std::max<std::size_t>(1, requests.size() / (snapshots_per_shard + 1));
+
+    w.begin_object();
+    w.field("name", shards[i].name());
+    w.field("requests", requests.size());
+    w.key("snapshots");
+    w.begin_array();
+    std::size_t emitted = 0;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      analyzer.add(requests[j].time, static_cast<double>(requests[j].bytes));
+      if ((j + 1) % stride == 0 && emitted < snapshots_per_shard) {
+        analyzer.snapshot().write_json(w);
+        ++emitted;
+      }
+    }
+    w.end_array();
+    w.key("final");
+    analyzer.snapshot().write_json(w);
+    w.end_object();
+    sketches.push_back(analyzer.sketch());
+  }
+  w.end_array();
+
+  online::TailSketch fleet(opts.tail_top_k, opts.tail_body_capacity);
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    const std::size_t pick = reverse_merge ? sketches.size() - 1 - i : i;
+    if (auto merged = fleet.merge(sketches[pick]); !merged.ok())
+      std::fprintf(stderr, "fleet_analyze: sketch merge: %s\n",
+                   merged.error().message.c_str());
+  }
+
+  w.key("fleet_tail");
+  w.begin_object();
+  w.field("count", static_cast<std::size_t>(fleet.count()));
+  w.field("rejected", static_cast<std::size_t>(fleet.rejected()));
+  w.field("retained", fleet.retained());
+  w.field("min", fleet.min());
+  w.field("max", fleet.max());
+  w.key("hill");
+  const auto top = fleet.top_values();
+  const auto plot = tail::hill_plot_from_top(
+      top, static_cast<std::size_t>(fleet.count()));
+  const auto hill =
+      plot.ok() ? tail::hill_estimate_from_plot(plot.value())
+                : support::Result<tail::HillEstimate>(plot.error());
+  if (hill.ok()) {
+    w.begin_object();
+    w.field("alpha", hill.value().alpha);
+    w.field("k_low", hill.value().k_low);
+    w.field("k_high", hill.value().k_high);
+    w.field("stabilized", hill.value().stabilized);
+    w.end_object();
+  } else {
+    w.begin_object();
+    w.field("error", hill.error().message);
+    w.end_object();
+  }
+  w.key("llcd");
+  support::Rng sample_rng = streams.stream(shards.size());
+  const auto sample = fleet.sample_values(opts.tail_subsample, sample_rng);
+  if (const auto llcd = tail::llcd_fit(sample); llcd.ok()) {
+    w.begin_object();
+    w.field("alpha", llcd.value().alpha);
+    w.field("stderr_alpha", llcd.value().stderr_alpha);
+    w.field("r_squared", llcd.value().r_squared);
+    w.end_object();
+  } else {
+    w.begin_object();
+    w.field("error", llcd.error().message);
+    w.end_object();
+  }
+  w.key("quantiles");
+  w.begin_object();
+  w.field("p50", fleet.quantile(0.50));
+  w.field("p90", fleet.quantile(0.90));
+  w.field("p99", fleet.quantile(0.99));
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +269,11 @@ int main(int argc, char** argv) {
   flags.define("write-store", "", "also write each shard to DIR/<name>.fwc");
   flags.define("check-determinism", "false",
                "run serial and with --threads, require byte-identical reports");
+  flags.define("online", "false",
+               "stream shards through the online estimation layer instead of "
+               "the batch fit pipeline");
+  flags.define("online-snapshots", "4",
+               "periodic rolling-window snapshots per shard in --online mode");
   if (!flags.parse(argc, argv)) return 2;
 
   const auto n_synth = static_cast<std::size_t>(flags.get_int("synthetic"));
@@ -180,6 +316,40 @@ int main(int argc, char** argv) {
   const bool fast = flags.get_bool("fast");
   const double interval_hours = flags.get_double("interval-hours");
   const bool include_shards = !flags.get_bool("no-shards");
+
+  if (flags.get_bool("online")) {
+    const auto snapshots =
+        static_cast<std::size_t>(flags.get_int("online-snapshots"));
+    const std::string json = run_online_fleet(shards, seed, snapshots, false);
+    if (flags.get_bool("check-determinism")) {
+      const std::string replay = run_online_fleet(shards, seed, snapshots, true);
+      if (json != replay) {
+        std::fprintf(stderr,
+                     "fleet_analyze: NONDETERMINISM — reversed-merge online "
+                     "report differs from forward-merge report\n");
+        return 3;
+      }
+      std::fprintf(stderr,
+                   "determinism: forward- and reverse-merge online reports "
+                   "are byte-identical (%zu bytes)\n",
+                   json.size());
+    }
+    std::printf("fleet online: %zu shards analyzed\n", shards.size());
+    const std::string online_path = flags.get("json");
+    if (online_path == "-") {
+      std::fputs(json.c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else if (!online_path.empty()) {
+      std::ofstream os(online_path, std::ios::binary | std::ios::trunc);
+      os << json << '\n';
+      if (!os) {
+        std::fprintf(stderr, "fleet_analyze: cannot write %s\n",
+                     online_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   fullweb::support::Executor pool(threads == 0 ? 0 : threads);
   fullweb::support::Rng rng(seed);
